@@ -1,0 +1,146 @@
+// Command pressd hosts a live PRESS mini-cluster on loopback TCP — the
+// same protocol code the simulator runs for the paper's experiments, on
+// real sockets and wall-clock time (internal/livenet).
+//
+// It starts N server nodes (PRESS + membership daemon + ping responder)
+// behind an LVS-style front-end, drives a steady client load, and then
+// follows a fault script: kill a server process, wait, restart it. Every
+// detection/masking/membership event is printed as it happens.
+//
+// Usage:
+//
+//	pressd [-nodes 3] [-hb 500ms] [-rate 20] [-duration 30s] [-kill 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/frontend"
+	"press/internal/livenet"
+	"press/internal/membership"
+	"press/internal/metrics"
+	"press/internal/server"
+	"press/internal/trace"
+)
+
+func main() {
+	nNodes := flag.Int("nodes", 3, "server nodes")
+	hb := flag.Duration("hb", 500*time.Millisecond, "heartbeat/probe period")
+	rate := flag.Float64("rate", 20, "client requests per second")
+	duration := flag.Duration("duration", 30*time.Second, "total run time")
+	kill := flag.Int("kill", 1, "node whose PRESS process is killed mid-run (-1: none)")
+	flag.Parse()
+
+	w := livenet.NewWorld(time.Now().UnixNano())
+	cat := trace.NewCatalog(500, 27*1024, 0.8)
+
+	var ids []cnet.NodeID
+	for i := 0; i < *nNodes; i++ {
+		ids = append(ids, cnet.NodeID(i))
+	}
+	var nodes []*livenet.Node
+	for i := range ids {
+		i := i
+		n := w.AddNode(ids[i])
+		nodes = append(nodes, n)
+		pub := &membership.Published{}
+		n.Spawn("membd", func(env cnet.Env) {
+			membership.NewDaemon(membership.Config{Self: ids[i], HBPeriod: *hb, HBMiss: 3}, env, pub)
+		})
+		n.Spawn("icmp", func(env cnet.Env) { frontend.NewPingResponder(env) })
+		n.Spawn("press", func(env cnet.Env) {
+			server.New(server.Config{
+				Self: ids[i], Nodes: ids, Cooperative: true,
+				HeartbeatPeriod: *hb, JoinTimeout: time.Second,
+				Catalog: cat, CacheBytes: cat.TotalBytes(),
+				MembershipPoll: *hb / 2,
+			}, env, livenet.MemDisk{Service: time.Millisecond},
+				membership.NewClient(env, pub, *hb/2))
+		})
+	}
+
+	const feID = cnet.NodeID(90)
+	fe := w.AddNode(feID)
+	fe.Spawn("frontend", func(env cnet.Env) {
+		frontend.New(frontend.Config{
+			Self: feID, Backends: ids,
+			PingPeriod: *hb, PingMiss: 3,
+			ConnMonitor: true, ConnPeriod: *hb, ConnDeadline: 2 * *hb,
+		}, env)
+	})
+
+	ok := make(chan int, 1)
+	fail := make(chan int, 1)
+	ok <- 0
+	fail <- 0
+	bump := func(ch chan int) { v := <-ch; ch <- v + 1 }
+
+	client := w.AddNode(1000)
+	client.Spawn("driver", func(env cnet.Env) {
+		rng := env.Rand()
+		period := time.Duration(float64(time.Second) / *rate)
+		var loop func()
+		loop = func() {
+			h := cnet.StreamHandlers{
+				OnMessage: func(c cnet.Conn, m cnet.Message) {
+					if r, isResp := m.(server.RespMsg); isResp {
+						if r.OK {
+							bump(ok)
+						} else {
+							bump(fail)
+						}
+						c.Close()
+					}
+				},
+			}
+			env.Dial(feID, cnet.ClassClient, server.PortHTTP, h, func(c cnet.Conn, err error) {
+				if err != nil {
+					bump(fail)
+					return
+				}
+				c.TrySend(server.ReqMsg{Doc: cat.Sample(rng)}, 256)
+			})
+			env.Clock().AfterFunc(period, loop)
+		}
+		loop()
+	})
+
+	// Stream interesting events as they arrive.
+	go func() {
+		seen := 0
+		for {
+			events := w.Log().All()
+			for _, e := range events[seen:] {
+				switch e.Kind {
+				case metrics.EvDetect, metrics.EvExclude, metrics.EvInclude,
+					metrics.EvFrontendMask, metrics.EvFrontendUnmask,
+					metrics.EvMemberJoin, metrics.EvMemberLeave, metrics.EvServerUp:
+					fmt.Println(e)
+				}
+			}
+			seen = len(events)
+			time.Sleep(200 * time.Millisecond)
+		}
+	}()
+
+	fmt.Printf("pressd: %d nodes + front-end live on loopback; %v run\n", *nNodes, *duration)
+	third := *duration / 3
+	time.Sleep(third)
+	if *kill >= 0 && *kill < len(nodes) {
+		fmt.Printf("--- killing PRESS on node %d ---\n", *kill)
+		nodes[*kill].Proc("press").Kill()
+		time.Sleep(third)
+		fmt.Printf("--- restarting PRESS on node %d ---\n", *kill)
+		nodes[*kill].Proc("press").Start()
+	} else {
+		time.Sleep(third)
+	}
+	time.Sleep(third)
+
+	o, f := <-ok, <-fail
+	fmt.Printf("\nserved %d requests, %d failed (availability %.4f)\n",
+		o, f, float64(o)/float64(o+f))
+}

@@ -1,0 +1,98 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation and prints them (optionally into a file suitable for
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	reproduce [-fig all|1a|1b|2|4|6|7|8|9a|9b|10|t1|t2] [-fast] [-seed N] [-o file]
+//
+// -fast runs the reduced-scale profile (quarter-size document set and
+// caches, shorter windows); the full profile is the paper-faithful one
+// and takes considerably longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"press"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure/table to regenerate (comma-separated), or 'all'")
+	fast := flag.Bool("fast", false, "reduced-scale profile")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	out := flag.String("o", "", "also write output to this file")
+	flag.Parse()
+
+	var o press.Options
+	var fg *press.Figures
+	if *fast {
+		o = press.FastOptions(*seed)
+		fg = press.NewFigures(o)
+		fg.Sched = press.FastSchedule()
+	} else {
+		o = press.Options{Seed: *seed}
+		fg = press.NewFigures(o)
+	}
+
+	gens := []struct {
+		key string
+		fn  func() (press.Table, error)
+	}{
+		{"t1", fg.Table1},
+		{"1a", fg.Figure1a},
+		{"1b", fg.Figure1b},
+		{"2", fg.Figure2},
+		{"4", fg.Figure4},
+		{"6", fg.Figure6},
+		{"7", fg.Figure7},
+		{"8", fg.Figure8},
+		{"9a", fg.Figure9a},
+		{"9b", fg.Figure9b},
+		{"10", fg.Figure10},
+		{"t2", fg.Table2},
+	}
+
+	want := map[string]bool{}
+	if *fig != "all" {
+		for _, k := range strings.Split(*fig, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+
+	var sink *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+	emit := func(s string) {
+		fmt.Print(s)
+		if sink != nil {
+			fmt.Fprint(sink, s)
+		}
+	}
+
+	emit(fmt.Sprintf("# Reproduction run: seed=%d fast=%v started %s\n\n", *seed, *fast, time.Now().Format(time.RFC3339)))
+	for _, g := range gens {
+		if *fig != "all" && !want[g.key] {
+			continue
+		}
+		start := time.Now()
+		tab, err := g.fn()
+		if err != nil {
+			emit(fmt.Sprintf("!! %s failed: %v\n\n", g.key, err))
+			continue
+		}
+		emit(tab.String())
+		emit(fmt.Sprintf("(generated in %.1fs)\n\n", time.Since(start).Seconds()))
+	}
+}

@@ -1,0 +1,154 @@
+// failover runs the PRESS stack on REAL sockets: three server nodes
+// (each with a PRESS process and a membership daemon), an LVS-style
+// front-end, and a client loop — all goroutines in this process speaking
+// gob over loopback TCP/UDP. It then kills one server process, watches
+// the membership service and the front-end converge on the failure, and
+// restarts it to watch reintegration.
+//
+// This is the same protocol code the simulator runs for the paper's
+// experiments; only the transport (internal/livenet) differs. Timers are
+// scaled down (500 ms heartbeats) so the demo finishes in ~25 seconds.
+//
+// Run: go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/frontend"
+	"press/internal/livenet"
+	"press/internal/membership"
+	"press/internal/server"
+	"press/internal/trace"
+)
+
+const (
+	nServers  = 3
+	hbPeriod  = 500 * time.Millisecond
+	feID      = cnet.NodeID(90)
+	clientID  = cnet.NodeID(1000)
+	reqPeriod = 50 * time.Millisecond
+)
+
+func main() {
+	w := livenet.NewWorld(42)
+	cat := trace.NewCatalog(500, 27*1024, 0.8)
+
+	var ids []cnet.NodeID
+	for i := 0; i < nServers; i++ {
+		ids = append(ids, cnet.NodeID(i))
+	}
+
+	// Server nodes: membership daemon + ping responder + PRESS.
+	var nodes []*livenet.Node
+	for i := 0; i < nServers; i++ {
+		i := i
+		n := w.AddNode(ids[i])
+		nodes = append(nodes, n)
+		pub := &membership.Published{}
+		n.Spawn("membd", func(env cnet.Env) {
+			membership.NewDaemon(membership.Config{
+				Self:     ids[i],
+				HBPeriod: hbPeriod,
+				HBMiss:   3,
+			}, env, pub)
+		})
+		n.Spawn("icmp", func(env cnet.Env) { frontend.NewPingResponder(env) })
+		n.Spawn("press", func(env cnet.Env) {
+			server.New(server.Config{
+				Self:            ids[i],
+				Nodes:           ids,
+				Cooperative:     true,
+				HeartbeatPeriod: hbPeriod,
+				JoinTimeout:     time.Second,
+				Catalog:         cat,
+				CacheBytes:      cat.TotalBytes(), // tiny doc set: everything cached
+				MembershipPoll:  200 * time.Millisecond,
+			}, env, livenet.MemDisk{Service: time.Millisecond},
+				membership.NewClient(env, pub, 200*time.Millisecond))
+		})
+	}
+
+	// Front-end with connection monitoring (C-MON style, fast detection).
+	fe := w.AddNode(feID)
+	fe.Spawn("frontend", func(env cnet.Env) {
+		frontend.New(frontend.Config{
+			Self:         feID,
+			Backends:     ids,
+			PingPeriod:   hbPeriod,
+			PingMiss:     3,
+			ConnMonitor:  true,
+			ConnPeriod:   hbPeriod,
+			ConnDeadline: time.Second,
+		}, env)
+	})
+
+	// Client: a request every 50 ms through the front-end; count outcomes.
+	type tally struct{ ok, fail int }
+	counts := make(chan tally, 1)
+	counts <- tally{}
+	client := w.AddNode(clientID)
+	client.Spawn("driver", func(env cnet.Env) {
+		rng := env.Rand()
+		var loop func()
+		loop = func() {
+			doc := cat.Sample(rng)
+			h := cnet.StreamHandlers{
+				OnMessage: func(c cnet.Conn, m cnet.Message) {
+					if resp, ok := m.(server.RespMsg); ok {
+						t := <-counts
+						if resp.OK {
+							t.ok++
+						} else {
+							t.fail++
+						}
+						counts <- t
+						c.Close()
+					}
+				},
+				OnClose: func(c cnet.Conn, err error) {},
+			}
+			env.Dial(feID, cnet.ClassClient, server.PortHTTP, h, func(c cnet.Conn, err error) {
+				if err != nil {
+					t := <-counts
+					t.fail++
+					counts <- t
+					return
+				}
+				c.TrySend(server.ReqMsg{Doc: doc}, 256)
+			})
+			env.Clock().AfterFunc(reqPeriod, loop)
+		}
+		loop()
+	})
+
+	snapshot := func(label string) {
+		t := <-counts
+		counts <- t
+		fmt.Printf("%-28s ok=%-5d fail=%-4d\n", label, t.ok, t.fail)
+	}
+
+	fmt.Println("live cluster warming up (real loopback TCP) ...")
+	time.Sleep(5 * time.Second)
+	snapshot("after warmup:")
+
+	fmt.Println("\nkilling the PRESS process on node 1 (SIGKILL semantics: RST) ...")
+	nodes[1].Proc("press").Kill()
+	time.Sleep(5 * time.Second)
+	snapshot("5s after the kill:")
+
+	fmt.Println("\nrestarting node 1's PRESS process ...")
+	nodes[1].Proc("press").Start()
+	time.Sleep(6 * time.Second)
+	snapshot("after reintegration:")
+
+	fmt.Println("\ncluster event log (detection, masking, rejoin):")
+	for _, e := range w.Log().All() {
+		switch e.Kind {
+		case "detect", "exclude", "include", "frontend.mask", "frontend.unmask", "member.join", "member.leave", "server.up":
+			fmt.Println("  " + e.String())
+		}
+	}
+}

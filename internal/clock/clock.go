@@ -1,0 +1,61 @@
+// Package clock abstracts time so that every protocol component in this
+// repository (the PRESS server, the membership service, queue monitoring,
+// FME, the front-end) can run unchanged on either the discrete-event
+// simulator (package sim) or real wall-clock time (package livenet).
+//
+// Instants are expressed as a time.Duration offset from an arbitrary epoch
+// (simulation start, or process start in live mode). Protocol code only
+// ever compares instants and schedules relative timers, so an offset-based
+// representation is sufficient and keeps the simulator allocation-free.
+package clock
+
+import "time"
+
+// Timer is a handle to a pending callback scheduled with AfterFunc.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call prevented the
+	// callback from firing. Stopping an already-fired or already-stopped
+	// timer is a harmless no-op that returns false.
+	Stop() bool
+}
+
+// Clock supplies the current time and one-shot timers.
+//
+// Implementations guarantee that callbacks scheduled by AfterFunc fire in
+// non-decreasing time order. The discrete-event implementation additionally
+// guarantees full determinism: equal deadlines fire in scheduling order.
+type Clock interface {
+	// Now returns the current instant as an offset from the clock's epoch.
+	Now() time.Duration
+
+	// AfterFunc schedules fn to be called once, d from now. A non-positive
+	// d fires as soon as possible (but never synchronously inside the
+	// AfterFunc call itself).
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Real is a Clock backed by the operating system clock. The zero value is
+// not usable; call NewReal.
+type Real struct {
+	epoch time.Time
+}
+
+// NewReal returns a wall-clock Clock whose epoch is the moment of the call.
+func NewReal() *Real {
+	return &Real{epoch: time.Now()}
+}
+
+// Now returns the wall-clock time elapsed since the epoch.
+func (r *Real) Now() time.Duration { return time.Since(r.epoch) }
+
+// AfterFunc schedules fn on the runtime timer heap.
+func (r *Real) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return realTimer{time.AfterFunc(d, fn)}
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) Stop() bool { return rt.t.Stop() }

@@ -1,0 +1,55 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealNowMonotonic(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("Now not monotonic: %v then %v", a, b)
+	}
+}
+
+func TestRealAfterFuncFires(t *testing.T) {
+	c := NewReal()
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestRealAfterFuncNegativeDelay(t *testing.T) {
+	c := NewReal()
+	done := make(chan struct{})
+	c.AfterFunc(-time.Second, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("negative-delay timer did not fire")
+	}
+}
+
+func TestRealStopPreventsFire(t *testing.T) {
+	c := NewReal()
+	var fired atomic.Bool
+	tm := c.AfterFunc(50*time.Millisecond, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on pending timer")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+}

@@ -1,0 +1,160 @@
+// Package cnet defines the narrow waist between the protocol components of
+// this repository (PRESS server, membership service, queue monitor, FME
+// daemon, front-end) and the runtime that hosts them.
+//
+// Two runtimes implement these interfaces:
+//
+//   - internal/simnet + internal/machine: the deterministic discrete-event
+//     cluster used for all availability experiments (the stand-in for the
+//     paper's testbed + Mendosus);
+//   - internal/livenet: real goroutines and loopback TCP, used by
+//     cmd/pressd and the failover example.
+//
+// The model is intentionally close to the sockets API the original PRESS
+// used: unreliable datagrams (UDP) for heartbeats and membership,
+// reliable ordered message streams (TCP) for intra-cluster request
+// forwarding and client HTTP traffic, plus IP-multicast-style groups for
+// membership join broadcasts.
+package cnet
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"press/internal/clock"
+	"press/internal/metrics"
+)
+
+// NodeID identifies a network endpoint. Server nodes are small dense
+// integers; the front-end and client machines get IDs of their own.
+type NodeID int
+
+// None is the invalid NodeID.
+const None NodeID = -1
+
+// Class partitions traffic the way the paper's Mendosus testbed does:
+// faults injected on the intra-cluster network (links, switch) never
+// disturb client-server communication (§5).
+type Class int
+
+const (
+	// ClassIntra is intra-cluster traffic: request forwarding, cache
+	// directory broadcasts, heartbeats, membership.
+	ClassIntra Class = iota
+	// ClassClient is client-server traffic: HTTP requests and responses,
+	// front-end forwarding and front-end probes.
+	ClassClient
+)
+
+func (c Class) String() string {
+	if c == ClassIntra {
+		return "intra"
+	}
+	return "client"
+}
+
+// Message is an application-defined payload. Implementations deliver the
+// same value that was sent (the simulator passes it by reference; livenet
+// round-trips it through encoding/gob, so messages must be exported
+// gob-encodable structs).
+type Message any
+
+// Transport errors delivered to OnClose and dial callbacks.
+var (
+	// ErrReset reports an abortive close: the peer process crashed or the
+	// peer machine rebooted (RST semantics).
+	ErrReset = errors.New("cnet: connection reset by peer")
+	// ErrTimeout reports that a connection attempt got no answer (peer
+	// machine down or frozen, or intra path broken).
+	ErrTimeout = errors.New("cnet: connection timed out")
+	// ErrRefused reports that the peer machine is up but nothing listens
+	// on the port (the application process is dead).
+	ErrRefused = errors.New("cnet: connection refused")
+	// ErrClosed reports an orderly close by the peer.
+	ErrClosed = errors.New("cnet: connection closed by peer")
+)
+
+// Conn is one end of a reliable, ordered message stream.
+type Conn interface {
+	// Peer returns the node at the other end.
+	Peer() NodeID
+
+	// TrySend queues m (occupying size wire bytes) for delivery. It
+	// returns false when flow control (the receiver's window) is full, in
+	// which case the caller keeps the message and waits for OnWritable —
+	// this is how PRESS's self-monitoring send queues build up against a
+	// stuck peer. Sends on a dead connection report true and discard the
+	// message; the death is announced via OnClose.
+	TrySend(m Message, size int) bool
+
+	// Close closes the stream. The peer's OnClose receives ErrClosed.
+	Close()
+}
+
+// StreamHandlers are the callbacks a component attaches to a Conn. All
+// callbacks run serialized on the owning process (the simulator's proc
+// mailbox, or livenet's per-node dispatch goroutine).
+type StreamHandlers struct {
+	// OnMessage delivers the next in-order message.
+	OnMessage func(c Conn, m Message)
+	// OnClose reports stream death with one of the errors above. It is
+	// called at most once; no OnMessage follows it.
+	OnClose func(c Conn, err error)
+	// OnWritable fires after TrySend returned false and window space is
+	// available again. Optional.
+	OnWritable func(c Conn)
+}
+
+// Env is everything a protocol component may touch. One Env is bound to
+// one process on one node; when the process crashes and restarts, the
+// component is reconstructed with a fresh Env, and all registrations made
+// through the old one are dead — exactly like sockets and timers of a
+// crashed Unix process.
+type Env interface {
+	// Local returns the node this process runs on.
+	Local() NodeID
+
+	// Clock returns a process-scoped clock: timers die with the process
+	// and never fire while it is hung, frozen, or stopped.
+	Clock() clock.Clock
+
+	// Rand returns this process's deterministic random stream.
+	Rand() *rand.Rand
+
+	// Events returns the experiment-wide structured event log.
+	Events() *metrics.Log
+
+	// Charge accounts d of CPU time to the handler currently executing;
+	// the process works through its mailbox serially, so charged time
+	// delays everything behind it. No-op in live mode.
+	Charge(d time.Duration)
+
+	// Stall suspends mailbox processing (the PRESS main thread blocking on
+	// a full disk queue); Resume lifts it. Resume may be called from
+	// outside the process (a disk completion).
+	Stall()
+	Resume()
+
+	// Send transmits a datagram; delivery is best-effort.
+	Send(to NodeID, class Class, port string, m Message, size int)
+
+	// Multicast transmits a datagram to every member of group (intra-
+	// cluster traffic).
+	Multicast(group, port string, m Message, size int)
+
+	// JoinGroup subscribes this node to a multicast group.
+	JoinGroup(group string)
+
+	// BindDatagram registers the handler for datagrams arriving on port.
+	BindDatagram(port string, h func(from NodeID, m Message))
+
+	// Dial opens a stream to (to, port). The result callback runs first,
+	// exactly once, with either a live Conn or an error; handlers h are
+	// attached on success.
+	Dial(to NodeID, class Class, port string, h StreamHandlers, result func(Conn, error))
+
+	// Listen accepts streams on port. For every accepted connection the
+	// callback returns the handlers to attach.
+	Listen(port string, accept func(c Conn) StreamHandlers)
+}

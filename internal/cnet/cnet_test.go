@@ -1,0 +1,32 @@
+package cnet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestClassString(t *testing.T) {
+	if ClassIntra.String() != "intra" || ClassClient.String() != "client" {
+		t.Fatalf("class names: %v %v", ClassIntra, ClassClient)
+	}
+}
+
+func TestErrorIdentities(t *testing.T) {
+	all := []error{ErrReset, ErrTimeout, ErrRefused, ErrClosed}
+	for i, a := range all {
+		if a.Error() == "" {
+			t.Fatalf("error %d has no message", i)
+		}
+		for j, b := range all {
+			if (i == j) != errors.Is(a, b) {
+				t.Fatalf("error identity confusion between %v and %v", a, b)
+			}
+		}
+	}
+}
+
+func TestNoneIsInvalid(t *testing.T) {
+	if None != -1 {
+		t.Fatalf("None = %d", None)
+	}
+}

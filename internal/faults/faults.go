@@ -1,0 +1,220 @@
+// Package faults is the reproduction's Mendosus (§5): a fault-injection
+// testbed that can impose every fault class of the paper's Table 1 on the
+// simulated cluster and repair it again, while leaving client-server
+// traffic untouched by intra-cluster network faults.
+//
+// The package has two halves: the fault catalog (Table 1's fault types
+// with their MTTFs, MTTRs and component counts, which parameterize the
+// phase-2 availability model) and the Injector (which applies a single
+// fault instance to the running simulation for phase-1 measurements).
+package faults
+
+import (
+	"fmt"
+	"time"
+
+	"press/internal/machine"
+	"press/internal/metrics"
+	"press/internal/sim"
+	"press/internal/simnet"
+)
+
+// Type enumerates the paper's fault classes.
+type Type int
+
+const (
+	// LinkDown severs one node's intra-cluster link.
+	LinkDown Type = iota
+	// SwitchDown takes the intra-cluster switch out.
+	SwitchDown
+	// SCSITimeout hangs one disk.
+	SCSITimeout
+	// NodeCrash powers a server machine off until repair.
+	NodeCrash
+	// NodeFreeze wedges a server machine without crashing it.
+	NodeFreeze
+	// AppCrash kills the server process (it restarts at repair).
+	AppCrash
+	// AppHang wedges the server process without killing it.
+	AppHang
+	// FrontendFailure crashes the front-end machine.
+	FrontendFailure
+
+	numTypes
+)
+
+var typeNames = [...]string{
+	"link-down", "switch-down", "scsi-timeout", "node-crash",
+	"node-freeze", "app-crash", "app-hang", "frontend-failure",
+}
+
+func (t Type) String() string {
+	if t < 0 || int(t) >= len(typeNames) {
+		return fmt.Sprintf("fault(%d)", int(t))
+	}
+	return typeNames[t]
+}
+
+// AllTypes lists every fault class in Table 1 order.
+func AllTypes() []Type {
+	out := make([]Type, numTypes)
+	for i := range out {
+		out[i] = Type(i)
+	}
+	return out
+}
+
+// Spec is one row of Table 1: a fault class with its expected fault load.
+type Spec struct {
+	Type       Type
+	MTTF       time.Duration // mean time to failure, per component
+	MTTR       time.Duration // mean time to repair
+	Components int           // number of components of this class
+}
+
+// Rate returns the class's aggregate fault rate (faults per unit time).
+func (s Spec) Rate() float64 {
+	if s.MTTF <= 0 {
+		return 0
+	}
+	return float64(s.Components) / s.MTTF.Seconds()
+}
+
+const (
+	day   = 24 * time.Hour
+	week  = 7 * day
+	month = 30 * day
+	year  = 365 * day
+)
+
+// Table1 returns the paper's expected fault load for a cluster of n server
+// nodes (Table 1 lists the 4-node instantiation). disksPerNode is 2 on the
+// paper's hardware. withFrontend adds the front-end component.
+//
+// "Application hang and crash together represent an MTTF of 1 month for
+// application failures": each is listed at 2 months.
+func Table1(n, disksPerNode int, withFrontend bool) []Spec {
+	specs := []Spec{
+		{Type: LinkDown, MTTF: 6 * month, MTTR: 3 * time.Minute, Components: n},
+		{Type: SwitchDown, MTTF: year, MTTR: time.Hour, Components: 1},
+		{Type: SCSITimeout, MTTF: year, MTTR: time.Hour, Components: n * disksPerNode},
+		{Type: NodeCrash, MTTF: 2 * week, MTTR: 3 * time.Minute, Components: n},
+		{Type: NodeFreeze, MTTF: 2 * week, MTTR: 3 * time.Minute, Components: n},
+		{Type: AppCrash, MTTF: 2 * month, MTTR: 3 * time.Minute, Components: n},
+		{Type: AppHang, MTTF: 2 * month, MTTR: 3 * time.Minute, Components: n},
+	}
+	if withFrontend {
+		specs = append(specs, Spec{Type: FrontendFailure, MTTF: 6 * month, MTTR: 3 * time.Minute, Components: 1})
+	}
+	return specs
+}
+
+// Targets names the injectable pieces of a simulated cluster.
+type Targets struct {
+	Net      *simnet.Network
+	Machines []*machine.Machine // server nodes, index = component for node faults
+	Frontend *machine.Machine   // nil when the version has no front-end
+	AppProc  string             // server process name on each machine
+}
+
+// Injector applies and repairs single faults.
+type Injector struct {
+	sim *sim.Sim
+	log *metrics.Log
+	t   Targets
+}
+
+// NewInjector builds an injector over the given targets.
+func NewInjector(s *sim.Sim, log *metrics.Log, t Targets) *Injector {
+	if t.AppProc == "" {
+		t.AppProc = "press"
+	}
+	return &Injector{sim: s, log: log, t: t}
+}
+
+// Active is a fault in effect; Repair undoes it.
+type Active struct {
+	Type      Type
+	Component int
+	repair    func()
+	repaired  bool
+	in        *Injector
+}
+
+// Repair undoes the fault (idempotent).
+func (a *Active) Repair() {
+	if a == nil || a.repaired {
+		return
+	}
+	a.repaired = true
+	a.repair()
+	a.in.emit(metrics.EvFaultRepair, a.Component, a.Type.String())
+}
+
+func (in *Injector) emit(kind string, component int, detail string) {
+	if in.log != nil {
+		in.log.Emit(in.sim.Now(), "injector", kind, component, detail)
+	}
+}
+
+// Inject applies one fault of class t to component index c (meaning
+// depends on the class: node index for node/app/link faults, disk index
+// for SCSI — node i's disks are 2i and 2i+1 — and ignored for switch and
+// front-end faults). It panics on out-of-range components: experiments
+// are misconfigured, not recoverable.
+func (in *Injector) Inject(t Type, c int) *Active {
+	a := &Active{Type: t, Component: c, in: in}
+	switch t {
+	case LinkDown:
+		ifc := in.t.Machines[c].Iface()
+		ifc.SetLink(false)
+		a.repair = func() { ifc.SetLink(true) }
+	case SwitchDown:
+		in.t.Net.SetSwitch(false)
+		a.repair = func() { in.t.Net.SetSwitch(true) }
+	case SCSITimeout:
+		m := in.t.Machines[c/2]
+		d := m.Disks().Disks()[c%2]
+		d.SetFaulty(true)
+		a.repair = func() {
+			d.SetFaulty(false)
+			// Repair crews boot the node back if it was taken offline
+			// (e.g. by FME's fault-model translation).
+			if !m.Up() && m.State() == simnet.NodeDown {
+				m.Restart()
+			}
+		}
+	case NodeCrash:
+		m := in.t.Machines[c]
+		m.Crash()
+		a.repair = func() { m.Restart() }
+	case NodeFreeze:
+		m := in.t.Machines[c]
+		m.Freeze()
+		a.repair = func() { m.Unfreeze() }
+	case AppCrash:
+		m := in.t.Machines[c]
+		m.KillProc(in.t.AppProc)
+		a.repair = func() { m.StartProc(in.t.AppProc) }
+	case AppHang:
+		p := in.t.Machines[c].Proc(in.t.AppProc)
+		p.Hang()
+		a.repair = func() { p.Unhang() }
+	case FrontendFailure:
+		if in.t.Frontend == nil {
+			panic("faults: no front-end to fail")
+		}
+		in.t.Frontend.Crash()
+		a.repair = func() { in.t.Frontend.Restart() }
+	default:
+		panic(fmt.Sprintf("faults: unknown type %v", t))
+	}
+	in.emit(metrics.EvFaultInject, c, t.String())
+	return a
+}
+
+// Applicable reports whether fault class t can be injected on these
+// targets (front-end faults need a front-end).
+func (in *Injector) Applicable(t Type) bool {
+	return t != FrontendFailure || in.t.Frontend != nil
+}

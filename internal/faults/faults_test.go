@@ -1,0 +1,222 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/machine"
+	"press/internal/metrics"
+	"press/internal/sim"
+	"press/internal/simdisk"
+	"press/internal/simnet"
+)
+
+func testTargets(t *testing.T, n int) (*sim.Sim, *metrics.Log, Targets) {
+	t.Helper()
+	s := sim.New(1)
+	log := &metrics.Log{}
+	net := simnet.New(s, simnet.DefaultConfig(), log)
+	tg := Targets{Net: net, AppProc: "press"}
+	for i := 0; i < n; i++ {
+		disks := simdisk.NewArray(s, s.NewRand("d"), simdisk.Config{MeanService: time.Millisecond, QueueCap: 4, Workers: 2}, 2)
+		m := machine.New(s, net, cnet.NodeID(i), disks, log)
+		m.AddProc("press", func(env *machine.Env) {})
+		tg.Machines = append(tg.Machines, m)
+	}
+	fe := machine.New(s, net, 100, nil, log)
+	fe.AddProc("frontend", func(env *machine.Env) {})
+	tg.Frontend = fe
+	return s, log, tg
+}
+
+func TestTable1Shape(t *testing.T) {
+	specs := Table1(4, 2, true)
+	if len(specs) != 8 {
+		t.Fatalf("got %d specs, want 8", len(specs))
+	}
+	byType := map[Type]Spec{}
+	for _, sp := range specs {
+		byType[sp.Type] = sp
+	}
+	if byType[NodeCrash].Components != 4 || byType[NodeCrash].MTTF != 14*24*time.Hour {
+		t.Fatalf("node crash spec %+v", byType[NodeCrash])
+	}
+	if byType[SCSITimeout].Components != 8 || byType[SCSITimeout].MTTR != time.Hour {
+		t.Fatalf("scsi spec %+v", byType[SCSITimeout])
+	}
+	if byType[SwitchDown].Components != 1 {
+		t.Fatalf("switch spec %+v", byType[SwitchDown])
+	}
+	if byType[FrontendFailure].Components != 1 {
+		t.Fatalf("fe spec %+v", byType[FrontendFailure])
+	}
+	// Without a front-end the row disappears.
+	if got := len(Table1(4, 2, false)); got != 7 {
+		t.Fatalf("without FE got %d specs", got)
+	}
+	// Component counts scale with n.
+	specs8 := Table1(8, 2, false)
+	for _, sp := range specs8 {
+		switch sp.Type {
+		case LinkDown, NodeCrash, NodeFreeze, AppCrash, AppHang:
+			if sp.Components != 8 {
+				t.Fatalf("%v components %d at n=8", sp.Type, sp.Components)
+			}
+		case SCSITimeout:
+			if sp.Components != 16 {
+				t.Fatalf("scsi components %d at n=8", sp.Components)
+			}
+		}
+	}
+}
+
+func TestSpecRate(t *testing.T) {
+	sp := Spec{Type: NodeCrash, MTTF: 2 * time.Hour, Components: 4}
+	want := 4.0 / (2 * 3600)
+	if got := sp.Rate(); got != want {
+		t.Fatalf("Rate = %v, want %v", got, want)
+	}
+	if (Spec{}).Rate() != 0 {
+		t.Fatal("zero spec rate != 0")
+	}
+}
+
+func TestInjectRepairRoundTrips(t *testing.T) {
+	s, log, tg := testTargets(t, 2)
+	in := NewInjector(s, log, tg)
+
+	// Link
+	a := in.Inject(LinkDown, 1)
+	if tg.Machines[1].Iface().LinkUp() {
+		t.Fatal("link still up")
+	}
+	a.Repair()
+	if !tg.Machines[1].Iface().LinkUp() {
+		t.Fatal("link not repaired")
+	}
+
+	// Switch
+	a = in.Inject(SwitchDown, 0)
+	if tg.Net.SwitchUp() {
+		t.Fatal("switch still up")
+	}
+	a.Repair()
+	a.Repair() // idempotent
+	if !tg.Net.SwitchUp() {
+		t.Fatal("switch not repaired")
+	}
+
+	// SCSI: disk 3 is node 1's second disk.
+	a = in.Inject(SCSITimeout, 3)
+	if !tg.Machines[1].Disks().Disks()[1].Faulty() {
+		t.Fatal("disk not faulty")
+	}
+	a.Repair()
+	if tg.Machines[1].Disks().AnyFaulty() {
+		t.Fatal("disk not repaired")
+	}
+
+	// Node crash
+	a = in.Inject(NodeCrash, 0)
+	if tg.Machines[0].Up() {
+		t.Fatal("machine still up")
+	}
+	a.Repair()
+	if !tg.Machines[0].Up() {
+		t.Fatal("machine not restarted")
+	}
+
+	// Node freeze
+	a = in.Inject(NodeFreeze, 0)
+	if tg.Machines[0].State() != simnet.NodeFrozen {
+		t.Fatal("machine not frozen")
+	}
+	a.Repair()
+	if !tg.Machines[0].Up() {
+		t.Fatal("machine not thawed")
+	}
+
+	// App crash
+	a = in.Inject(AppCrash, 1)
+	if tg.Machines[1].Proc("press").Alive() {
+		t.Fatal("app still alive")
+	}
+	a.Repair()
+	if !tg.Machines[1].Proc("press").Alive() {
+		t.Fatal("app not restarted")
+	}
+
+	// App hang
+	a = in.Inject(AppHang, 1)
+	if !tg.Machines[1].Proc("press").Hung() {
+		t.Fatal("app not hung")
+	}
+	a.Repair()
+	if tg.Machines[1].Proc("press").Hung() {
+		t.Fatal("app not unhung")
+	}
+
+	// Front-end
+	a = in.Inject(FrontendFailure, 0)
+	if tg.Frontend.Up() {
+		t.Fatal("front-end still up")
+	}
+	a.Repair()
+	if !tg.Frontend.Up() {
+		t.Fatal("front-end not restarted")
+	}
+}
+
+func TestSCSIRepairRebootsOfflinedNode(t *testing.T) {
+	s, log, tg := testTargets(t, 1)
+	in := NewInjector(s, log, tg)
+	a := in.Inject(SCSITimeout, 0)
+	// FME takes the node offline while the disk is bad.
+	tg.Machines[0].TakeOffline("disk failure")
+	if tg.Machines[0].Up() {
+		t.Fatal("node still up")
+	}
+	a.Repair()
+	if !tg.Machines[0].Up() {
+		t.Fatal("repair did not boot the offlined node")
+	}
+	if tg.Machines[0].Disks().AnyFaulty() {
+		t.Fatal("disk still faulty after repair")
+	}
+}
+
+func TestInjectLogsEvents(t *testing.T) {
+	s, log, tg := testTargets(t, 1)
+	in := NewInjector(s, log, tg)
+	a := in.Inject(NodeCrash, 0)
+	s.RunFor(time.Second)
+	a.Repair()
+	if _, ok := log.First(metrics.EvFaultInject, 0); !ok {
+		t.Fatal("no inject event")
+	}
+	if _, ok := log.First(metrics.EvFaultRepair, 0); !ok {
+		t.Fatal("no repair event")
+	}
+}
+
+func TestApplicable(t *testing.T) {
+	s, log, tg := testTargets(t, 1)
+	tg.Frontend = nil
+	in := NewInjector(s, log, tg)
+	if in.Applicable(FrontendFailure) {
+		t.Fatal("frontend fault applicable without a front-end")
+	}
+	if !in.Applicable(NodeCrash) {
+		t.Fatal("node crash not applicable")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if NodeFreeze.String() != "node-freeze" || Type(99).String() != "fault(99)" {
+		t.Fatal("bad type names")
+	}
+	if len(AllTypes()) != int(numTypes) {
+		t.Fatal("AllTypes incomplete")
+	}
+}

@@ -1,0 +1,202 @@
+// Package fme implements Fault Model Enforcement (§4.5): a per-node
+// daemon that transforms faults outside the service's abstract fault
+// model (disk timeouts, application hangs) into faults inside it (node
+// crash, application crash-restart), so that the membership service and
+// queue monitoring — whose views otherwise diverge — converge on a single
+// consistent picture.
+//
+// The daemon periodically (i) probes the local disks through the SCSI
+// generic interface and (ii) probes the local application server with
+// simple HTTP requests. The paper's translation rules:
+//
+//   - disk faulty AND application unresponsive → take the whole node
+//     offline for repair (the disk fault has wedged the server; a node
+//     crash is something every subsystem understands);
+//   - application unresponsive AND disk healthy → restart the application
+//     process, converting a hang into a crash-restart sequence.
+//
+// A probe that is *refused* (nothing listening) means the application
+// already crashed; that is inside the fault model and is left to the
+// ordinary restart path, so the daemon takes no action for it.
+package fme
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/metrics"
+	"press/internal/server"
+)
+
+// Control is the node-control surface the daemon acts through. The
+// simulator backs it with machine.Machine; livenet with process handles.
+type Control interface {
+	// TakeOffline removes the whole node from service until repair.
+	TakeOffline(reason string)
+	// RestartApp kills and restarts the application process.
+	RestartApp()
+}
+
+// Disk is the probe surface of the local disk subsystem.
+type Disk interface {
+	// Probe health-checks the disks, bypassing the request queue.
+	Probe(timeout time.Duration, done func(healthy bool))
+}
+
+// Config parameterizes the daemon.
+type Config struct {
+	Self cnet.NodeID
+	// ProbePeriod is the paper's 5 s test cadence.
+	ProbePeriod time.Duration
+	// ProbeTimeout bounds the HTTP probe (and the SCSI probe).
+	ProbeTimeout time.Duration
+	// Consecutive is how many consecutive unresponsive probes establish
+	// "the application fails to respond" (hysteresis against transient
+	// overload).
+	Consecutive int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbePeriod <= 0 {
+		c.ProbePeriod = 5 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.Consecutive <= 0 {
+		c.Consecutive = 2
+	}
+	return c
+}
+
+// Daemon is one node's FME process.
+type Daemon struct {
+	cfg  Config
+	env  cnet.Env
+	disk Disk
+	ctl  Control
+
+	appStrikes int // consecutive unresponsive HTTP probes
+	probeSeq   uint64
+	actions    uint64
+}
+
+// NewDaemon starts the FME daemon.
+func NewDaemon(cfg Config, env cnet.Env, disk Disk, ctl Control) *Daemon {
+	d := &Daemon{cfg: cfg.withDefaults(), env: env, disk: disk, ctl: ctl}
+	d.tickLater()
+	return d
+}
+
+// Actions returns how many fault translations the daemon performed.
+func (d *Daemon) Actions() uint64 { return d.actions }
+
+func (d *Daemon) emit(detail string) {
+	d.env.Events().Emit(d.env.Clock().Now(), fmt.Sprintf("fme/%d", d.cfg.Self),
+		metrics.EvFMEAction, int(d.cfg.Self), detail)
+}
+
+func (d *Daemon) tickLater() {
+	d.env.Clock().AfterFunc(d.cfg.ProbePeriod, func() { d.tick() })
+}
+
+// appProbeResult classifies one HTTP probe.
+type appProbeResult int
+
+const (
+	appResponsive   appProbeResult = iota
+	appUnresponsive                // connected (or timed out connecting) but no answer: hang
+	appDead                        // connection refused: crash, outside our jurisdiction
+)
+
+func (d *Daemon) tick() {
+	var (
+		diskHealthy *bool
+		appState    *appProbeResult
+	)
+	decide := func() {
+		if diskHealthy == nil || appState == nil {
+			return
+		}
+		d.decide(*diskHealthy, *appState)
+		d.tickLater()
+	}
+	d.disk.Probe(d.cfg.ProbeTimeout, func(h bool) {
+		diskHealthy = &h
+		decide()
+	})
+	d.probeApp(func(r appProbeResult) {
+		appState = &r
+		decide()
+	})
+}
+
+// probeApp sends one HTTP probe to the local server.
+func (d *Daemon) probeApp(done func(appProbeResult)) {
+	finished := false
+	finish := func(r appProbeResult) {
+		if finished {
+			return
+		}
+		finished = true
+		done(r)
+	}
+	d.probeSeq++
+	var conn cnet.Conn
+	d.env.Clock().AfterFunc(d.cfg.ProbeTimeout, func() {
+		if conn != nil {
+			conn.Close()
+		}
+		finish(appUnresponsive)
+	})
+	h := cnet.StreamHandlers{
+		OnMessage: func(c cnet.Conn, m cnet.Message) {
+			if resp, ok := m.(server.RespMsg); ok && resp.Probe {
+				c.Close()
+				finish(appResponsive)
+			}
+		},
+		OnClose: func(c cnet.Conn, err error) {
+			if errors.Is(err, cnet.ErrReset) {
+				finish(appDead)
+			}
+		},
+	}
+	d.env.Dial(d.env.Local(), cnet.ClassClient, server.PortHTTP, h, func(c cnet.Conn, err error) {
+		if err != nil {
+			if errors.Is(err, cnet.ErrRefused) {
+				finish(appDead)
+				return
+			}
+			finish(appUnresponsive)
+			return
+		}
+		conn = c
+		c.TrySend(server.ReqMsg{ID: d.probeSeq, Probe: true}, 64)
+	})
+}
+
+// decide applies the translation rules.
+func (d *Daemon) decide(diskHealthy bool, app appProbeResult) {
+	if app == appUnresponsive {
+		d.appStrikes++
+	} else {
+		d.appStrikes = 0
+	}
+	switch {
+	case !diskHealthy && d.appStrikes >= d.cfg.Consecutive:
+		// Rule 1: disk fault wedged the application → node crash.
+		d.actions++
+		d.emit("disk faulty + app unresponsive: taking node offline")
+		d.appStrikes = 0
+		d.ctl.TakeOffline("fme: disk failure")
+	case diskHealthy && d.appStrikes >= d.cfg.Consecutive:
+		// Rule 2: hang with a healthy disk → crash-restart.
+		d.actions++
+		d.emit("app unresponsive, disk healthy: restarting application")
+		d.appStrikes = 0
+		d.ctl.RestartApp()
+	}
+}

@@ -1,0 +1,380 @@
+// Package frontend implements the paper's front-end tier (§4.1): an
+// LVS-style request distributor that hides the server nodes behind one
+// address and masks node failures by not routing to nodes its monitor
+// believes are down, plus the monitoring refinements studied in §6.2.
+//
+// Monitoring layers, each switchable per version:
+//
+//   - mon pinger (§4.1): ICMP-style echo to each node every 5 s; three
+//     missed replies mark the node down. Pings are answered by the node's
+//     network stack, so a crashed or hung *application* still answers —
+//     the blind spot the paper measures.
+//   - C-MON (§6.2): TCP/HTTP connection monitoring with a 2 s deadline,
+//     which does see application crashes and hangs, faster.
+//   - S-FME (§6.2): the probe replies carry each server's cooperation
+//     set; nodes isolated from the largest reported set are taken out of
+//     rotation so clients stop losing requests to splintered singletons.
+//
+// The real LVS forwards packets and lets servers reply directly to
+// clients (IP tunneling); this model relays messages through the
+// front-end instead, which preserves everything availability-relevant
+// (routing table, masking latency, FE failure) at a small fidelity cost
+// in data-path bandwidth that none of the experiments are sensitive to.
+package frontend
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/metrics"
+	"press/internal/server"
+)
+
+// Ports.
+const (
+	// PortPing is the ICMP-echo stand-in answered by the machine's
+	// network stack (a dedicated trivial process, not the application).
+	PortPing = "icmp"
+)
+
+// Config parameterizes the front-end.
+type Config struct {
+	Self     cnet.NodeID
+	Backends []cnet.NodeID
+
+	// PingPeriod / PingMiss: the mon daemon's probe cadence (5 s, 3).
+	PingPeriod time.Duration
+	PingMiss   int
+
+	// ConnMonitor enables C-MON; ConnDeadline is its 2 s detection bound.
+	ConnMonitor  bool
+	ConnPeriod   time.Duration
+	ConnDeadline time.Duration
+
+	// SFME enables isolation masking from probe-carried cooperation sets.
+	SFME bool
+
+	// Cost is the CPU charged per relayed request.
+	Cost time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.PingPeriod <= 0 {
+		c.PingPeriod = 5 * time.Second
+	}
+	if c.PingMiss <= 0 {
+		c.PingMiss = 3
+	}
+	if c.ConnPeriod <= 0 {
+		c.ConnPeriod = time.Second
+	}
+	if c.ConnDeadline <= 0 {
+		c.ConnDeadline = 2 * time.Second
+	}
+	if c.Cost <= 0 {
+		c.Cost = 500 * time.Microsecond
+	}
+	return c
+}
+
+// backendState tracks one server node in the routing table.
+type backendState struct {
+	pingMisses   int
+	pingDown     bool
+	connDown     bool
+	isolated     bool
+	awaitingPong bool
+	lastView     []cnet.NodeID
+}
+
+func (b *backendState) healthy() bool { return !b.pingDown && !b.connDown && !b.isolated }
+
+// Frontend is the request-distributor process.
+type Frontend struct {
+	cfg      Config
+	env      cnet.Env
+	backends map[cnet.NodeID]*backendState
+	rr       int
+	relayed  uint64
+	probeSeq uint64
+}
+
+// New starts a front-end process on env.
+func New(cfg Config, env cnet.Env) *Frontend {
+	f := &Frontend{cfg: cfg.withDefaults(), env: env, backends: make(map[cnet.NodeID]*backendState)}
+	for _, b := range f.cfg.Backends {
+		f.backends[b] = &backendState{}
+	}
+	env.Listen(server.PortHTTP, f.acceptClient)
+	env.BindDatagram(PortPing, f.onPong)
+	f.pingLater()
+	if f.cfg.ConnMonitor || f.cfg.SFME {
+		f.connProbeLater()
+	}
+	return f
+}
+
+// Healthy returns the nodes currently in rotation, sorted (tests and the
+// S-FME bench inspect it).
+func (f *Frontend) Healthy() []cnet.NodeID {
+	var out []cnet.NodeID
+	for n, b := range f.backends {
+		if b.healthy() {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Relayed returns the number of requests forwarded.
+func (f *Frontend) Relayed() uint64 { return f.relayed }
+
+func (f *Frontend) emit(kind string, node cnet.NodeID, detail string) {
+	f.env.Events().Emit(f.env.Clock().Now(), "frontend", kind, int(node), detail)
+}
+
+func (f *Frontend) setDown(n cnet.NodeID, field *bool, down bool, why string) {
+	b := f.backends[n]
+	wasHealthy := b.healthy()
+	*field = down
+	nowHealthy := b.healthy()
+	switch {
+	case wasHealthy && !nowHealthy:
+		f.emit(metrics.EvFrontendMask, n, why)
+		f.emit(metrics.EvDetect, n, "frontend: "+why)
+	case !wasHealthy && nowHealthy:
+		f.emit(metrics.EvFrontendUnmask, n, why)
+	}
+}
+
+// pick returns the next healthy backend round-robin, or None.
+func (f *Frontend) pick() cnet.NodeID {
+	n := len(f.cfg.Backends)
+	for i := 0; i < n; i++ {
+		cand := f.cfg.Backends[f.rr%n]
+		f.rr++
+		if f.backends[cand].healthy() {
+			return cand
+		}
+	}
+	return cnet.None
+}
+
+// acceptClient relays one request to a backend.
+func (f *Frontend) acceptClient(client cnet.Conn) cnet.StreamHandlers {
+	var backendConn cnet.Conn
+	closed := false
+	closeBoth := func() {
+		if closed {
+			return
+		}
+		closed = true
+		client.Close()
+		if backendConn != nil {
+			backendConn.Close()
+		}
+	}
+	return cnet.StreamHandlers{
+		OnMessage: func(c cnet.Conn, m cnet.Message) {
+			req, ok := m.(server.ReqMsg)
+			if !ok {
+				return
+			}
+			f.env.Charge(f.cfg.Cost)
+			target := f.pick()
+			if target == cnet.None {
+				closeBoth() // nothing healthy: the client sees a reset
+				return
+			}
+			f.relayed++
+			bh := cnet.StreamHandlers{
+				OnMessage: func(bc cnet.Conn, bm cnet.Message) {
+					// Relay the response and tear the pair down.
+					if resp, ok := bm.(server.RespMsg); ok {
+						size := 128
+						if resp.OK {
+							size += 27 * 1024
+						}
+						client.TrySend(resp, size)
+					}
+				},
+				OnClose: func(bc cnet.Conn, err error) { closeBoth() },
+			}
+			f.env.Dial(target, cnet.ClassClient, server.PortHTTP, bh, func(bc cnet.Conn, err error) {
+				if closed {
+					if bc != nil {
+						bc.Close()
+					}
+					return
+				}
+				if err != nil {
+					// LVS does not retry: the loss is the client's.
+					closeBoth()
+					return
+				}
+				backendConn = bc
+				bc.TrySend(req, 256)
+			})
+		},
+		OnClose: func(c cnet.Conn, err error) { closeBoth() },
+	}
+}
+
+// --- mon pinger -----------------------------------------------------------
+
+func (f *Frontend) pingLater() {
+	f.env.Clock().AfterFunc(f.cfg.PingPeriod, func() { f.pingTick() })
+}
+
+func (f *Frontend) pingTick() {
+	for _, n := range f.cfg.Backends {
+		b := f.backends[n]
+		if b.awaitingPong {
+			b.pingMisses++
+			if b.pingMisses >= f.cfg.PingMiss && !b.pingDown {
+				f.setDown(n, &b.pingDown, true, fmt.Sprintf("%d pings missed", b.pingMisses))
+			}
+		}
+		b.awaitingPong = true
+		f.env.Send(n, cnet.ClassClient, PortPing, PingMsg{From: f.cfg.Self, Seq: f.probeSeq}, 32)
+	}
+	f.probeSeq++
+	f.pingLater()
+}
+
+func (f *Frontend) onPong(from cnet.NodeID, m cnet.Message) {
+	if _, ok := m.(PongMsg); !ok {
+		return
+	}
+	b := f.backends[from]
+	if b == nil {
+		return
+	}
+	b.awaitingPong = false
+	b.pingMisses = 0
+	if b.pingDown {
+		f.setDown(from, &b.pingDown, false, "ping restored")
+	}
+}
+
+// --- C-MON / S-FME probes ---------------------------------------------------
+
+func (f *Frontend) connProbeLater() {
+	f.env.Clock().AfterFunc(f.cfg.ConnPeriod, func() { f.connProbeTick() })
+}
+
+func (f *Frontend) connProbeTick() {
+	for _, n := range f.cfg.Backends {
+		f.probeBackend(n)
+	}
+	f.connProbeLater()
+}
+
+// probeBackend runs one HTTP probe against n with the C-MON deadline.
+func (f *Frontend) probeBackend(n cnet.NodeID) {
+	b := f.backends[n]
+	finished := false
+	var conn cnet.Conn
+	fail := func() {
+		if finished {
+			return
+		}
+		finished = true
+		if conn != nil {
+			conn.Close()
+		}
+		if f.cfg.ConnMonitor && !b.connDown {
+			f.setDown(n, &b.connDown, true, "connection probe failed")
+		}
+		b.lastView = nil
+		f.refreshIsolation()
+	}
+	f.env.Clock().AfterFunc(f.cfg.ConnDeadline, fail)
+	h := cnet.StreamHandlers{
+		OnMessage: func(c cnet.Conn, m cnet.Message) {
+			resp, ok := m.(server.RespMsg)
+			if !ok || !resp.Probe || finished {
+				return
+			}
+			finished = true
+			c.Close()
+			if b.connDown {
+				f.setDown(n, &b.connDown, false, "connection probe restored")
+			}
+			b.lastView = resp.View
+			f.refreshIsolation()
+		},
+		OnClose: func(c cnet.Conn, err error) { fail() },
+	}
+	f.env.Dial(n, cnet.ClassClient, server.PortHTTP, h, func(c cnet.Conn, err error) {
+		if finished {
+			if c != nil {
+				c.Close()
+			}
+			return
+		}
+		if err != nil {
+			fail()
+			return
+		}
+		conn = c
+		f.probeSeq++
+		c.TrySend(server.ReqMsg{ID: f.probeSeq, Probe: true}, 64)
+	})
+}
+
+// refreshIsolation recomputes S-FME masking: the reference cooperation
+// set is the largest one reported; responsive nodes outside it are
+// isolated splinters and leave the rotation.
+func (f *Frontend) refreshIsolation() {
+	if !f.cfg.SFME {
+		return
+	}
+	var ref []cnet.NodeID
+	for _, n := range f.cfg.Backends {
+		if v := f.backends[n].lastView; len(v) > len(ref) {
+			ref = v
+		}
+	}
+	inRef := make(map[cnet.NodeID]bool, len(ref))
+	for _, n := range ref {
+		inRef[n] = true
+	}
+	for _, n := range f.cfg.Backends {
+		b := f.backends[n]
+		iso := len(b.lastView) > 0 && len(ref) > len(b.lastView) && !inRef[n]
+		if iso != b.isolated {
+			why := "isolated from cooperation set"
+			if !iso {
+				why = "rejoined cooperation set"
+			}
+			f.setDown(n, &b.isolated, iso, why)
+		}
+	}
+}
+
+// PingMsg / PongMsg are the ICMP echo stand-ins.
+type PingMsg struct {
+	From cnet.NodeID
+	Seq  uint64
+}
+
+// PongMsg answers a ping.
+type PongMsg struct {
+	From cnet.NodeID
+	Seq  uint64
+}
+
+// NewPingResponder installs the machine-level echo responder; it runs as
+// its own trivial process so it keeps answering while the application is
+// crashed or hung, exactly like a kernel's ICMP reply.
+func NewPingResponder(env cnet.Env) {
+	env.BindDatagram(PortPing, func(from cnet.NodeID, m cnet.Message) {
+		if ping, ok := m.(PingMsg); ok {
+			env.Send(from, cnet.ClassClient, PortPing, PongMsg{From: env.Local(), Seq: ping.Seq}, 32)
+		}
+	})
+}

@@ -1,0 +1,274 @@
+package frontend_test
+
+import (
+	"testing"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/frontend"
+	"press/internal/machine"
+	"press/internal/metrics"
+	"press/internal/server"
+	"press/internal/sim"
+	"press/internal/simnet"
+	"press/internal/trace"
+	"press/internal/workload"
+)
+
+type feWorld struct {
+	sim      *sim.Sim
+	net      *simnet.Network
+	log      *metrics.Log
+	fe       **frontend.Frontend
+	feMach   *machine.Machine
+	backends []*machine.Machine
+	rec      *workload.Recorder
+	gen      *workload.Generator
+}
+
+// newFEWorld builds: clients -> FE(100) -> n backend PRESS nodes (INDEP
+// mode keeps the focus on the front-end).
+func newFEWorld(t *testing.T, n int, feCfg frontend.Config) *feWorld {
+	t.Helper()
+	s := sim.New(5)
+	log := &metrics.Log{}
+	net := simnet.New(s, simnet.DefaultConfig(), log)
+	w := &feWorld{sim: s, net: net, log: log}
+	cat := trace.NewCatalog(500, 27*1024, 0.8)
+
+	var ids []cnet.NodeID
+	for i := 0; i < n; i++ {
+		ids = append(ids, cnet.NodeID(i))
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		m := machine.New(s, net, ids[i], nil, log)
+		m.AddProc("icmp", func(env *machine.Env) { frontend.NewPingResponder(env) })
+		m.AddProc("press", func(env *machine.Env) {
+			server.New(server.Config{
+				Self: ids[i], Nodes: ids, Cooperative: false, Catalog: cat,
+				CacheBytes: cat.TotalBytes(), // everything cached: no disks needed
+			}, env, nullDisk{}, nil)
+		})
+		w.backends = append(w.backends, m)
+	}
+
+	feCfg.Self = 100
+	feCfg.Backends = ids
+	w.feMach = machine.New(s, net, 100, nil, log)
+	w.fe = new(*frontend.Frontend)
+	w.feMach.AddProc("frontend", func(env *machine.Env) {
+		*w.fe = frontend.New(feCfg, env)
+	})
+
+	w.rec = workload.NewRecorder()
+	w.gen = workload.NewGenerator(s, net, 1000, workload.Config{
+		Rate: 40, Targets: []cnet.NodeID{100}, Catalog: cat,
+	}, w.rec)
+	return w
+}
+
+// nullDisk satisfies server.DiskArray for fully-cached configurations.
+type nullDisk struct{}
+
+func (nullDisk) Read(key int, done func(ok bool)) bool { done(true); return true }
+func (nullDisk) NotifySpace(fn func())                 {}
+
+func (w *feWorld) warm(t *testing.T) {
+	t.Helper()
+	w.sim.RunFor(2 * time.Second)
+	w.gen.Start()
+	w.sim.RunFor(5 * time.Second)
+}
+
+func TestRelayHappyPath(t *testing.T) {
+	w := newFEWorld(t, 3, frontend.Config{PingPeriod: time.Second})
+	w.warm(t)
+	w.sim.RunFor(20 * time.Second)
+	if av := w.rec.Availability(2*time.Second, w.sim.Now()-7*time.Second); av < 0.999 {
+		t.Fatalf("availability through FE %v (failed=%d)", av, w.rec.Failed)
+	}
+	if (*w.fe).Relayed() == 0 {
+		t.Fatal("nothing relayed")
+	}
+}
+
+func TestPingMasksCrashedNode(t *testing.T) {
+	w := newFEWorld(t, 3, frontend.Config{PingPeriod: time.Second, PingMiss: 3})
+	w.warm(t)
+	crashAt := w.sim.Now()
+	w.backends[1].Crash()
+	w.sim.RunFor(10 * time.Second)
+	healthy := (*w.fe).Healthy()
+	if len(healthy) != 2 {
+		t.Fatalf("healthy = %v after crash", healthy)
+	}
+	ev, ok := w.log.FirstMatch(crashAt, func(e metrics.Event) bool {
+		return e.Kind == metrics.EvFrontendMask && e.Node == 1
+	})
+	if !ok {
+		t.Fatal("no mask event")
+	}
+	// Detection within ~PingMiss+1 periods.
+	if ev.At-crashAt > 5*time.Second {
+		t.Fatalf("masking took %v", ev.At-crashAt)
+	}
+	// After masking, availability is restored.
+	if av := w.rec.Availability(w.sim.Now()-4*time.Second, w.sim.Now()-2*time.Second); av < 0.99 {
+		t.Fatalf("availability after masking %v", av)
+	}
+	// Recovery unmasks.
+	w.backends[1].Restart()
+	w.sim.RunFor(5 * time.Second)
+	if len((*w.fe).Healthy()) != 3 {
+		t.Fatalf("healthy = %v after restart", (*w.fe).Healthy())
+	}
+}
+
+func TestPingBlindToAppCrash(t *testing.T) {
+	// The paper's §6.1 observation: ping-based monitoring cannot see
+	// application-level faults, so requests keep flowing to the dead app.
+	w := newFEWorld(t, 3, frontend.Config{PingPeriod: time.Second, PingMiss: 3})
+	w.warm(t)
+	w.backends[1].KillProc("press")
+	w.sim.RunFor(20 * time.Second)
+	if got := len((*w.fe).Healthy()); got != 3 {
+		t.Fatalf("ping monitor masked an app crash (healthy=%d)", got)
+	}
+	// Roughly a third of requests die.
+	av := w.rec.Availability(w.sim.Now()-15*time.Second, w.sim.Now()-5*time.Second)
+	if av > 0.80 || av < 0.45 {
+		t.Fatalf("availability %v, want ~2/3", av)
+	}
+}
+
+func TestCMonMasksAppCrashFast(t *testing.T) {
+	w := newFEWorld(t, 3, frontend.Config{
+		PingPeriod: time.Second, PingMiss: 3,
+		ConnMonitor: true, ConnPeriod: time.Second, ConnDeadline: 2 * time.Second,
+	})
+	w.warm(t)
+	crashAt := w.sim.Now()
+	w.backends[1].KillProc("press")
+	w.sim.RunFor(5 * time.Second)
+	if got := len((*w.fe).Healthy()); got != 2 {
+		t.Fatalf("C-MON did not mask the app crash (healthy=%d)", got)
+	}
+	ev, _ := w.log.FirstMatch(crashAt, func(e metrics.Event) bool {
+		return e.Kind == metrics.EvFrontendMask && e.Node == 1
+	})
+	if ev.At-crashAt > 3*time.Second {
+		t.Fatalf("C-MON detection took %v, want ~2s", ev.At-crashAt)
+	}
+	// Restart: unmasked again.
+	w.backends[1].StartProc("press")
+	w.sim.RunFor(5 * time.Second)
+	if got := len((*w.fe).Healthy()); got != 3 {
+		t.Fatalf("C-MON did not unmask after restart (healthy=%d)", got)
+	}
+}
+
+func TestCMonMasksAppHang(t *testing.T) {
+	w := newFEWorld(t, 3, frontend.Config{
+		PingPeriod: time.Second, PingMiss: 3,
+		ConnMonitor: true, ConnPeriod: time.Second, ConnDeadline: 2 * time.Second,
+	})
+	w.warm(t)
+	w.backends[2].Proc("press").Hang()
+	w.sim.RunFor(6 * time.Second)
+	if got := len((*w.fe).Healthy()); got != 2 {
+		t.Fatalf("C-MON did not mask the hung app (healthy=%d)", got)
+	}
+	w.backends[2].Proc("press").Unhang()
+	w.sim.RunFor(6 * time.Second)
+	if got := len((*w.fe).Healthy()); got != 3 {
+		t.Fatalf("C-MON did not unmask after unhang (healthy=%d)", got)
+	}
+}
+
+func TestNoHealthyBackendsFailsFast(t *testing.T) {
+	w := newFEWorld(t, 2, frontend.Config{PingPeriod: time.Second, PingMiss: 3})
+	w.warm(t)
+	w.backends[0].Crash()
+	w.backends[1].Crash()
+	w.sim.RunFor(10 * time.Second)
+	before := w.rec.Failed
+	w.sim.RunFor(5 * time.Second)
+	if w.rec.Failed == before {
+		t.Fatal("no failures recorded with all backends down")
+	}
+}
+
+func TestFrontendCrashKillsService(t *testing.T) {
+	w := newFEWorld(t, 3, frontend.Config{PingPeriod: time.Second})
+	w.warm(t)
+	w.feMach.Crash()
+	w.sim.RunFor(10 * time.Second)
+	if av := w.rec.Availability(w.sim.Now()-6*time.Second, w.sim.Now()-3*time.Second); av > 0.05 {
+		t.Fatalf("availability %v with FE down, want ~0", av)
+	}
+	w.feMach.Restart()
+	w.sim.RunFor(10 * time.Second)
+	if av := w.rec.Availability(w.sim.Now()-4*time.Second, w.sim.Now()-2*time.Second); av < 0.95 {
+		t.Fatalf("availability %v after FE restart", av)
+	}
+}
+
+// sfmeBackend fakes a PRESS node that answers probes with a given view.
+func sfmeBackend(s *sim.Sim, net *simnet.Network, m *machine.Machine, view *[]cnet.NodeID) {
+	m.AddProc("fake", func(env *machine.Env) {
+		env.Listen(server.PortHTTP, func(c cnet.Conn) cnet.StreamHandlers {
+			return cnet.StreamHandlers{OnMessage: func(c cnet.Conn, msg cnet.Message) {
+				if req, ok := msg.(server.ReqMsg); ok && req.Probe {
+					c.TrySend(server.RespMsg{ID: req.ID, OK: true, Probe: true, View: *view}, 128)
+				}
+			}}
+		})
+	})
+}
+
+func TestSFMEMasksIsolatedNode(t *testing.T) {
+	s := sim.New(6)
+	log := &metrics.Log{}
+	net := simnet.New(s, simnet.DefaultConfig(), log)
+	views := make([]*[]cnet.NodeID, 3)
+	var ids []cnet.NodeID
+	for i := 0; i < 3; i++ {
+		ids = append(ids, cnet.NodeID(i))
+	}
+	for i := 0; i < 3; i++ {
+		m := machine.New(s, net, ids[i], nil, log)
+		m.AddProc("icmp", func(env *machine.Env) { frontend.NewPingResponder(env) })
+		v := append([]cnet.NodeID(nil), ids...)
+		views[i] = &v
+		sfmeBackend(s, net, m, views[i])
+	}
+	feMach := machine.New(s, net, 100, nil, log)
+	var fe *frontend.Frontend
+	feMach.AddProc("frontend", func(env *machine.Env) {
+		fe = frontend.New(frontend.Config{
+			Self: 100, Backends: ids,
+			PingPeriod: time.Second, SFME: true, ConnPeriod: time.Second,
+		}, env)
+	})
+	s.RunFor(5 * time.Second)
+	if got := len(fe.Healthy()); got != 3 {
+		t.Fatalf("healthy = %d before splinter", got)
+	}
+	// Node 2 splinters into a singleton.
+	*views[0] = []cnet.NodeID{0, 1}
+	*views[1] = []cnet.NodeID{0, 1}
+	*views[2] = []cnet.NodeID{2}
+	s.RunFor(5 * time.Second)
+	healthy := fe.Healthy()
+	if len(healthy) != 2 || healthy[0] != 0 || healthy[1] != 1 {
+		t.Fatalf("S-FME healthy = %v, want [0 1]", healthy)
+	}
+	// Reintegration unmasks.
+	full := []cnet.NodeID{0, 1, 2}
+	*views[0], *views[1], *views[2] = full, full, full
+	s.RunFor(5 * time.Second)
+	if got := len(fe.Healthy()); got != 3 {
+		t.Fatalf("healthy = %d after reintegration", got)
+	}
+}

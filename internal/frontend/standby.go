@@ -1,0 +1,113 @@
+package frontend
+
+import (
+	"fmt"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/metrics"
+)
+
+// The paper models a redundant front-end pair ("heartbeats and IP
+// take-over", §4.1) without building one; this file builds it. The
+// standby watches the primary with echo probes and, after the usual
+// three-miss deadline, takes over the virtual address that clients dial.
+// From that moment its own Frontend instance — which has been running and
+// monitoring backends all along — receives the traffic.
+
+// PortPair carries the pair's heartbeats. It is distinct from PortPing:
+// the front-end process itself owns PortPing for backend monitoring, and
+// one machine port has one owner.
+const PortPair = "fepair"
+
+// TakeoverControl is the IP-takeover actuation surface (the gratuitous
+// ARP, in effect). The simulator backs it with simnet's address alias.
+type TakeoverControl interface {
+	Takeover()
+}
+
+// NewPairResponder installs the primary-side echo for the pair heartbeat;
+// it runs as its own trivial process so it answers for as long as the
+// machine is alive.
+func NewPairResponder(env cnet.Env) {
+	env.BindDatagram(PortPair, func(from cnet.NodeID, m cnet.Message) {
+		if ping, ok := m.(PingMsg); ok {
+			env.Send(from, cnet.ClassClient, PortPair, PongMsg{From: env.Local(), Seq: ping.Seq}, 32)
+		}
+	})
+}
+
+// StandbyConfig parameterizes the backup's monitor.
+type StandbyConfig struct {
+	Self     cnet.NodeID
+	Primary  cnet.NodeID
+	HBPeriod time.Duration // default 1s — pair heartbeats are cheap
+	HBMiss   int           // default 3
+}
+
+func (c StandbyConfig) withDefaults() StandbyConfig {
+	if c.HBPeriod <= 0 {
+		c.HBPeriod = time.Second
+	}
+	if c.HBMiss <= 0 {
+		c.HBMiss = 3
+	}
+	return c
+}
+
+// Standby is the backup front-end's failure monitor.
+type Standby struct {
+	cfg      StandbyConfig
+	env      cnet.Env
+	ctl      TakeoverControl
+	seq      uint64
+	awaiting bool
+	misses   int
+	active   bool
+}
+
+// NewStandby starts monitoring the primary. The caller runs a Frontend on
+// the same process so traffic is served immediately after takeover.
+func NewStandby(cfg StandbyConfig, env cnet.Env, ctl TakeoverControl) *Standby {
+	s := &Standby{cfg: cfg.withDefaults(), env: env, ctl: ctl}
+	env.BindDatagram(PortPair, s.onPong)
+	s.tickLater()
+	return s
+}
+
+// Active reports whether takeover has happened.
+func (s *Standby) Active() bool { return s.active }
+
+func (s *Standby) tickLater() {
+	s.env.Clock().AfterFunc(s.cfg.HBPeriod, func() { s.tick() })
+}
+
+func (s *Standby) tick() {
+	if s.active {
+		return // we are the front-end now; no failback
+	}
+	if s.awaiting {
+		s.misses++
+		if s.misses >= s.cfg.HBMiss {
+			s.active = true
+			s.env.Events().Emit(s.env.Clock().Now(), "fe-standby", metrics.EvDetect,
+				int(s.cfg.Primary), fmt.Sprintf("primary missed %d heartbeats", s.misses))
+			s.env.Events().Emit(s.env.Clock().Now(), "fe-standby", "fe.takeover",
+				int(s.cfg.Self), "IP takeover")
+			s.ctl.Takeover()
+			return
+		}
+	}
+	s.awaiting = true
+	s.seq++
+	s.env.Send(s.cfg.Primary, cnet.ClassClient, PortPair, PingMsg{From: s.cfg.Self, Seq: s.seq}, 32)
+	s.tickLater()
+}
+
+func (s *Standby) onPong(from cnet.NodeID, m cnet.Message) {
+	if _, ok := m.(PongMsg); !ok || from != s.cfg.Primary {
+		return
+	}
+	s.awaiting = false
+	s.misses = 0
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"press/internal/avail"
+	"press/internal/faults"
+)
+
+// CampaignResult is one version's complete phase-1 measurement set.
+type CampaignResult struct {
+	Version Version
+	Opts    Options
+	Normal  float64 // fault-free throughput
+	Offered float64
+	Loads   []avail.FaultLoad
+	Eps     []Episode
+}
+
+// Model evaluates the phase-2 availability model over the campaign. Per
+// the paper's footnote 1, W0 is the offered load (the server is assumed
+// unsaturated under normal operation), so availability loss comes only
+// from the fault stages; r.Normal is kept as the measured reference.
+func (r CampaignResult) Model(env avail.Env) (avail.Result, error) {
+	return avail.Availability(r.Offered, r.Offered, r.Loads, env)
+}
+
+// Campaign runs one injection episode per applicable Table 1 fault class
+// and assembles the fault loads for the phase-2 model. Results are
+// memoized: the simulator is deterministic, so a campaign is a pure
+// function of its parameters.
+func Campaign(v Version, o Options, sched EpisodeSchedule) (CampaignResult, error) {
+	o = o.withDefaults()
+	sched = sched.withDefaults()
+	key := fmt.Sprintf("%s|%+v|%+v", v, o, sched)
+	campMu.Lock()
+	if r, ok := campMemo[key]; ok {
+		campMu.Unlock()
+		return r, nil
+	}
+	campMu.Unlock()
+
+	res := CampaignResult{Version: v, Opts: o}
+	specs := faults.Table1(serverCount(v, o), 2, versionTraits(v).fe)
+	for _, spec := range specs {
+		ep, err := RunEpisode(v, o, spec.Type, DefaultComponent(spec.Type), sched)
+		if err != nil {
+			return res, err
+		}
+		res.Eps = append(res.Eps, ep)
+		res.Loads = append(res.Loads, avail.FaultLoad{Spec: spec, Tpl: ep.Tpl})
+		if ep.Normal > res.Normal {
+			res.Normal = ep.Normal
+		}
+		res.Offered = ep.Offered
+	}
+
+	campMu.Lock()
+	campMemo[key] = res
+	campMu.Unlock()
+	return res, nil
+}
+
+var (
+	campMu   sync.Mutex
+	campMemo = map[string]CampaignResult{}
+)
+
+// FastSchedule shortens an episode for tests: the stage structure is
+// unchanged, only observation windows shrink.
+func FastSchedule() EpisodeSchedule {
+	return EpisodeSchedule{
+		Settle:        40 * time.Second,
+		FaultActive:   100 * time.Second,
+		ObserveRepair: 60 * time.Second,
+		ResetLimit:    60 * time.Second,
+		ObserveG:      45 * time.Second,
+	}
+}
+
+// FastOptions shrinks the world for tests: a quarter-size document set
+// with quarter-size caches (so the cache-to-working-set ratios — and with
+// them the INDEP-disk-bound / COOP-CPU-bound regime — are preserved while
+// caches warm four times faster) and a shorter ramp.
+func FastOptions(seed int64) Options {
+	return Options{
+		Seed:       seed,
+		Warmup:     2 * time.Minute,
+		Docs:       6500,
+		CacheBytes: 32 << 20,
+	}
+}

@@ -1,0 +1,472 @@
+// Package harness assembles and runs the paper's experiments end to end:
+// it composes every studied server version (§3–§6) from the substrate and
+// subsystem packages, calibrates the 90%-of-saturation offered load,
+// executes single-fault injection episodes, extracts 7-stage templates,
+// feeds the phase-2 model, and renders every table and figure of the
+// evaluation (see DESIGN.md's per-experiment index).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/faults"
+	"press/internal/fme"
+	"press/internal/frontend"
+	"press/internal/machine"
+	"press/internal/membership"
+	"press/internal/metrics"
+	"press/internal/qmon"
+	"press/internal/server"
+	"press/internal/sim"
+	"press/internal/simdisk"
+	"press/internal/simnet"
+	"press/internal/trace"
+	"press/internal/workload"
+)
+
+// Version names one studied configuration.
+type Version string
+
+// The paper's configurations (§3, §4, §6).
+const (
+	VINDEP    Version = "INDEP"      // independent servers, DNS round-robin
+	VFEXINDEP Version = "FE-X-INDEP" // independent + front-end pair + extra node
+	VCOOP     Version = "COOP"       // base cooperative PRESS
+	VFEX      Version = "FE-X"       // COOP + front-end pair + extra node
+	VMEM      Version = "MEM"        // FE-X + group membership (ring detector off)
+	VQMON     Version = "QMON"       // FE-X + queue monitoring (ring detector off)
+	VMQ       Version = "MQ"         // FE-X + membership + queue monitoring
+	VFME      Version = "FME"        // MQ + fault model enforcement
+	VSFME     Version = "S-FME"      // FME + global cooperation-set masking
+	VCMON     Version = "C-MON"      // S-FME + 2s TCP connection monitoring
+	VXSW      Version = "X-SW"       // C-MON + backup switch (modeled)
+	VXSWRAID  Version = "X-SW+RAID"  // X-SW + per-node RAID (modeled)
+)
+
+// traits captures what a version is made of.
+type traits struct {
+	cooperative bool
+	ring        bool
+	fe          bool
+	extraNode   bool
+	memb        bool
+	qmon        bool
+	fme         bool
+	sfme        bool
+	cmon        bool
+}
+
+func versionTraits(v Version) traits {
+	switch v {
+	case VINDEP:
+		return traits{}
+	case VFEXINDEP:
+		return traits{fe: true, extraNode: true}
+	case VCOOP:
+		return traits{cooperative: true, ring: true}
+	case VFEX:
+		return traits{cooperative: true, ring: true, fe: true, extraNode: true}
+	case VMEM:
+		return traits{cooperative: true, fe: true, extraNode: true, memb: true}
+	case VQMON:
+		return traits{cooperative: true, fe: true, extraNode: true, qmon: true}
+	case VMQ:
+		return traits{cooperative: true, fe: true, extraNode: true, memb: true, qmon: true}
+	case VFME:
+		return traits{cooperative: true, fe: true, extraNode: true, memb: true, qmon: true, fme: true}
+	case VSFME:
+		return traits{cooperative: true, fe: true, extraNode: true, memb: true, qmon: true, fme: true, sfme: true}
+	case VCMON, VXSW, VXSWRAID:
+		return traits{cooperative: true, fe: true, extraNode: true, memb: true, qmon: true, fme: true, sfme: true, cmon: true}
+	default:
+		panic("harness: unknown version " + string(v))
+	}
+}
+
+// HasFrontend reports whether the version includes the front-end tier.
+func (v Version) HasFrontend() bool { return versionTraits(v).fe }
+
+// Cooperative reports whether the version runs cooperative PRESS.
+func (v Version) Cooperative() bool { return versionTraits(v).cooperative }
+
+// AllMeasuredVersions lists the configurations the harness actually
+// builds and fault-injects (the rest are modeled from these).
+func AllMeasuredVersions() []Version {
+	return []Version{VINDEP, VFEXINDEP, VCOOP, VFEX, VMEM, VQMON, VMQ, VFME, VSFME, VCMON}
+}
+
+// Options parameterizes an experiment world. Zero values take the
+// paper-faithful defaults (scaled to simulation time).
+type Options struct {
+	Seed       int64
+	Nodes      int   // base server count (4)
+	CacheBytes int64 // per-node file cache (128 MB)
+
+	// Rate is the offered load; 0 means "90% of this version's measured
+	// 4-node saturation" per §5, resolved via Saturation().
+	Rate float64
+
+	// Warmup is the load ramp span (§5: warm up to peak over 5 minutes).
+	Warmup time.Duration
+
+	// Heartbeat / probe cadences (§5).
+	HeartbeatPeriod time.Duration
+
+	// OperatorResponse is the phase-2 stage-E parameter.
+	OperatorResponse time.Duration
+
+	// RedundantFE builds the front-end as a primary/standby pair with IP
+	// takeover (the configuration §4.1 models; here it actually runs).
+	RedundantFE bool
+
+	// Docs/Alpha override the synthetic trace (0 = defaults).
+	Docs  int
+	Alpha float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Nodes == 0 {
+		o.Nodes = 4
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 128 << 20
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 5 * time.Minute
+	}
+	if o.HeartbeatPeriod == 0 {
+		o.HeartbeatPeriod = 5 * time.Second
+	}
+	if o.OperatorResponse == 0 {
+		o.OperatorResponse = 30 * time.Minute
+	}
+	if o.Docs == 0 {
+		o.Docs = trace.DefaultDocs
+	}
+	if o.Alpha == 0 {
+		o.Alpha = trace.DefaultAlpha
+	}
+	return o
+}
+
+func (o Options) catalog() *trace.Catalog {
+	return trace.NewCatalog(o.Docs, trace.DefaultSize, o.Alpha)
+}
+
+// serverCount includes the extra-capacity node when present.
+func serverCount(v Version, o Options) int {
+	n := o.Nodes
+	if versionTraits(v).extraNode {
+		n++
+	}
+	return n
+}
+
+// Node IDs: servers 0..n-1; front-end 90 (backup 91, virtual address 89);
+// client driver 1000.
+const (
+	feVIP        cnet.NodeID = 89
+	feNodeID     cnet.NodeID = 90
+	feBackupID   cnet.NodeID = 91
+	clientNodeID cnet.NodeID = 1000
+)
+
+// Cluster is one built experiment world.
+type Cluster struct {
+	Version Version
+	Opts    Options
+	Traits  traits
+
+	Sim      *sim.Sim
+	Net      *simnet.Network
+	Log      *metrics.Log
+	Catalog  *trace.Catalog
+	Machines []*machine.Machine // server nodes
+	FEMach   *machine.Machine   // nil without front-end
+	FEBackup *machine.Machine   // nil unless Options.RedundantFE
+	Injector *faults.Injector
+
+	Rec *workload.Recorder
+	Gen *workload.Generator
+
+	servers []**server.Server
+	fe      **frontend.Frontend
+	feb     **frontend.Frontend
+	standby **frontend.Standby
+	offered float64
+}
+
+// Offered returns the offered load the cluster was built with.
+func (c *Cluster) Offered() float64 { return c.offered }
+
+// Server returns node i's current server incarnation (nil while crashed).
+func (c *Cluster) Server(i int) *server.Server { return *c.servers[i] }
+
+// Frontend returns the front-end currently holding the service address
+// (the backup after an IP takeover), or nil without one.
+func (c *Cluster) Frontend() *frontend.Frontend {
+	if c.standby != nil && *c.standby != nil && (*c.standby).Active() {
+		return *c.feb
+	}
+	if c.fe == nil {
+		return nil
+	}
+	return *c.fe
+}
+
+// activeFEMachine returns the machine behind the service address.
+func (c *Cluster) activeFEMachine() *machine.Machine {
+	if c.standby != nil && *c.standby != nil && (*c.standby).Active() {
+		return c.FEBackup
+	}
+	return c.FEMach
+}
+
+// fmeControl adapts a machine to fme.Control.
+type fmeControl struct {
+	s *sim.Sim
+	m *machine.Machine
+}
+
+func (c fmeControl) TakeOffline(reason string) { c.m.TakeOffline(reason) }
+
+func (c fmeControl) RestartApp() {
+	c.m.KillProc("press")
+	m := c.m
+	c.s.After(10*time.Second, func() { m.StartProc("press") })
+}
+
+// Build assembles a cluster for the given version. rate <= 0 uses
+// Options.Rate (which itself may be auto-resolved by higher layers).
+func Build(v Version, o Options) *Cluster {
+	o = o.withDefaults()
+	t := versionTraits(v)
+	s := sim.New(o.Seed)
+	log := &metrics.Log{}
+	net := simnet.New(s, simnet.DefaultConfig(), log)
+	cat := o.catalog()
+
+	n := serverCount(v, o)
+	var ids []cnet.NodeID
+	for i := 0; i < n; i++ {
+		ids = append(ids, cnet.NodeID(i))
+	}
+
+	c := &Cluster{
+		Version: v, Opts: o, Traits: t,
+		Sim: s, Net: net, Log: log, Catalog: cat,
+	}
+
+	diskCfg := simdisk.DefaultConfig()
+	for i := 0; i < n; i++ {
+		i := i
+		disks := simdisk.NewArray(s, s.NewRand(fmt.Sprintf("disks/%d", i)), diskCfg, 2)
+		m := machine.New(s, net, ids[i], disks, log)
+		c.Machines = append(c.Machines, m)
+
+		var pub *membership.Published
+		if t.memb {
+			pub = &membership.Published{}
+			m.AddProc("membd", func(env *machine.Env) {
+				membership.NewDaemon(membership.Config{
+					Self:     ids[i],
+					HBPeriod: o.HeartbeatPeriod,
+					HBMiss:   3,
+				}, env, pub)
+			})
+		}
+		if t.fe {
+			m.AddProc("icmp", func(env *machine.Env) { frontend.NewPingResponder(env) })
+		}
+
+		holder := new(*server.Server)
+		c.servers = append(c.servers, holder)
+		cfg := server.Config{
+			Self:            ids[i],
+			Nodes:           ids,
+			Cooperative:     t.cooperative,
+			RingDetector:    t.ring,
+			HeartbeatPeriod: o.HeartbeatPeriod,
+			HeartbeatMiss:   3,
+			CacheBytes:      o.CacheBytes,
+			Catalog:         cat,
+		}
+		if t.qmon {
+			qc := qmon.DefaultConfig()
+			cfg.QMon = &qc
+		}
+		m.AddProc("press", func(env *machine.Env) {
+			var mv server.MembershipView
+			if pub != nil {
+				mv = membership.NewClient(env, pub, time.Second)
+			}
+			*holder = server.New(cfg, env, disks, mv)
+		})
+
+		if t.fme {
+			m.AddProc("fme", func(env *machine.Env) {
+				fme.NewDaemon(fme.Config{
+					Self:        ids[i],
+					ProbePeriod: o.HeartbeatPeriod,
+				}, env, disks, fmeControl{s: s, m: m})
+			})
+		}
+	}
+
+	targets := ids
+	if t.fe {
+		feCfg := frontend.Config{
+			Self:       feNodeID,
+			Backends:   ids,
+			PingPeriod: o.HeartbeatPeriod,
+			PingMiss:   3,
+			SFME:       t.sfme,
+		}
+		if t.cmon {
+			feCfg.ConnMonitor = true
+			feCfg.ConnPeriod = time.Second
+			feCfg.ConnDeadline = 2 * time.Second
+		}
+		c.FEMach = machine.New(s, net, feNodeID, nil, log)
+		c.fe = new(*frontend.Frontend)
+		c.FEMach.AddProc("frontend", func(env *machine.Env) {
+			*c.fe = frontend.New(feCfg, env)
+		})
+		targets = []cnet.NodeID{feNodeID}
+
+		if o.RedundantFE {
+			// Primary/standby pair behind a virtual address (§4.1's
+			// "redundant front-end, heartbeats, and IP take-over").
+			net.SetAlias(feVIP, feNodeID)
+			c.FEMach.AddProc("fepair", func(env *machine.Env) { frontend.NewPairResponder(env) })
+			c.FEBackup = machine.New(s, net, feBackupID, nil, log)
+			c.feb = new(*frontend.Frontend)
+			c.standby = new(*frontend.Standby)
+			backupCfg := feCfg
+			backupCfg.Self = feBackupID
+			c.FEBackup.AddProc("frontend", func(env *machine.Env) {
+				*c.feb = frontend.New(backupCfg, env)
+			})
+			c.FEBackup.AddProc("standby", func(env *machine.Env) {
+				*c.standby = frontend.NewStandby(frontend.StandbyConfig{
+					Self:     feBackupID,
+					Primary:  feNodeID,
+					HBPeriod: time.Second,
+				}, env, takeoverControl{c})
+			})
+			targets = []cnet.NodeID{feVIP}
+		}
+	}
+
+	c.Injector = faults.NewInjector(s, log, faults.Targets{
+		Net:      net,
+		Machines: c.Machines,
+		Frontend: c.FEMach,
+		AppProc:  "press",
+	})
+
+	rate := o.Rate
+	if rate <= 0 {
+		rate = 0.9 * Saturation(v, o)
+	}
+	c.offered = rate
+	c.Rec = workload.NewRecorder()
+	c.Gen = workload.NewGenerator(s, net, clientNodeID, workload.Config{
+		Rate:    rate,
+		Targets: targets,
+		Catalog: cat,
+		RampUp:  o.Warmup,
+	}, c.Rec)
+	return c
+}
+
+// FaultSpecs returns the Table 1 fault load applicable to this version.
+func (c *Cluster) FaultSpecs() []faults.Spec {
+	return faults.Table1(len(c.Machines), 2, c.Traits.fe)
+}
+
+// Reintegrated reports whether the service is fully healthy and whole:
+// every machine up, every server process alive, unwedged, and (for
+// cooperative versions) holding a complete cooperation view.
+func (c *Cluster) Reintegrated() bool {
+	n := len(c.Machines)
+	for i, m := range c.Machines {
+		if !m.Up() {
+			return false
+		}
+		p := m.Proc("press")
+		// A transient disk-queue stall (cold cache after a restart) is
+		// normal operation, not un-wholeness; persistent exclusions show
+		// up in the view check below.
+		if p == nil || !p.Alive() || p.Hung() {
+			return false
+		}
+		if c.Traits.cooperative {
+			srv := c.Server(i)
+			if srv == nil || len(srv.View()) != n {
+				return false
+			}
+		}
+	}
+	if c.Traits.fe {
+		if m := c.activeFEMachine(); m == nil || !m.Up() {
+			return false
+		}
+		if fe := c.Frontend(); fe == nil || len(fe.Healthy()) != n {
+			return false
+		}
+	}
+	return true
+}
+
+// takeoverControl performs the IP takeover for the standby front-end.
+type takeoverControl struct{ c *Cluster }
+
+func (t takeoverControl) Takeover() {
+	t.c.Net.SetAlias(feVIP, feBackupID)
+}
+
+// OperatorReset performs the operator's recovery action at the end of a
+// failed self-recovery (§3: "restart the singleton sub-cluster"): every
+// splintered, wedged, or dead server process is restarted.
+func (c *Cluster) OperatorReset() {
+	c.Log.Emit(c.Sim.Now(), "operator", metrics.EvOperatorReset, -1, "restarting unhealthy servers")
+	n := len(c.Machines)
+	// The reference view size is the largest healthy view.
+	best := 0
+	if c.Traits.cooperative {
+		for i := range c.Machines {
+			if srv := c.Server(i); srv != nil && c.Machines[i].Up() && len(srv.View()) > best {
+				best = len(srv.View())
+			}
+		}
+	}
+	for _, m := range c.Machines {
+		// A node parked offline (e.g. by FME) whose hardware has since
+		// been repaired is the operator's to boot. Machines with faulty
+		// disks stay with the repair crew.
+		if !m.Up() && m.State() == simnet.NodeDown && m.Disks() != nil && !m.Disks().AnyFaulty() {
+			m.Restart()
+		}
+	}
+	for i, m := range c.Machines {
+		if !m.Up() {
+			continue // still the repair crew's problem
+		}
+		p := m.Proc("press")
+		needs := p == nil || !p.Alive() || p.Hung()
+		if !needs && c.Traits.cooperative {
+			srv := c.Server(i)
+			needs = srv == nil || (len(srv.View()) < best || len(srv.View()) < n)
+		}
+		if needs {
+			m.KillProc("press")
+			m.StartProc("press")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Saturation measures a version's maximum sustained throughput (req/s) by
+// driving it far past capacity and measuring what it serves. Results are
+// memoized per (version, topology, cache, trace) — the simulator is
+// deterministic, so one measurement is definitive.
+//
+// The paper loads each configuration at 90% of its 4-node saturation
+// (§5); Build uses this measurement to resolve Options.Rate == 0.
+func Saturation(v Version, o Options) float64 {
+	o = o.withDefaults()
+	// Capacity depends only on the topology, not on which detectors are
+	// wired in: key the memo by the capacity-relevant traits so e.g.
+	// FE-X, MEM, MQ and FME share one probe.
+	key := keyForTraits(versionTraits(v), o)
+	satMu.Lock()
+	if val, ok := satMemo[key]; ok {
+		satMu.Unlock()
+		return val
+	}
+	satMu.Unlock()
+
+	run := o
+	// Drive well past any plausible capacity; admission control keeps the
+	// servers working at their service rate. The ramp must be gentle: a
+	// cold cache under instant overload swamps the disks, blocks the main
+	// threads, and splinters the cooperative cluster before it ever warms
+	// — the paper's 5-minute warm-up exists for exactly this reason.
+	run.Rate = 120 * float64(serverCount(v, o))
+	run.Warmup = 5 * time.Minute
+	c := Build(v, run)
+	c.Gen.Start()
+	c.Sim.RunFor(run.Warmup + 180*time.Second)
+	sat := c.Rec.MeanThroughput(run.Warmup+30*time.Second, c.Sim.Now())
+
+	satMu.Lock()
+	satMemo[key] = sat
+	satMu.Unlock()
+	return sat
+}
+
+var (
+	satMu   sync.Mutex
+	satMemo = map[string]float64{}
+)
+
+// keyForTraits derives the saturation memo key from the capacity-relevant
+// configuration.
+func keyForTraits(tr traits, o Options) string {
+	return fmt.Sprintf("coop=%v/fe=%v/extra=%v/%d/%d/%d/%g/%d",
+		tr.cooperative, tr.fe, tr.extraNode, o.Nodes, o.CacheBytes, o.Docs, o.Alpha, o.Seed)
+}

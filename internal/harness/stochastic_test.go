@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStochasticValidation runs the whole-load validation at a small
+// horizon: faults must actually occur, the operator must not be needed
+// for the FME version, and the model must land within a few availability
+// points of the measurement.
+func TestStochasticValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stochastic run")
+	}
+	// The acceleration must keep the expected fault fraction well below
+	// one or the model (rightly) refuses; SCSI repairs take an hour, so
+	// ~150x is the ceiling for the FME version.
+	res, err := StochasticRun(VFME, FastOptions(1), FastSchedule(), StochasticConfig{
+		Horizon: 3 * time.Hour,
+		Accel:   150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	if res.Faults < 5 {
+		t.Fatalf("only %d faults over the horizon; acceleration ineffective", res.Faults)
+	}
+	if res.Measured <= 0 || res.Measured > 1 {
+		t.Fatalf("measured availability %v out of range", res.Measured)
+	}
+	// The model assumes non-overlapping faults; at this acceleration some
+	// overlap, so allow a modest error band.
+	if diff := res.Predicted - res.Measured; diff > 0.08 || diff < -0.08 {
+		t.Fatalf("model error %.4f availability points too large (measured %.5f predicted %.5f)",
+			diff, res.Measured, res.Predicted)
+	}
+}
+
+// TestStochasticCOOPWorseThanFME runs both versions through the same
+// accelerated load: the ordering must match the campaigns'.
+func TestStochasticCOOPWorseThanFME(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stochastic run")
+	}
+	// COOP's modeled episodes include a 30-minute operator wait, so its
+	// acceleration ceiling is lower still.
+	cfg := StochasticConfig{Horizon: 4 * time.Hour, Accel: 40}
+	coop, err := StochasticRun(VCOOP, FastOptions(1), FastSchedule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fme, err := StochasticRun(VFME, FastOptions(1), FastSchedule(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("measured under stochastic load: COOP %.5f, FME %.5f", coop.Measured, fme.Measured)
+	if fme.Measured <= coop.Measured {
+		t.Fatalf("FME (%.5f) not better than COOP (%.5f) under stochastic load", fme.Measured, coop.Measured)
+	}
+}

@@ -1,0 +1,6 @@
+package livenet
+
+import "press/internal/trace"
+
+// testCatalog returns a tiny document set for live tests.
+func testCatalog() *trace.Catalog { return trace.NewCatalog(100, 27*1024, 0.8) }

@@ -1,0 +1,591 @@
+// Package livenet runs the same protocol components that the simulator
+// hosts — the PRESS server, the membership daemon, the front-end — on
+// real goroutines and real loopback TCP/UDP sockets with gob framing and
+// wall-clock time. It implements cnet.Env, so no component code changes.
+//
+// This is the demonstration runtime (cmd/pressd and the failover
+// example): you can watch an actual cluster of sockets detect a killed
+// process, reconfigure, and reintegrate it. The availability experiments
+// stay on the simulator, where time is virtual and every run is
+// deterministic.
+//
+// Process model: a Node is a machine; each Proc spawned on it gets its
+// own serial dispatch loop (the "main thread"), its own sockets, and its
+// own incarnation counter. Kill closes the sockets abortively (RST), so
+// peers observe exactly the app-crash semantics the simulator models.
+package livenet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"press/internal/clock"
+	"press/internal/cnet"
+	"press/internal/frontend"
+	"press/internal/membership"
+	"press/internal/metrics"
+	"press/internal/server"
+)
+
+func init() {
+	// Everything that crosses a socket must be gob-registered.
+	for _, m := range []any{
+		server.ReqMsg{}, server.RespMsg{}, server.HelloMsg{}, server.FwdMsg{},
+		server.FwdReplyMsg{}, server.AnnounceMsg{}, server.HBMsg{},
+		server.ExcludeMsg{}, server.JoinReqMsg{}, server.JoinRespMsg{},
+		membership.MHeartbeat{}, membership.MJoinReq{}, membership.MJoinOffer{},
+		membership.MJoinAsk{}, membership.MPrepare{}, membership.MAck{},
+		membership.MCommit{}, membership.MNodeDown{},
+		frontend.PingMsg{}, frontend.PongMsg{},
+	} {
+		gob.Register(m)
+	}
+}
+
+type portKey struct {
+	node cnet.NodeID
+	port string
+}
+
+// World is a registry of live nodes sharing one clock and event log.
+type World struct {
+	clk  *clock.Real
+	log  *metrics.Log
+	seed int64
+
+	mu       sync.Mutex
+	tcpAddrs map[portKey]string
+	udpAddrs map[portKey]string
+	groups   map[string]map[cnet.NodeID]bool
+	nodes    map[cnet.NodeID]*Node
+}
+
+// NewWorld creates an empty live world.
+func NewWorld(seed int64) *World {
+	return &World{
+		clk:      clock.NewReal(),
+		log:      &metrics.Log{},
+		seed:     seed,
+		tcpAddrs: make(map[portKey]string),
+		udpAddrs: make(map[portKey]string),
+		groups:   make(map[string]map[cnet.NodeID]bool),
+		nodes:    make(map[cnet.NodeID]*Node),
+	}
+}
+
+// Log returns the shared event log.
+func (w *World) Log() *metrics.Log { return w.log }
+
+// Clock returns the shared wall clock.
+func (w *World) Clock() clock.Clock { return w.clk }
+
+// AddNode registers a machine.
+func (w *World) AddNode(id cnet.NodeID) *Node {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.nodes[id]; dup {
+		panic(fmt.Sprintf("livenet: duplicate node %d", id))
+	}
+	n := &Node{w: w, id: id, procs: make(map[string]*Proc)}
+	w.nodes[id] = n
+	return n
+}
+
+// Node is one live machine.
+type Node struct {
+	w     *World
+	id    cnet.NodeID
+	mu    sync.Mutex
+	procs map[string]*Proc
+}
+
+// ID returns the node's ID.
+func (n *Node) ID() cnet.NodeID { return n.id }
+
+// Spawn starts a process. start runs on the process's dispatch loop.
+func (n *Node) Spawn(name string, start func(env cnet.Env)) *Proc {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.procs[name]; dup {
+		panic("livenet: duplicate proc " + name)
+	}
+	p := &Proc{node: n, name: name, start: start}
+	n.procs[name] = p
+	p.boot()
+	return p
+}
+
+// Proc returns the named process, or nil.
+func (n *Node) Proc(name string) *Proc {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.procs[name]
+}
+
+// Proc is one live process (component instance + dispatch loop).
+type Proc struct {
+	node  *Node
+	name  string
+	start func(env cnet.Env)
+	mu    sync.Mutex
+	env   *Env
+	inc   uint64
+}
+
+func (p *Proc) boot() {
+	p.mu.Lock()
+	p.inc++
+	e := &Env{
+		p:    p,
+		inc:  p.inc,
+		rand: rand.New(rand.NewSource(p.node.w.seed ^ int64(p.node.id)<<20 ^ int64(p.inc))),
+	}
+	e.cond = sync.NewCond(&e.qmu)
+	p.env = e
+	p.mu.Unlock()
+	go e.loop()
+	e.post(func() { p.start(e) })
+}
+
+// Kill stops the process abortively: sockets RST, timers die.
+func (p *Proc) Kill() {
+	p.mu.Lock()
+	e := p.env
+	p.env = nil
+	p.mu.Unlock()
+	if e != nil {
+		e.shutdown()
+	}
+}
+
+// Start boots a killed process afresh.
+func (p *Proc) Start() {
+	p.mu.Lock()
+	dead := p.env == nil
+	p.mu.Unlock()
+	if dead {
+		p.boot()
+	}
+}
+
+// Alive reports whether the process is running.
+func (p *Proc) Alive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.env != nil
+}
+
+// Env implements cnet.Env on real sockets.
+type Env struct {
+	p    *Proc
+	inc  uint64
+	rand *rand.Rand
+
+	qmu     sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	stalled bool
+	dead    bool
+
+	resMu     sync.Mutex
+	closerSeq uint64
+	closers   map[uint64]func()
+	ownedKeys []portKey
+}
+
+var _ cnet.Env = (*Env)(nil)
+
+func (e *Env) loop() {
+	for {
+		e.qmu.Lock()
+		for (len(e.queue) == 0 || e.stalled) && !e.dead {
+			e.cond.Wait()
+		}
+		if e.dead {
+			e.qmu.Unlock()
+			return
+		}
+		fn := e.queue[0]
+		e.queue = e.queue[1:]
+		e.qmu.Unlock()
+		fn()
+	}
+}
+
+func (e *Env) post(fn func()) {
+	e.qmu.Lock()
+	if !e.dead {
+		e.queue = append(e.queue, fn)
+		e.cond.Signal()
+	}
+	e.qmu.Unlock()
+}
+
+func (e *Env) alive() bool {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	return !e.dead
+}
+
+func (e *Env) shutdown() {
+	e.qmu.Lock()
+	e.dead = true
+	e.cond.Broadcast()
+	e.qmu.Unlock()
+	e.resMu.Lock()
+	closers := e.closers
+	e.closers = nil
+	keys := e.ownedKeys
+	e.ownedKeys = nil
+	e.resMu.Unlock()
+	for _, c := range closers {
+		c()
+	}
+	w := e.p.node.w
+	w.mu.Lock()
+	for _, k := range keys {
+		delete(w.tcpAddrs, k)
+		delete(w.udpAddrs, k)
+	}
+	w.mu.Unlock()
+}
+
+// addCloser registers a shutdown hook and returns a handle for
+// dropCloser, so finished connections do not accumulate for the lifetime
+// of a long-running process.
+func (e *Env) addCloser(fn func()) uint64 {
+	e.resMu.Lock()
+	defer e.resMu.Unlock()
+	if e.closers == nil {
+		e.closers = make(map[uint64]func())
+	}
+	e.closerSeq++
+	e.closers[e.closerSeq] = fn
+	return e.closerSeq
+}
+
+func (e *Env) dropCloser(id uint64) {
+	e.resMu.Lock()
+	delete(e.closers, id)
+	e.resMu.Unlock()
+}
+
+// Local implements cnet.Env.
+func (e *Env) Local() cnet.NodeID { return e.p.node.id }
+
+// Rand implements cnet.Env.
+func (e *Env) Rand() *rand.Rand { return e.rand }
+
+// Events implements cnet.Env.
+func (e *Env) Events() *metrics.Log { return e.p.node.w.log }
+
+// Charge implements cnet.Env (live CPU time is real; nothing to model).
+func (e *Env) Charge(time.Duration) {}
+
+// Stall implements cnet.Env.
+func (e *Env) Stall() {
+	e.qmu.Lock()
+	e.stalled = true
+	e.qmu.Unlock()
+}
+
+// Resume implements cnet.Env.
+func (e *Env) Resume() {
+	e.qmu.Lock()
+	e.stalled = false
+	e.cond.Broadcast()
+	e.qmu.Unlock()
+}
+
+// Clock implements cnet.Env: wall time, callbacks through the dispatch
+// loop, dead with the incarnation.
+func (e *Env) Clock() clock.Clock { return liveClock{e} }
+
+type liveClock struct{ e *Env }
+
+func (lc liveClock) Now() time.Duration { return lc.e.p.node.w.clk.Now() }
+
+func (lc liveClock) AfterFunc(d time.Duration, fn func()) clock.Timer {
+	e := lc.e
+	return time.AfterFunc(d, func() {
+		if e.alive() {
+			e.post(fn)
+		}
+	})
+}
+
+// --- datagrams ---------------------------------------------------------------
+
+type dgramPacket struct {
+	From    cnet.NodeID
+	Payload any
+}
+
+// BindDatagram implements cnet.Env over a loopback UDP socket.
+func (e *Env) BindDatagram(port string, h func(from cnet.NodeID, m cnet.Message)) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	w := e.p.node.w
+	key := portKey{e.p.node.id, port}
+	w.mu.Lock()
+	w.udpAddrs[key] = pc.LocalAddr().String()
+	w.mu.Unlock()
+	e.resMu.Lock()
+	e.ownedKeys = append(e.ownedKeys, key)
+	e.resMu.Unlock()
+	e.addCloser(func() { pc.Close() })
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			n, _, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			var pkt dgramPacket
+			if err := gob.NewDecoder(strings.NewReader(string(buf[:n]))).Decode(&pkt); err != nil {
+				continue
+			}
+			if e.alive() {
+				e.post(func() { h(pkt.From, pkt.Payload) })
+			}
+		}
+	}()
+}
+
+// Send implements cnet.Env (datagram).
+func (e *Env) Send(to cnet.NodeID, class cnet.Class, port string, m cnet.Message, size int) {
+	w := e.p.node.w
+	w.mu.Lock()
+	addr := w.udpAddrs[portKey{to, port}]
+	w.mu.Unlock()
+	if addr == "" {
+		return // nothing listening: UDP silently drops
+	}
+	var b strings.Builder
+	if err := gob.NewEncoder(&b).Encode(dgramPacket{From: e.p.node.id, Payload: m}); err != nil {
+		return
+	}
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	conn.Write([]byte(b.String()))
+}
+
+// JoinGroup implements cnet.Env.
+func (e *Env) JoinGroup(group string) {
+	w := e.p.node.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.groups[group] == nil {
+		w.groups[group] = make(map[cnet.NodeID]bool)
+	}
+	w.groups[group][e.p.node.id] = true
+}
+
+// Multicast implements cnet.Env by fanning out over the group registry
+// (loopback "IP multicast").
+func (e *Env) Multicast(group, port string, m cnet.Message, size int) {
+	w := e.p.node.w
+	w.mu.Lock()
+	var members []cnet.NodeID
+	for id := range w.groups[group] {
+		if id != e.p.node.id {
+			members = append(members, id)
+		}
+	}
+	w.mu.Unlock()
+	for _, id := range members {
+		e.Send(id, cnet.ClassIntra, port, m, size)
+	}
+}
+
+// --- streams -----------------------------------------------------------------
+
+type tcpConn struct {
+	env      *Env
+	peer     cnet.NodeID
+	c        *net.TCPConn
+	encMu    sync.Mutex
+	enc      *gob.Encoder
+	h        cnet.StreamHandlers
+	closed   sync.Once
+	closerID uint64
+}
+
+var _ cnet.Conn = (*tcpConn)(nil)
+
+func (t *tcpConn) Peer() cnet.NodeID { return t.peer }
+
+// TrySend implements cnet.Conn; live TCP buffers, so it never reports a
+// full window.
+func (t *tcpConn) TrySend(m cnet.Message, size int) bool {
+	t.encMu.Lock()
+	defer t.encMu.Unlock()
+	t.enc.Encode(&streamFrame{From: t.env.p.node.id, Payload: m})
+	return true
+}
+
+// Close implements cnet.Conn (orderly FIN).
+func (t *tcpConn) Close() {
+	t.closed.Do(func() {
+		t.c.Close()
+		t.env.dropCloser(t.closerID)
+	})
+}
+
+// abort closes with RST semantics.
+func (t *tcpConn) abort() {
+	t.closed.Do(func() {
+		t.c.SetLinger(0)
+		t.c.Close()
+		t.env.dropCloser(t.closerID)
+	})
+}
+
+type streamFrame struct {
+	From    cnet.NodeID
+	Payload any
+}
+
+func (t *tcpConn) readLoop() {
+	dec := gob.NewDecoder(t.c)
+	for {
+		var f streamFrame
+		if err := dec.Decode(&f); err != nil {
+			e := cnet.ErrClosed
+			if isReset(err) {
+				e = cnet.ErrReset
+			}
+			if t.env.alive() && t.h.OnClose != nil {
+				t.env.post(func() { t.h.OnClose(t, e) })
+			}
+			return
+		}
+		if t.peer == cnet.None {
+			t.peer = f.From
+		}
+		if t.env.alive() && t.h.OnMessage != nil {
+			m := f.Payload
+			t.env.post(func() { t.h.OnMessage(t, m) })
+		}
+	}
+}
+
+func isReset(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ne *net.OpError
+	if errors.As(err, &ne) {
+		return strings.Contains(ne.Err.Error(), "reset")
+	}
+	return strings.Contains(err.Error(), "reset")
+}
+
+// Listen implements cnet.Env over a loopback TCP listener.
+func (e *Env) Listen(port string, accept func(c cnet.Conn) cnet.StreamHandlers) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	w := e.p.node.w
+	key := portKey{e.p.node.id, port}
+	w.mu.Lock()
+	w.tcpAddrs[key] = ln.Addr().String()
+	w.mu.Unlock()
+	e.resMu.Lock()
+	e.ownedKeys = append(e.ownedKeys, key)
+	e.resMu.Unlock()
+	e.addCloser(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			tc := &tcpConn{env: e, peer: cnet.None, c: c.(*net.TCPConn)}
+			tc.enc = gob.NewEncoder(c)
+			tc.closerID = e.addCloser(tc.abort)
+			if !e.alive() {
+				tc.abort()
+				return
+			}
+			e.post(func() {
+				tc.h = accept(tc)
+				go tc.readLoop()
+			})
+		}
+	}()
+}
+
+// Dial implements cnet.Env.
+func (e *Env) Dial(to cnet.NodeID, class cnet.Class, port string, h cnet.StreamHandlers, result func(cnet.Conn, error)) {
+	go func() {
+		w := e.p.node.w
+		w.mu.Lock()
+		addr := w.tcpAddrs[portKey{to, port}]
+		w.mu.Unlock()
+		fail := func(err error) {
+			if e.alive() {
+				e.post(func() { result(nil, err) })
+			}
+		}
+		if addr == "" {
+			fail(cnet.ErrRefused)
+			return
+		}
+		c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+		if err != nil {
+			if strings.Contains(err.Error(), "refused") {
+				fail(cnet.ErrRefused)
+			} else {
+				fail(cnet.ErrTimeout)
+			}
+			return
+		}
+		tc := &tcpConn{env: e, peer: to, c: c.(*net.TCPConn), h: h}
+		tc.enc = gob.NewEncoder(c)
+		tc.closerID = e.addCloser(tc.abort)
+		if !e.alive() {
+			tc.abort()
+			return
+		}
+		go tc.readLoop()
+		e.post(func() { result(tc, nil) })
+	}()
+}
+
+// MemDisk is the live stand-in for the disk subsystem: reads complete
+// after a fixed service time, the queue never fills. Good enough for
+// demonstrations; the simulator owns disk-fault fidelity.
+type MemDisk struct {
+	Service time.Duration
+}
+
+// Read implements server.DiskArray.
+func (d MemDisk) Read(key int, done func(ok bool)) bool {
+	svc := d.Service
+	if svc <= 0 {
+		svc = 2 * time.Millisecond
+	}
+	time.AfterFunc(svc, func() { done(true) })
+	return true
+}
+
+// NotifySpace implements server.DiskArray (the queue never fills).
+func (d MemDisk) NotifySpace(fn func()) {}
+
+// Probe implements fme.Disk.
+func (d MemDisk) Probe(timeout time.Duration, done func(healthy bool)) {
+	time.AfterFunc(time.Millisecond, func() { done(true) })
+}

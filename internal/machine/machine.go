@@ -1,0 +1,556 @@
+// Package machine models the cluster hosts of the paper's testbed and the
+// processes running on them (the PRESS server, the membership daemon, the
+// FME daemon). It is the layer where the fault types of Table 1 that are
+// not network faults take effect:
+//
+//	node crash   → Machine.Crash / Restart: processes die, connections
+//	               black-hole until the reboot RSTs them.
+//	node freeze  → Machine.Freeze / Unfreeze: nothing runs, timers fire
+//	               late, stream traffic buffers against flow control.
+//	app crash    → Machine.KillProc / StartProc: one process dies (its
+//	               connections RST immediately) and is later restarted.
+//	app hang     → Proc.Hang / Unhang: the process stops reading and
+//	               processing but its sockets stay open — the divergence
+//	               case that motivates FME (§4.4).
+//
+// Each process executes its work serially through a mailbox with explicit
+// CPU charging, reproducing PRESS's "one main coordinating thread" design
+// whose blocking behaviour (on a full disk queue) is central to the
+// paper's Figure 4.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"press/internal/clock"
+	"press/internal/cnet"
+	"press/internal/metrics"
+	"press/internal/sim"
+	"press/internal/simdisk"
+	"press/internal/simnet"
+)
+
+// State mirrors simnet.NodeState at the machine level.
+type State = simnet.NodeState
+
+// Machine is one simulated host.
+type Machine struct {
+	sim   *sim.Sim
+	log   *metrics.Log
+	id    cnet.NodeID
+	iface *simnet.Iface
+	disks *simdisk.Array
+	state State
+	procs map[string]*Proc
+	order []string
+}
+
+// New attaches a machine to the network. disks may be nil for hosts
+// without a modeled disk (front-end, client drivers).
+func New(s *sim.Sim, net *simnet.Network, id cnet.NodeID, disks *simdisk.Array, log *metrics.Log) *Machine {
+	return &Machine{
+		sim:   s,
+		log:   log,
+		id:    id,
+		iface: net.AddIface(id),
+		disks: disks,
+		state: simnet.NodeUp,
+		procs: make(map[string]*Proc),
+	}
+}
+
+// ID returns the machine's node ID.
+func (m *Machine) ID() cnet.NodeID { return m.id }
+
+// Iface returns the machine's network interface (for fault injection).
+func (m *Machine) Iface() *simnet.Iface { return m.iface }
+
+// Disks returns the machine's disk array (nil if none).
+func (m *Machine) Disks() *simdisk.Array { return m.disks }
+
+// State returns the machine state.
+func (m *Machine) State() State { return m.state }
+
+// Up reports whether the machine is running normally.
+func (m *Machine) Up() bool { return m.state == simnet.NodeUp }
+
+// AddProc registers a process and starts it immediately. The start
+// function is the process image: it is re-invoked with a fresh Env on
+// every (re)start, so components rebuild all state from scratch exactly
+// like a restarted Unix process.
+func (m *Machine) AddProc(name string, start func(env *Env)) *Proc {
+	if _, dup := m.procs[name]; dup {
+		panic("machine: duplicate proc " + name)
+	}
+	p := &Proc{m: m, name: name, start: start}
+	m.procs[name] = p
+	m.order = append(m.order, name)
+	if m.state == simnet.NodeUp {
+		p.boot()
+	}
+	return p
+}
+
+// Proc returns the named process, or nil.
+func (m *Machine) Proc(name string) *Proc { return m.procs[name] }
+
+// Crash takes the whole machine down: every process dies, and the network
+// sees the crash semantics described in simnet.
+func (m *Machine) Crash() {
+	if m.state == simnet.NodeDown {
+		return
+	}
+	m.state = simnet.NodeDown
+	m.iface.SetState(simnet.NodeDown)
+	for _, name := range m.order {
+		m.procs[name].kill(false) // iface zombied the conns already
+	}
+	m.emit(metrics.EvServerDown, "machine crash")
+}
+
+// Restart boots a crashed machine: connections from the previous life RST
+// at the peers, then every registered process starts fresh.
+func (m *Machine) Restart() {
+	if m.state != simnet.NodeDown {
+		return
+	}
+	m.state = simnet.NodeUp
+	m.iface.SetState(simnet.NodeUp)
+	for _, name := range m.order {
+		m.procs[name].boot()
+	}
+	m.emit(metrics.EvServerUp, "machine restart")
+}
+
+// Freeze wedges the machine: no process runs, timers are deferred, stream
+// traffic buffers, dials to it time out.
+func (m *Machine) Freeze() {
+	if m.state != simnet.NodeUp {
+		return
+	}
+	m.state = simnet.NodeFrozen
+	m.iface.SetState(simnet.NodeFrozen)
+}
+
+// Unfreeze resumes a frozen machine exactly where it stopped — processes
+// did NOT restart, which is what violates the crash-only fault model the
+// base PRESS assumes (§3: "PRESS is unable to re-integrate because the
+// faulty node did not crash").
+func (m *Machine) Unfreeze() {
+	if m.state != simnet.NodeFrozen {
+		return
+	}
+	m.state = simnet.NodeUp
+	m.iface.SetState(simnet.NodeUp)
+	for _, name := range m.order {
+		p := m.procs[name]
+		p.syncConnPause()
+		p.pump()
+	}
+}
+
+// KillProc crashes a single process (application crash: immediate RSTs).
+func (m *Machine) KillProc(name string) {
+	if p := m.procs[name]; p != nil && m.state == simnet.NodeUp {
+		p.kill(true)
+	}
+}
+
+// StartProc (re)starts a dead process.
+func (m *Machine) StartProc(name string) {
+	if p := m.procs[name]; p != nil && m.state == simnet.NodeUp && !p.alive {
+		p.boot()
+	}
+}
+
+// TakeOffline is the FME "take the node offline for repair" action: the
+// machine goes down exactly as in a crash, converting whatever was wrong
+// into the fault the rest of the system knows how to handle.
+func (m *Machine) TakeOffline(reason string) {
+	m.emit(metrics.EvFMEAction, "offline: "+reason)
+	m.Crash()
+}
+
+func (m *Machine) emit(kind, detail string) {
+	if m.log != nil {
+		m.log.Emit(m.sim.Now(), "machine", kind, int(m.id), detail)
+	}
+}
+
+// Proc is one process on a machine: a serial event loop with a mailbox.
+type Proc struct {
+	m           *Machine
+	name        string
+	start       func(env *Env)
+	incarnation uint64
+	alive       bool
+	hung        bool
+	stalled     bool
+	running     bool // a handler's charged CPU time is still elapsing
+	curCharge   time.Duration
+	mailbox     []func()
+	env         *Env
+	conns       []simnet.StreamConn
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Alive reports whether the process is running (hung counts as alive).
+func (p *Proc) Alive() bool { return p.alive }
+
+// Hung reports the hang state.
+func (p *Proc) Hung() bool { return p.hung }
+
+// Env returns the current incarnation's environment (nil before first
+// boot). Exposed for tests and for wiring components to their disks.
+func (p *Proc) Env() *Env { return p.env }
+
+// Hang injects an application hang: the process keeps its sockets but
+// stops reading and processing. Datagrams to it are dropped; streams
+// buffer and then stall their senders.
+func (p *Proc) Hang() {
+	if !p.alive || p.hung {
+		return
+	}
+	p.hung = true
+	p.syncConnPause()
+}
+
+// Unhang clears a hang; the backlog is processed in order.
+func (p *Proc) Unhang() {
+	if !p.alive || !p.hung {
+		return
+	}
+	p.hung = false
+	p.syncConnPause()
+	p.pump()
+}
+
+// Stalled reports whether the process blocked itself (full disk queue).
+func (p *Proc) Stalled() bool { return p.stalled }
+
+// MailboxLen reports the backlog length (tests/diagnostics).
+func (p *Proc) MailboxLen() int { return len(p.mailbox) }
+
+func (p *Proc) boot() {
+	p.incarnation++
+	p.alive = true
+	p.hung = false
+	p.stalled = false
+	p.running = false
+	p.mailbox = nil
+	p.conns = nil
+	p.env = &Env{p: p, inc: p.incarnation}
+	p.env.rand = p.m.sim.NewRand(fmt.Sprintf("node%d/%s/%d", p.m.id, p.name, p.incarnation))
+	p.start(p.env)
+}
+
+func (p *Proc) kill(abortConns bool) {
+	if !p.alive {
+		return
+	}
+	p.alive = false
+	p.incarnation++
+	p.mailbox = nil
+	if p.env != nil {
+		for _, port := range p.env.dgramPorts {
+			p.m.iface.BindDatagram(port, nil)
+		}
+		for _, port := range p.env.listenPorts {
+			p.m.iface.Listen(port, nil)
+		}
+	}
+	conns := p.conns
+	p.conns = nil
+	if abortConns {
+		for _, c := range conns {
+			c.Abort()
+		}
+	}
+}
+
+func (p *Proc) runnable() bool {
+	return p.alive && !p.hung && !p.stalled && p.m.state == simnet.NodeUp
+}
+
+func (p *Proc) post(fn func()) {
+	if !p.alive {
+		return
+	}
+	p.mailbox = append(p.mailbox, fn)
+	p.pump()
+}
+
+// pump drains the mailbox, honoring CPU charges: a handler that charges d
+// delays everything behind it by d, exactly like work on PRESS's main
+// coordinating thread.
+func (p *Proc) pump() {
+	for !p.running && p.runnable() && len(p.mailbox) > 0 {
+		fn := p.mailbox[0]
+		p.mailbox = p.mailbox[1:]
+		inc := p.incarnation
+		p.curCharge = 0
+		fn()
+		if p.incarnation != inc {
+			return // died inside the handler
+		}
+		if p.curCharge > 0 {
+			p.running = true
+			p.m.sim.After(p.curCharge, func() {
+				if p.incarnation != inc {
+					return
+				}
+				p.running = false
+				p.pump()
+			})
+		}
+	}
+}
+
+func (p *Proc) syncConnPause() {
+	paused := p.hung || p.stalled
+	// Unpausing drains buffered messages, which can close connections and
+	// mutate p.conns via the close hook: iterate a snapshot.
+	conns := append([]simnet.StreamConn(nil), p.conns...)
+	for _, c := range conns {
+		if c != nil {
+			c.SetPaused(paused)
+		}
+	}
+}
+
+func (p *Proc) adoptConn(c simnet.StreamConn) {
+	p.conns = append(p.conns, c)
+	inc := p.incarnation
+	// Prune on every close path, including component-initiated Close —
+	// without this, long-lived processes (the front-end relays two
+	// connections per request) accumulate dead connections and every
+	// scan over p.conns degenerates.
+	c.SetCloseHook(func() {
+		if p.incarnation == inc {
+			p.dropConn(c)
+		}
+	})
+	if p.hung || p.stalled {
+		c.SetPaused(true)
+	}
+}
+
+func (p *Proc) dropConn(c cnet.Conn) {
+	for i, k := range p.conns {
+		if k == c {
+			// Swap-remove: O(1) and deterministic (no map iteration).
+			last := len(p.conns) - 1
+			p.conns[i] = p.conns[last]
+			p.conns[last] = nil
+			p.conns = p.conns[:last]
+			return
+		}
+	}
+}
+
+// Env implements cnet.Env for one incarnation of one process. Every method
+// is a no-op once the incarnation is dead, so stale closures held by a
+// previous life of a component can never act on the new one.
+type Env struct {
+	p           *Proc
+	inc         uint64
+	rand        *rand.Rand
+	dgramPorts  []string
+	listenPorts []string
+}
+
+func (e *Env) live() bool { return e.p.alive && e.p.incarnation == e.inc }
+
+// Local implements cnet.Env.
+func (e *Env) Local() cnet.NodeID { return e.p.m.id }
+
+// Machine returns the hosting machine (simulator-only extension used by
+// harness wiring; protocol components must not depend on it).
+func (e *Env) Machine() *Machine { return e.p.m }
+
+// Clock implements cnet.Env: timers die with the incarnation and are
+// delivered through the mailbox (so they are deferred by freezes, hangs
+// and stalls).
+func (e *Env) Clock() clock.Clock { return procClock{e} }
+
+// Rand implements cnet.Env.
+func (e *Env) Rand() *rand.Rand { return e.rand }
+
+// Events implements cnet.Env.
+func (e *Env) Events() *metrics.Log {
+	if e.p.m.log == nil {
+		return &metrics.Log{}
+	}
+	return e.p.m.log
+}
+
+// Charge implements cnet.Env.
+func (e *Env) Charge(d time.Duration) {
+	if e.live() && d > 0 {
+		e.p.curCharge += d
+	}
+}
+
+// Stall implements cnet.Env: the process blocks (disk queue full).
+func (e *Env) Stall() {
+	if !e.live() || e.p.stalled {
+		return
+	}
+	e.p.stalled = true
+	e.p.syncConnPause()
+}
+
+// Resume implements cnet.Env; callable from outside the process (disk
+// completion context).
+func (e *Env) Resume() {
+	if !e.live() || !e.p.stalled {
+		return
+	}
+	e.p.stalled = false
+	e.p.syncConnPause()
+	e.p.pump()
+}
+
+// Send implements cnet.Env.
+func (e *Env) Send(to cnet.NodeID, class cnet.Class, port string, m cnet.Message, size int) {
+	if e.live() {
+		e.p.m.iface.Send(to, class, port, m, size)
+	}
+}
+
+// Multicast implements cnet.Env.
+func (e *Env) Multicast(group, port string, m cnet.Message, size int) {
+	if e.live() {
+		e.p.m.iface.Multicast(group, port, m, size)
+	}
+}
+
+// JoinGroup implements cnet.Env.
+func (e *Env) JoinGroup(group string) {
+	if e.live() {
+		e.p.m.iface.JoinGroup(group)
+	}
+}
+
+// BindDatagram implements cnet.Env. Datagrams are dropped (not queued)
+// while the process is not runnable — a non-reading process overflows its
+// socket buffer.
+func (e *Env) BindDatagram(port string, h func(from cnet.NodeID, m cnet.Message)) {
+	if !e.live() {
+		return
+	}
+	e.dgramPorts = append(e.dgramPorts, port)
+	e.p.m.iface.BindDatagram(port, func(from cnet.NodeID, m cnet.Message) {
+		if !e.live() || !e.p.runnable() {
+			return
+		}
+		e.p.post(func() {
+			if e.live() {
+				h(from, m)
+			}
+		})
+	})
+}
+
+// Dial implements cnet.Env.
+func (e *Env) Dial(to cnet.NodeID, class cnet.Class, port string, h cnet.StreamHandlers, result func(cnet.Conn, error)) {
+	if !e.live() {
+		return
+	}
+	e.p.m.iface.Dial(to, class, port, e.wrap(h), func(c cnet.Conn, err error) {
+		if !e.live() {
+			if c != nil {
+				c.Close()
+			}
+			return
+		}
+		if c != nil {
+			e.p.adoptConn(c.(simnet.StreamConn))
+		}
+		e.p.post(func() {
+			if e.live() {
+				result(c, err)
+			}
+		})
+	})
+}
+
+// Listen implements cnet.Env.
+func (e *Env) Listen(port string, accept func(c cnet.Conn) cnet.StreamHandlers) {
+	if !e.live() {
+		return
+	}
+	e.listenPorts = append(e.listenPorts, port)
+	e.p.m.iface.Listen(port, func(c cnet.Conn) cnet.StreamHandlers {
+		// Handshake succeeds even while hung (TCP backlog); the conn is
+		// adopted paused in that case.
+		e.p.adoptConn(c.(simnet.StreamConn))
+		return e.wrap(accept(c))
+	})
+}
+
+// wrap routes stream callbacks through the mailbox and keeps conn
+// bookkeeping.
+func (e *Env) wrap(h cnet.StreamHandlers) cnet.StreamHandlers {
+	var w cnet.StreamHandlers
+	if h.OnMessage != nil {
+		w.OnMessage = func(c cnet.Conn, m cnet.Message) {
+			e.p.post(func() {
+				if e.live() {
+					h.OnMessage(c, m)
+				}
+			})
+		}
+	}
+	w.OnClose = func(c cnet.Conn, err error) {
+		e.p.dropConn(c)
+		if h.OnClose != nil {
+			e.p.post(func() {
+				if e.live() {
+					h.OnClose(c, err)
+				}
+			})
+		}
+	}
+	if h.OnWritable != nil {
+		w.OnWritable = func(c cnet.Conn) {
+			e.p.post(func() {
+				if e.live() {
+					h.OnWritable(c)
+				}
+			})
+		}
+	}
+	return w
+}
+
+var _ cnet.Env = (*Env)(nil)
+
+// procClock delivers timer callbacks through the process mailbox.
+type procClock struct{ e *Env }
+
+func (pc procClock) Now() time.Duration { return pc.e.p.m.sim.Now() }
+
+func (pc procClock) AfterFunc(d time.Duration, fn func()) clock.Timer {
+	e := pc.e
+	if !e.live() {
+		return deadTimer{}
+	}
+	return e.p.m.sim.After(d, func() {
+		if e.live() {
+			e.p.post(func() {
+				if e.live() {
+					fn()
+				}
+			})
+		}
+	})
+}
+
+type deadTimer struct{}
+
+func (deadTimer) Stop() bool { return false }

@@ -1,0 +1,507 @@
+// Package membership implements the robust group membership service the
+// paper adds to PRESS (§4.2): a variation of the three-round membership
+// algorithm of Cristian and Schmuck.
+//
+// Nodes arrange themselves in a logical ring and monitor their upstream
+// and downstream neighbours with heartbeats. Members are added and removed
+// through a two-phase commit driven by a coordinator: the detector of a
+// failure coordinates the exclusion; a joining node multicasts a join
+// request to a well-known group, collects offers from current members,
+// and asks one of them to coordinate its admission. Network partitions
+// yield independent sub-groups that each make progress; when connectivity
+// heals, smaller groups dissolve into better ones through the same join
+// path — which is exactly the mechanism that repairs PRESS's splintering
+// once the underlying fault is gone.
+//
+// The daemon is a process of its own (it survives application crashes and
+// hangs — the root of the divergent views FME later reconciles). It
+// publishes the current group to a shared-memory segment (Published); the
+// application links the client library (Client), which polls the segment
+// and delivers callbacks, and may hint at dead nodes via NodeDown.
+package membership
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/metrics"
+)
+
+// Port and group names.
+const (
+	Port      = "membd"
+	JoinGroup = "memb-join"
+)
+
+// Config parameterizes a daemon.
+type Config struct {
+	Self cnet.NodeID
+	// HBPeriod and HBMiss match the paper: heartbeats every 5 s, three
+	// consecutive losses declare a neighbour dead.
+	HBPeriod time.Duration
+	HBMiss   int
+	// SeekPeriod is how often a node that believes its group could be
+	// bigger multicasts a join request.
+	SeekPeriod time.Duration
+	// AckTimeout bounds the two-phase commit's first round.
+	AckTimeout time.Duration
+	// OfferWindow is how long a joiner collects offers before choosing a
+	// coordinator.
+	OfferWindow time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HBPeriod <= 0 {
+		c.HBPeriod = 5 * time.Second
+	}
+	if c.HBMiss <= 0 {
+		c.HBMiss = 3
+	}
+	if c.SeekPeriod <= 0 {
+		c.SeekPeriod = 2 * c.HBPeriod
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = c.HBPeriod / 2
+	}
+	if c.OfferWindow <= 0 {
+		c.OfferWindow = c.HBPeriod / 10
+	}
+	return c
+}
+
+// Published is the shared-memory segment: the daemon writes the group
+// view, application-side clients read it. It is shared between processes
+// on one machine and outlives application restarts.
+type Published struct {
+	mu      sync.Mutex
+	version uint64
+	members []cnet.NodeID
+}
+
+// Snapshot returns the current view.
+func (p *Published) Snapshot() (uint64, []cnet.NodeID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]cnet.NodeID, len(p.members))
+	copy(out, p.members)
+	return p.version, out
+}
+
+func (p *Published) set(version uint64, members []cnet.NodeID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.version = version
+	p.members = append([]cnet.NodeID(nil), members...)
+}
+
+// Wire messages (gob-encodable for livenet).
+
+// MHeartbeat is a ring-neighbour heartbeat.
+type MHeartbeat struct {
+	From cnet.NodeID
+	Ver  uint64
+}
+
+// MJoinReq is multicast by a node seeking a (better) group.
+type MJoinReq struct {
+	From    cnet.NodeID
+	Size    int
+	MinID   cnet.NodeID
+	Members []cnet.NodeID
+}
+
+// MJoinOffer answers a join request with the responder's view.
+type MJoinOffer struct {
+	From    cnet.NodeID
+	Ver     uint64
+	Members []cnet.NodeID
+}
+
+// MJoinAsk asks the chosen coordinator to run the admission 2PC.
+type MJoinAsk struct{ From cnet.NodeID }
+
+// MPrepare is round one of a view change.
+type MPrepare struct {
+	From    cnet.NodeID
+	Ver     uint64
+	Members []cnet.NodeID // proposed view
+	Subject cnet.NodeID   // the node being added/removed (informational)
+	Add     bool
+}
+
+// MAck acknowledges a prepare.
+type MAck struct {
+	From cnet.NodeID
+	Ver  uint64
+}
+
+// MCommit installs a prepared view.
+type MCommit struct {
+	From    cnet.NodeID
+	Ver     uint64
+	Members []cnet.NodeID
+}
+
+// MNodeDown is the application's hint (client library NodeDown()).
+type MNodeDown struct {
+	From cnet.NodeID
+	Node cnet.NodeID
+}
+
+// Daemon is the membership server process.
+type Daemon struct {
+	cfg Config
+	env cnet.Env
+	pub *Published
+
+	version uint64
+	members []cnet.NodeID // sorted, includes self
+
+	lastSeen map[cnet.NodeID]time.Duration
+	busy     bool
+	wait     *ackWait
+
+	offers     []MJoinOffer
+	collecting bool
+}
+
+// NewDaemon starts a membership daemon on env, publishing into pub.
+func NewDaemon(cfg Config, env cnet.Env, pub *Published) *Daemon {
+	d := &Daemon{
+		cfg:      cfg.withDefaults(),
+		env:      env,
+		pub:      pub,
+		members:  []cnet.NodeID{cfg.Self},
+		lastSeen: make(map[cnet.NodeID]time.Duration),
+	}
+	d.env.JoinGroup(JoinGroup)
+	d.env.BindDatagram(Port, d.onMessage)
+	d.install(1, d.members, "boot")
+	d.tickLater()
+	d.seekLater(true)
+	return d
+}
+
+// Members returns the daemon's current view (tests).
+func (d *Daemon) Members() []cnet.NodeID {
+	out := make([]cnet.NodeID, len(d.members))
+	copy(out, d.members)
+	return out
+}
+
+// Version returns the current view version.
+func (d *Daemon) Version() uint64 { return d.version }
+
+func (d *Daemon) emit(kind string, node cnet.NodeID, detail string) {
+	d.env.Events().Emit(d.env.Clock().Now(), fmt.Sprintf("membd/%d", d.cfg.Self), kind, int(node), detail)
+}
+
+func (d *Daemon) isMember(n cnet.NodeID) bool {
+	for _, m := range d.members {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// neighbours returns the ring neighbours (upstream, downstream).
+func (d *Daemon) neighbours() (up, down cnet.NodeID) {
+	n := len(d.members)
+	if n <= 1 {
+		return cnet.None, cnet.None
+	}
+	idx := sort.Search(n, func(i int) bool { return d.members[i] >= d.cfg.Self })
+	return d.members[(idx-1+n)%n], d.members[(idx+1)%n]
+}
+
+func (d *Daemon) install(ver uint64, members []cnet.NodeID, why string) {
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	old := d.members
+	d.version = ver
+	d.members = append([]cnet.NodeID(nil), members...)
+	d.pub.set(ver, d.members)
+	now := d.env.Clock().Now()
+	for _, m := range d.members {
+		if !contains(old, m) && m != d.cfg.Self {
+			d.emit(metrics.EvMemberJoin, m, why)
+		}
+		d.lastSeen[m] = now // grace for new ring shape
+	}
+	for _, m := range old {
+		if !contains(d.members, m) && m != d.cfg.Self {
+			d.emit(metrics.EvMemberLeave, m, why)
+			delete(d.lastSeen, m)
+		}
+	}
+	d.busy = false
+}
+
+func contains(ns []cnet.NodeID, n cnet.NodeID) bool {
+	for _, m := range ns {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Daemon) tickLater() {
+	d.env.Clock().AfterFunc(d.cfg.HBPeriod, func() { d.tick() })
+}
+
+func (d *Daemon) tick() {
+	up, down := d.neighbours()
+	now := d.env.Clock().Now()
+	for _, nb := range []cnet.NodeID{up, down} {
+		if nb == cnet.None || nb == d.cfg.Self {
+			continue
+		}
+		d.env.Send(nb, cnet.ClassIntra, Port, MHeartbeat{From: d.cfg.Self, Ver: d.version}, 48)
+		deadline := time.Duration(d.cfg.HBMiss) * d.cfg.HBPeriod
+		if seen, ok := d.lastSeen[nb]; ok && now-seen > deadline {
+			d.emit(metrics.EvDetect, nb, fmt.Sprintf("membership: %d heartbeats missed", d.cfg.HBMiss))
+			d.startExclusion(nb)
+		}
+	}
+	d.tickLater()
+}
+
+// startExclusion coordinates the two-phase removal of n.
+func (d *Daemon) startExclusion(n cnet.NodeID) {
+	if d.busy || !d.isMember(n) || n == d.cfg.Self {
+		return
+	}
+	var next []cnet.NodeID
+	for _, m := range d.members {
+		if m != n {
+			next = append(next, m)
+		}
+	}
+	d.runChange(next, n, false)
+}
+
+// runChange runs the 2PC for a proposed view.
+func (d *Daemon) runChange(proposed []cnet.NodeID, subject cnet.NodeID, add bool) {
+	d.busy = true
+	ver := d.version + 1
+	prep := MPrepare{From: d.cfg.Self, Ver: ver, Members: proposed, Subject: subject, Add: add}
+	acked := map[cnet.NodeID]bool{d.cfg.Self: true}
+	need := 0
+	for _, m := range proposed {
+		if m != d.cfg.Self {
+			need++
+			d.env.Send(m, cnet.ClassIntra, Port, prep, 64+4*len(proposed))
+		}
+	}
+	d.expectAcks(ver, proposed, acked, need, subject, add)
+}
+
+// ackWait tracks one in-flight 2PC at the coordinator.
+type ackWait struct {
+	ver        uint64
+	proposed   []cnet.NodeID
+	acked      map[cnet.NodeID]bool
+	need       int
+	onComplete func()
+}
+
+func (d *Daemon) expectAcks(ver uint64, proposed []cnet.NodeID, acked map[cnet.NodeID]bool, need int, subject cnet.NodeID, add bool) {
+	d.wait = &ackWait{ver: ver, proposed: proposed, acked: acked, need: need}
+	commit := func() {
+		if d.wait == nil || d.wait.ver != ver {
+			return
+		}
+		w := d.wait
+		d.wait = nil
+		// Commit to everyone who acked; the silent ones will be detected
+		// and excluded by heartbeat monitoring in due course.
+		var final []cnet.NodeID
+		for _, m := range w.proposed {
+			if w.acked[m] {
+				final = append(final, m)
+			}
+		}
+		cm := MCommit{From: d.cfg.Self, Ver: ver, Members: final}
+		for _, m := range final {
+			if m != d.cfg.Self {
+				d.env.Send(m, cnet.ClassIntra, Port, cm, 64+4*len(final))
+			}
+		}
+		what := "exclude"
+		if add {
+			what = "admit"
+		}
+		d.install(ver, final, fmt.Sprintf("%s %d (coordinator)", what, subject))
+	}
+	if need == 0 {
+		commit()
+		return
+	}
+	d.wait.onComplete = commit
+	d.env.Clock().AfterFunc(d.cfg.AckTimeout, commit)
+}
+
+func (d *Daemon) onMessage(from cnet.NodeID, m cnet.Message) {
+	switch msg := m.(type) {
+	case MHeartbeat:
+		d.lastSeen[msg.From] = d.env.Clock().Now()
+	case MNodeDown:
+		if d.isMember(msg.Node) {
+			d.emit(metrics.EvDetect, msg.Node, "application NodeDown hint")
+			d.startExclusion(msg.Node)
+		}
+	case MPrepare:
+		if msg.Ver <= d.version {
+			return // stale proposal
+		}
+		d.env.Send(msg.From, cnet.ClassIntra, Port, MAck{From: d.cfg.Self, Ver: msg.Ver}, 48)
+	case MAck:
+		if d.wait != nil && d.wait.ver == msg.Ver && !d.wait.acked[msg.From] {
+			d.wait.acked[msg.From] = true
+			d.wait.need--
+			if d.wait.need <= 0 && d.wait.onComplete != nil {
+				d.wait.onComplete()
+			}
+		}
+	case MCommit:
+		if msg.Ver <= d.version {
+			return
+		}
+		if !contains(msg.Members, d.cfg.Self) {
+			return // a view without us is not ours to install
+		}
+		d.install(msg.Ver, msg.Members, fmt.Sprintf("commit from %d", msg.From))
+	case MJoinReq:
+		d.onJoinReq(msg)
+	case MJoinOffer:
+		if d.collecting {
+			d.offers = append(d.offers, msg)
+		}
+	case MJoinAsk:
+		if d.busy || d.isMember(msg.From) {
+			return
+		}
+		d.runChange(append(append([]cnet.NodeID(nil), d.members...), msg.From), msg.From, true)
+	}
+}
+
+// onJoinReq answers a seeker when our group would be better for it.
+func (d *Daemon) onJoinReq(msg MJoinReq) {
+	if d.isMember(msg.From) {
+		return
+	}
+	if !betterGroup(d.members, msg.Members) {
+		return
+	}
+	d.env.Send(msg.From, cnet.ClassIntra, Port,
+		MJoinOffer{From: d.cfg.Self, Ver: d.version, Members: d.Members()}, 64+4*len(d.members))
+}
+
+// betterGroup reports whether group a is preferable to group b: strictly
+// larger, or equal-sized with a lower minimum ID. The asymmetry guarantees
+// convergence to a single group after partitions heal.
+func betterGroup(a, b []cnet.NodeID) bool {
+	if len(a) != len(b) {
+		return len(a) > len(b)
+	}
+	if len(a) == 0 {
+		return false
+	}
+	return minID(a) < minID(b)
+}
+
+func minID(ns []cnet.NodeID) cnet.NodeID {
+	min := ns[0]
+	for _, n := range ns {
+		if n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+func (d *Daemon) seekLater(fast bool) {
+	period := d.cfg.SeekPeriod
+	if fast || len(d.members) == 1 {
+		period = d.cfg.SeekPeriod / 4
+	}
+	d.env.Clock().AfterFunc(period, func() { d.seek() })
+}
+
+// seek multicasts a join request and, after the offer window, asks the
+// best offering member to admit us.
+func (d *Daemon) seek() {
+	defer d.seekLater(false)
+	if d.busy || d.collecting {
+		return
+	}
+	d.collecting = true
+	d.offers = nil
+	d.env.Multicast(JoinGroup, Port, MJoinReq{
+		From:    d.cfg.Self,
+		Size:    len(d.members),
+		MinID:   minID(d.members),
+		Members: d.Members(),
+	}, 64+4*len(d.members))
+	d.env.Clock().AfterFunc(d.cfg.OfferWindow, func() {
+		d.collecting = false
+		best := -1
+		for i, off := range d.offers {
+			if !betterGroup(off.Members, d.members) {
+				continue
+			}
+			if best == -1 || betterGroup(d.offers[i].Members, d.offers[best].Members) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		d.env.Send(d.offers[best].From, cnet.ClassIntra, Port, MJoinAsk{From: d.cfg.Self}, 48)
+	})
+}
+
+// Client is the application-side library (§4.2): it polls the shared
+// segment and calls the application back with view updates, and lets the
+// application hint at dead nodes.
+type Client struct {
+	env  cnet.Env
+	pub  *Published
+	poll time.Duration
+	subs []func(members []cnet.NodeID)
+}
+
+// NewClient attaches a client to the local node's published view.
+func NewClient(env cnet.Env, pub *Published, poll time.Duration) *Client {
+	if poll <= 0 {
+		poll = time.Second
+	}
+	c := &Client{env: env, pub: pub, poll: poll}
+	c.pollLater()
+	return c
+}
+
+// Subscribe registers a callback invoked on every poll with the current
+// member list. It satisfies server.MembershipView.
+func (c *Client) Subscribe(fn func(members []cnet.NodeID)) {
+	c.subs = append(c.subs, fn)
+}
+
+// NodeDown forwards the application's down-hint to the local daemon.
+func (c *Client) NodeDown(n cnet.NodeID) {
+	c.env.Send(c.env.Local(), cnet.ClassIntra, Port, MNodeDown{From: c.env.Local(), Node: n}, 48)
+}
+
+func (c *Client) pollLater() {
+	c.env.Clock().AfterFunc(c.poll, func() {
+		_, members := c.pub.Snapshot()
+		for _, fn := range c.subs {
+			fn(members)
+		}
+		c.pollLater()
+	})
+}

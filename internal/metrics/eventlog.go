@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one timestamped occurrence recorded by a component during an
+// experiment. The harness reads the log to locate the numbered events of
+// the 7-stage template (fault occurs, fault detected, component recovers,
+// operator reset, ...) and tests read it to assert protocol behaviour.
+type Event struct {
+	At     time.Duration // virtual time
+	Source string        // component, e.g. "press", "membership", "fme", "frontend", "injector"
+	Kind   string        // e.g. "fault.inject", "detect.exclude", "member.join"
+	Node   int           // node the event concerns, -1 if not applicable
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%9.2fs %-10s %-22s node=%-2d %s",
+		e.At.Seconds(), e.Source, e.Kind, e.Node, e.Detail)
+}
+
+// Log is an append-only structured event log. A small mutex makes it safe
+// for livenet's concurrent nodes; under the single-threaded simulator the
+// lock is uncontended.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends an event.
+func (l *Log) Emit(at time.Duration, source, kind string, node int, detail string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{At: at, Source: source, Kind: kind, Node: node, Detail: detail})
+}
+
+// All returns a snapshot of the events in emission order.
+func (l *Log) All() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// First returns the earliest event with the given kind at or after `after`.
+func (l *Log) First(kind string, after time.Duration) (Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.events {
+		if e.At >= after && e.Kind == kind {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// FirstMatch returns the earliest event at or after `after` satisfying
+// the predicate.
+func (l *Log) FirstMatch(after time.Duration, pred func(Event) bool) (Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.events {
+		if e.At >= after && pred(e) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Count returns the number of events of the given kind in [from, to).
+func (l *Log) Count(kind string, from, to time.Duration) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == kind && e.At >= from && e.At < to {
+			n++
+		}
+	}
+	return n
+}
+
+// Dump renders the full log, one event per line, for debugging and the
+// example programs.
+func (l *Log) Dump() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var b strings.Builder
+	for _, e := range l.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Well-known event kinds shared across components. Keeping them in one
+// place prevents the string-typo class of bugs in harness extraction code.
+const (
+	EvFaultInject    = "fault.inject"    // injector: fault becomes active
+	EvFaultRepair    = "fault.repair"    // injector: fault repaired
+	EvDetect         = "detect"          // any detector: fault noticed
+	EvExclude        = "exclude"         // node removed from a cooperation/membership/routing view
+	EvInclude        = "include"         // node (re)admitted to a view
+	EvOperatorReset  = "operator.reset"  // harness: operator restarts the server
+	EvServerUp       = "server.up"       // server process finished starting
+	EvServerDown     = "server.down"     // server process stopped
+	EvFMEAction      = "fme.action"      // FME translated a fault
+	EvSplinter       = "splinter"        // cooperation views became mutually disjoint
+	EvQMonReroute    = "qmon.reroute"    // queue monitor started rerouting
+	EvQMonFail       = "qmon.fail"       // queue monitor declared a peer failed
+	EvMemberJoin     = "member.join"     // membership: node joined group
+	EvMemberLeave    = "member.leave"    // membership: node removed from group
+	EvFrontendMask   = "frontend.mask"   // front-end stopped routing to a node
+	EvFrontendUnmask = "frontend.unmask" // front-end resumed routing to a node
+)

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesAddAndAt(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Add(0, 1)
+	s.Add(500*time.Millisecond, 2)
+	s.Add(time.Second, 5)
+	if got := s.At(0); got != 3 {
+		t.Fatalf("At(0) = %v, want 3", got)
+	}
+	if got := s.At(1500 * time.Millisecond); got != 5 {
+		t.Fatalf("At(1.5s) = %v, want 5", got)
+	}
+	if got := s.At(10 * time.Second); got != 0 {
+		t.Fatalf("At(10s) = %v, want 0", got)
+	}
+}
+
+func TestSeriesNegativeClamps(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Add(-time.Second, 4)
+	if got := s.At(0); got != 4 {
+		t.Fatalf("At(0) = %v, want 4", got)
+	}
+}
+
+func TestSeriesSumWindow(t *testing.T) {
+	s := NewSeries(time.Second)
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, 1)
+	}
+	if got := s.Sum(2*time.Second, 5*time.Second); got != 3 {
+		t.Fatalf("Sum[2,5) = %v, want 3", got)
+	}
+	if got := s.Sum(0, 100*time.Second); got != 10 {
+		t.Fatalf("Sum all = %v, want 10", got)
+	}
+	if got := s.Sum(5*time.Second, 5*time.Second); got != 0 {
+		t.Fatalf("empty window = %v, want 0", got)
+	}
+}
+
+func TestMeanRate(t *testing.T) {
+	s := NewSeries(time.Second)
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, 50)
+	}
+	if got := s.MeanRate(0, 10*time.Second); got != 50 {
+		t.Fatalf("MeanRate = %v, want 50", got)
+	}
+}
+
+func TestSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero width")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestCSV(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Add(0, 1)
+	s.Add(time.Second, 2)
+	csv := s.CSV()
+	if !strings.Contains(csv, "0,1.00") || !strings.Contains(csv, "1,2.00") {
+		t.Fatalf("unexpected CSV:\n%s", csv)
+	}
+}
+
+func TestStableAfterFindsPlateau(t *testing.T) {
+	s := NewSeries(time.Second)
+	// Ramp for 10s, then flat at 100.
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i*10))
+	}
+	for i := 10; i < 30; i++ {
+		s.Add(time.Duration(i)*time.Second, 100)
+	}
+	at, ok := StableAfter(s, 0, 5, 0.05)
+	if !ok {
+		t.Fatal("no stable window found")
+	}
+	if at < 6*time.Second || at > 10*time.Second {
+		t.Fatalf("stable at %v, want ~8-10s", at)
+	}
+}
+
+func TestStableAfterZeroPlateau(t *testing.T) {
+	s := NewSeries(time.Second)
+	for i := 0; i < 5; i++ {
+		s.Add(time.Duration(i)*time.Second, 200)
+	}
+	for i := 5; i < 20; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i%2)) // near-zero noise
+	}
+	at, ok := StableAfter(s, 5*time.Second, 5, 0.05)
+	if !ok {
+		t.Fatal("zero plateau not detected as stable")
+	}
+	if at != 5*time.Second {
+		t.Fatalf("stable at %v, want 5s", at)
+	}
+}
+
+func TestStableAfterNoPlateau(t *testing.T) {
+	s := NewSeries(time.Second)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(rng.Intn(1000)))
+	}
+	if at, ok := StableAfter(s, 0, 8, 0.01); ok {
+		t.Fatalf("found spurious stability at %v", at)
+	}
+}
+
+// Property: Sum over the whole series equals the sum of everything added.
+func TestQuickSumConservation(t *testing.T) {
+	f := func(vals []uint8, offsets []uint16) bool {
+		s := NewSeries(time.Second)
+		var want float64
+		for i, v := range vals {
+			off := time.Duration(0)
+			if len(offsets) > 0 {
+				off = time.Duration(offsets[i%len(offsets)]) * time.Millisecond
+			}
+			s.Add(off, float64(v))
+			want += float64(v)
+		}
+		return s.Sum(0, time.Duration(len(vals)+100)*time.Hour) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventLogFirstAndCount(t *testing.T) {
+	var l Log
+	l.Emit(1*time.Second, "injector", EvFaultInject, 2, "scsi")
+	l.Emit(5*time.Second, "press", EvDetect, 2, "heartbeat loss")
+	l.Emit(9*time.Second, "press", EvDetect, 2, "again")
+	e, ok := l.First(EvDetect, 0)
+	if !ok || e.At != 5*time.Second || e.Node != 2 {
+		t.Fatalf("First = %+v ok=%v", e, ok)
+	}
+	if _, ok := l.First(EvDetect, 6*time.Second); !ok {
+		t.Fatal("First with after failed")
+	}
+	if _, ok := l.First("missing", 0); ok {
+		t.Fatal("found nonexistent kind")
+	}
+	if n := l.Count(EvDetect, 0, 20*time.Second); n != 2 {
+		t.Fatalf("Count = %d, want 2", n)
+	}
+	if n := l.Count(EvDetect, 6*time.Second, 20*time.Second); n != 1 {
+		t.Fatalf("Count windowed = %d, want 1", n)
+	}
+}
+
+func TestEventLogFirstMatch(t *testing.T) {
+	var l Log
+	l.Emit(1*time.Second, "a", EvExclude, 1, "")
+	l.Emit(2*time.Second, "b", EvExclude, 3, "")
+	e, ok := l.FirstMatch(0, func(e Event) bool { return e.Node == 3 })
+	if !ok || e.Source != "b" {
+		t.Fatalf("FirstMatch = %+v ok=%v", e, ok)
+	}
+}
+
+func TestEventLogDump(t *testing.T) {
+	var l Log
+	l.Emit(time.Second, "press", EvSplinter, -1, "sets {0,1,2} {3}")
+	out := l.Dump()
+	if !strings.Contains(out, "splinter") || !strings.Contains(out, "press") {
+		t.Fatalf("Dump missing fields:\n%s", out)
+	}
+}

@@ -1,0 +1,135 @@
+// Package metrics provides the measurement plumbing for availability
+// experiments: fixed-width time-bucketed series (the paper's per-second
+// throughput curves, e.g. Figure 4), simple counters, a structured event
+// log used to locate the stage boundaries of the 7-stage template, and a
+// stabilization detector for finding the "server stabilizes" events of the
+// template.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Series accumulates values into fixed-width time buckets. Bucket i covers
+// [i*Width, (i+1)*Width). It is the simulator-side equivalent of sampling
+// "requests served per second" on the paper's testbed.
+type Series struct {
+	Width   time.Duration
+	buckets []float64
+}
+
+// NewSeries returns a Series with the given bucket width (must be > 0).
+func NewSeries(width time.Duration) *Series {
+	if width <= 0 {
+		panic("metrics: non-positive bucket width")
+	}
+	return &Series{Width: width}
+}
+
+// Add accumulates v into the bucket containing instant at. Negative
+// instants are clamped to bucket 0.
+func (s *Series) Add(at time.Duration, v float64) {
+	i := int(at / s.Width)
+	if i < 0 {
+		i = 0
+	}
+	for len(s.buckets) <= i {
+		s.buckets = append(s.buckets, 0)
+	}
+	s.buckets[i] += v
+}
+
+// Buckets returns the raw bucket contents. The slice is owned by the
+// Series; callers must not modify it.
+func (s *Series) Buckets() []float64 { return s.buckets }
+
+// Len returns the number of buckets (index of the last touched bucket + 1).
+func (s *Series) Len() int { return len(s.buckets) }
+
+// At returns the bucket value containing the instant (0 beyond the end).
+func (s *Series) At(at time.Duration) float64 {
+	i := int(at / s.Width)
+	if i < 0 || i >= len(s.buckets) {
+		return 0
+	}
+	return s.buckets[i]
+}
+
+// Sum returns the total accumulated over [from, to). Partial buckets at the
+// edges are included in full; callers should align windows to bucket
+// boundaries when exactness matters.
+func (s *Series) Sum(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	lo := int(from / s.Width)
+	hi := int((to + s.Width - 1) / s.Width)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.buckets) {
+		hi = len(s.buckets)
+	}
+	var sum float64
+	for i := lo; i < hi; i++ {
+		sum += s.buckets[i]
+	}
+	return sum
+}
+
+// MeanRate returns the average per-second rate over [from, to).
+func (s *Series) MeanRate(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	return s.Sum(from, to) / (to - from).Seconds()
+}
+
+// CSV renders the series as "seconds,value" lines, one per bucket, for the
+// throughput-timeline figures.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	for i, v := range s.buckets {
+		fmt.Fprintf(&b, "%.0f,%.2f\n", (time.Duration(i) * s.Width).Seconds(), v)
+	}
+	return b.String()
+}
+
+// StableAfter scans forward from instant `from` looking for the first
+// instant at which the series has stabilized: `window` consecutive buckets
+// whose values all lie within tol (relative) of the window mean. It returns
+// the start of the stable window. This implements the "server stabilizes"
+// events (3) and (5) of the paper's 7-stage template.
+func StableAfter(s *Series, from time.Duration, window int, tol float64) (time.Duration, bool) {
+	if window < 1 {
+		window = 1
+	}
+	start := int(from / s.Width)
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i+window <= len(s.buckets); i++ {
+		var mean float64
+		for j := i; j < i+window; j++ {
+			mean += s.buckets[j]
+		}
+		mean /= float64(window)
+		ok := true
+		// Absolute slack keeps near-zero plateaus (total outage) stable
+		// despite Poisson noise.
+		slack := math.Max(tol*mean, 2)
+		for j := i; j < i+window; j++ {
+			if math.Abs(s.buckets[j]-mean) > slack {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return time.Duration(i) * s.Width, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"container/list"
+
+	"press/internal/cnet"
+	"press/internal/trace"
+)
+
+// docCache is the per-node LRU file cache. All documents are uniform-size
+// (the paper's modified trace), so capacity is simply a document count.
+type docCache struct {
+	cap   int
+	order *list.List // front = most recent
+	index map[trace.DocID]*list.Element
+}
+
+func newDocCache(capDocs int) *docCache {
+	if capDocs < 1 {
+		capDocs = 1
+	}
+	return &docCache{cap: capDocs, order: list.New(), index: make(map[trace.DocID]*list.Element)}
+}
+
+// Has reports whether doc is cached, refreshing its recency on a hit.
+func (c *docCache) Has(doc trace.DocID) bool {
+	el, ok := c.index[doc]
+	if ok {
+		c.order.MoveToFront(el)
+	}
+	return ok
+}
+
+// Peek reports presence without touching recency.
+func (c *docCache) Peek(doc trace.DocID) bool {
+	_, ok := c.index[doc]
+	return ok
+}
+
+// Insert caches doc, returning the evicted document (and true) when the
+// cache was full. Inserting a present doc only refreshes recency.
+func (c *docCache) Insert(doc trace.DocID) (evicted trace.DocID, didEvict bool) {
+	if el, ok := c.index[doc]; ok {
+		c.order.MoveToFront(el)
+		return 0, false
+	}
+	if c.order.Len() >= c.cap {
+		back := c.order.Back()
+		evicted = back.Value.(trace.DocID)
+		c.order.Remove(back)
+		delete(c.index, evicted)
+		didEvict = true
+	}
+	c.index[doc] = c.order.PushFront(doc)
+	return evicted, didEvict
+}
+
+// Len returns the number of cached documents.
+func (c *docCache) Len() int { return c.order.Len() }
+
+// Docs lists the cached documents, most recent first. Used to seed a
+// peer's directory on (re)connection.
+func (c *docCache) Docs() []trace.DocID {
+	out := make([]trace.DocID, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(trace.DocID))
+	}
+	return out
+}
+
+// directory tracks which cluster nodes cache which documents, fed by
+// broadcast announcements and Hello exchanges. Node sets are bitmasks
+// indexed by position in the static node list (clusters in this repo are
+// well under 64 nodes).
+type directory struct {
+	bits map[trace.DocID]uint64
+	idx  map[cnet.NodeID]uint // NodeID -> bit position
+}
+
+func newDirectory(nodes []cnet.NodeID) *directory {
+	d := &directory{bits: make(map[trace.DocID]uint64), idx: make(map[cnet.NodeID]uint)}
+	for i, n := range nodes {
+		d.idx[n] = uint(i)
+	}
+	return d
+}
+
+// Set records (or clears) that node caches doc.
+func (d *directory) Set(node cnet.NodeID, doc trace.DocID, cached bool) {
+	bit, ok := d.idx[node]
+	if !ok {
+		return
+	}
+	if cached {
+		d.bits[doc] |= 1 << bit
+		return
+	}
+	d.bits[doc] &^= 1 << bit
+	if d.bits[doc] == 0 {
+		delete(d.bits, doc)
+	}
+}
+
+// Holders returns the nodes (from candidates) recorded as caching doc.
+func (d *directory) Holders(doc trace.DocID, candidates []cnet.NodeID) []cnet.NodeID {
+	mask := d.bits[doc]
+	if mask == 0 {
+		return nil
+	}
+	var out []cnet.NodeID
+	for _, n := range candidates {
+		if bit, ok := d.idx[n]; ok && mask&(1<<bit) != 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// DropNode forgets everything recorded about a node (it left the set).
+func (d *directory) DropNode(node cnet.NodeID) {
+	bit, ok := d.idx[node]
+	if !ok {
+		return
+	}
+	for doc, mask := range d.bits {
+		mask &^= 1 << bit
+		if mask == 0 {
+			delete(d.bits, doc)
+		} else {
+			d.bits[doc] = mask
+		}
+	}
+}
+
+// Entries returns the number of documents with at least one holder.
+func (d *directory) Entries() int { return len(d.bits) }

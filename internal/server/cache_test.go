@@ -1,0 +1,169 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"press/internal/cnet"
+	"press/internal/trace"
+)
+
+func TestDocCacheLRUEviction(t *testing.T) {
+	c := newDocCache(3)
+	for d := trace.DocID(0); d < 3; d++ {
+		if _, ev := c.Insert(d); ev {
+			t.Fatal("eviction before capacity")
+		}
+	}
+	// Touch 0 so 1 becomes LRU.
+	if !c.Has(0) {
+		t.Fatal("miss on cached doc")
+	}
+	evicted, did := c.Insert(3)
+	if !did || evicted != 1 {
+		t.Fatalf("evicted %v (did=%v), want 1", evicted, did)
+	}
+	if c.Peek(1) {
+		t.Fatal("evicted doc still present")
+	}
+	if !c.Peek(0) || !c.Peek(2) || !c.Peek(3) {
+		t.Fatal("wrong survivors")
+	}
+}
+
+func TestDocCacheReinsertRefreshes(t *testing.T) {
+	c := newDocCache(2)
+	c.Insert(1)
+	c.Insert(2)
+	if _, did := c.Insert(1); did {
+		t.Fatal("reinsert evicted")
+	}
+	// 2 is now LRU.
+	if ev, _ := c.Insert(3); ev != 2 {
+		t.Fatalf("evicted %v, want 2", ev)
+	}
+}
+
+func TestDocCacheDocsOrder(t *testing.T) {
+	c := newDocCache(3)
+	c.Insert(1)
+	c.Insert(2)
+	c.Insert(3)
+	docs := c.Docs()
+	if len(docs) != 3 || docs[0] != 3 || docs[2] != 1 {
+		t.Fatalf("Docs = %v, want MRU-first", docs)
+	}
+}
+
+// Property: the cache never exceeds capacity and Has agrees with Peek.
+func TestQuickDocCacheBounded(t *testing.T) {
+	f := func(ops []uint16, capSeed uint8) bool {
+		capDocs := int(capSeed)%20 + 1
+		c := newDocCache(capDocs)
+		for _, op := range ops {
+			c.Insert(trace.DocID(op % 100))
+			if c.Len() > capDocs {
+				return false
+			}
+		}
+		for d := trace.DocID(0); d < 100; d++ {
+			if c.Peek(d) != c.Has(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectorySetAndHolders(t *testing.T) {
+	nodes := []cnet.NodeID{0, 1, 2, 3}
+	d := newDirectory(nodes)
+	d.Set(1, 7, true)
+	d.Set(3, 7, true)
+	holders := d.Holders(7, nodes)
+	if len(holders) != 2 || holders[0] != 1 || holders[1] != 3 {
+		t.Fatalf("holders = %v", holders)
+	}
+	// Candidates filter.
+	holders = d.Holders(7, []cnet.NodeID{0, 3})
+	if len(holders) != 1 || holders[0] != 3 {
+		t.Fatalf("filtered holders = %v", holders)
+	}
+	d.Set(1, 7, false)
+	if h := d.Holders(7, nodes); len(h) != 1 {
+		t.Fatalf("after clear: %v", h)
+	}
+}
+
+func TestDirectoryDropNode(t *testing.T) {
+	nodes := []cnet.NodeID{0, 1}
+	d := newDirectory(nodes)
+	d.Set(0, 1, true)
+	d.Set(1, 1, true)
+	d.Set(1, 2, true)
+	d.DropNode(1)
+	if h := d.Holders(1, nodes); len(h) != 1 || h[0] != 0 {
+		t.Fatalf("holders after drop: %v", h)
+	}
+	if h := d.Holders(2, nodes); len(h) != 0 {
+		t.Fatalf("doc 2 holders after drop: %v", h)
+	}
+	if d.Entries() != 1 {
+		t.Fatalf("Entries = %d", d.Entries())
+	}
+}
+
+func TestDirectoryUnknownNodeIgnored(t *testing.T) {
+	d := newDirectory([]cnet.NodeID{0, 1})
+	d.Set(99, 5, true) // not in the static node list
+	if h := d.Holders(5, []cnet.NodeID{0, 1, 99}); len(h) != 0 {
+		t.Fatalf("unknown node recorded: %v", h)
+	}
+	d.DropNode(99) // must not panic
+}
+
+// Property: Holders never returns a node whose last Set for that doc was
+// false, under any interleaving.
+func TestQuickDirectoryConsistency(t *testing.T) {
+	nodes := []cnet.NodeID{0, 1, 2, 3, 4, 5, 6, 7}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := newDirectory(nodes)
+		last := map[[2]int]bool{}
+		for i := 0; i < 200; i++ {
+			n := cnet.NodeID(rng.Intn(8))
+			doc := trace.DocID(rng.Intn(20))
+			cached := rng.Intn(2) == 0
+			d.Set(n, doc, cached)
+			last[[2]int{int(n), int(doc)}] = cached
+		}
+		for doc := trace.DocID(0); doc < 20; doc++ {
+			for _, h := range d.Holders(doc, nodes) {
+				if !last[[2]int{int(h), int(doc)}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskKeySpreadsAcrossDisks(t *testing.T) {
+	// Ownership uses doc mod viewsize; disk placement must not alias with
+	// it (the bug class this guards: node i's documents all landing on
+	// one disk).
+	counts := [2]int{}
+	for doc := trace.DocID(1); doc < 1000; doc += 4 { // node 1's docs in a 4-view
+		counts[diskKey(doc)%2]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("disk placement aliases ownership: %v", counts)
+	}
+}

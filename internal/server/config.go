@@ -1,0 +1,160 @@
+// Package server implements PRESS (§3), the locality-conscious
+// cluster-based web server whose availability the paper studies, in both
+// of the paper's arrangements:
+//
+//   - COOP: nodes cooperate to manage the cluster's memory as one cache.
+//     Any node may receive a request (the initial node); it serves locally
+//     on a cache hit, otherwise forwards to the service node chosen from
+//     the caching directory and piggybacked load information. Caching
+//     decisions are broadcast; heartbeats run around a directed ring; a
+//     restarted node rejoins by broadcast.
+//
+//   - INDEP: the same server with all cooperation disabled; every node
+//     serves only from its own cache and disks.
+//
+// The availability subsystems bolt on without changing this package's
+// core logic, mirroring the paper's evolutionary approach: the built-in
+// ring detector can be switched off in favour of an external membership
+// view, and queue monitoring (package qmon) observes the per-peer send
+// queues this package already maintains.
+package server
+
+import (
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/qmon"
+	"press/internal/trace"
+)
+
+// Well-known port names.
+const (
+	PortHTTP    = "http"     // client-class: requests from clients / front-end / FME probe
+	PortPress   = "press"    // intra-class streams: forwards, replies, directory
+	PortHB      = "hb"       // intra-class datagrams: ring heartbeats
+	PortControl = "pressctl" // intra-class datagrams: exclude broadcasts, join protocol
+)
+
+// CostModel carries the CPU time charged on the main coordinating thread
+// for each kind of work. Values are at the simulation's time scale (~10x
+// 2003 hardware); only their ratios to the disk service time and to each
+// other matter.
+type CostModel struct {
+	Accept    time.Duration // accept + parse one client request
+	LocalHit  time.Duration // serve a request from the local cache (incl. reply to client)
+	Forward   time.Duration // enqueue + send one forward to a peer
+	PeerServe time.Duration // service-node work for a forwarded request (cache hit)
+	Reply     time.Duration // initial-node work to relay a peer's reply to the client
+	DiskDone  time.Duration // post-disk-read bookkeeping (cache insert + announce)
+	Control   time.Duration // heartbeat / announcement / directory message handling
+}
+
+// DefaultCosts yields roughly 11 ms of main-thread CPU per request in the
+// cooperative configuration, making a 4-node cluster saturate near 360
+// req/s while the independent version is disk-bound near 120 req/s — the
+// paper's 3x cooperation factor.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Accept:    4 * time.Millisecond,
+		LocalHit:  6 * time.Millisecond,
+		Forward:   1500 * time.Microsecond,
+		PeerServe: 4 * time.Millisecond,
+		Reply:     3500 * time.Microsecond,
+		DiskDone:  2 * time.Millisecond,
+		Control:   200 * time.Microsecond,
+	}
+}
+
+// Config assembles one PRESS server process.
+type Config struct {
+	// Self is this node; Nodes is the static cluster (cold-start view).
+	Self  cnet.NodeID
+	Nodes []cnet.NodeID
+
+	// Cooperative selects COOP (true) or INDEP (false).
+	Cooperative bool
+
+	// RingDetector enables PRESS's built-in directed-ring heartbeat fault
+	// detector (§3). The MEM/QMON/... versions disable it and rely on
+	// their subsystems instead.
+	RingDetector    bool
+	HeartbeatPeriod time.Duration // default 5s
+	HeartbeatMiss   int           // consecutive losses ⇒ peer down (default 3)
+
+	// JoinTimeout bounds the rejoin broadcast wait; if no member answers,
+	// the node assumes a cold start and adopts the static view.
+	JoinTimeout time.Duration
+
+	// CacheBytes is the local file-cache capacity.
+	CacheBytes int64
+	// Catalog describes the (fully replicated) document set.
+	Catalog *trace.Catalog
+
+	// MaxConcurrent bounds requests in service; beyond it, arrivals queue
+	// unserved (and typically die by client timeout). This is the resource
+	// through which a stuck peer stalls the whole cluster.
+	MaxConcurrent int
+
+	// AcceptBacklog bounds the queue of accepted-but-unserved requests
+	// (the listen backlog); beyond it new connections are rejected.
+	AcceptBacklog int
+
+	// QMon enables queue monitoring when non-nil.
+	QMon *qmon.Config
+
+	// MembershipPoll is the period at which the membership client library
+	// re-publishes the external view to the server (§4.2's shared-memory
+	// segment poll). Used only when a MembershipView is supplied.
+	MembershipPoll time.Duration
+
+	Cost CostModel
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = 5 * time.Second
+	}
+	if c.HeartbeatMiss <= 0 {
+		c.HeartbeatMiss = 3
+	}
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = 2 * time.Second
+	}
+	if c.Catalog == nil {
+		c.Catalog = trace.Default()
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 128 << 20
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 32
+	}
+	if c.AcceptBacklog <= 0 {
+		c.AcceptBacklog = 4 * c.MaxConcurrent
+	}
+	if c.MembershipPoll <= 0 {
+		c.MembershipPoll = time.Second
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCosts()
+	}
+	return c
+}
+
+// MembershipView is the membership client library surface the server
+// consumes (§4.2). Subscribe's callback runs in server context on every
+// poll of the published view, with the full member list.
+type MembershipView interface {
+	Subscribe(fn func(members []cnet.NodeID))
+}
+
+// DiskArray is the disk subsystem surface the server needs (implemented
+// by simdisk.Array and by livenet's memory-backed stand-in).
+type DiskArray interface {
+	// Read submits a read keyed by document; reports false when the queue
+	// is full (the caller must stall).
+	Read(key int, done func(ok bool)) bool
+	// NotifySpace registers a one-shot wakeup for queue space.
+	NotifySpace(fn func())
+}

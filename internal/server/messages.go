@@ -1,0 +1,98 @@
+package server
+
+import (
+	"press/internal/cnet"
+	"press/internal/trace"
+)
+
+// Wire messages. All are exported gob-encodable structs so the same
+// protocol runs over livenet's real TCP.
+
+// ReqMsg is a client HTTP request. Probe requests are FME's liveness
+// checks: they are answered immediately by the main thread without
+// occupying a request slot, so they test exactly "is the main thread
+// making progress".
+type ReqMsg struct {
+	ID    uint64
+	Doc   trace.DocID
+	Probe bool
+}
+
+// RespMsg answers a ReqMsg on the client connection. Its wire size is the
+// document size for real requests. Probe responses carry the server's
+// current cooperation set, which the S-FME front-end monitor uses to spot
+// isolated nodes (§6.2).
+type RespMsg struct {
+	ID    uint64
+	OK    bool
+	Probe bool
+	View  []cnet.NodeID
+}
+
+// HelloMsg identifies the sender on a freshly dialed intra-cluster
+// connection; CacheDocs carries the sender's current cache contents so the
+// receiver can seed its directory (the paper's "the rejoining node is sent
+// the caching information of the respective node" — symmetric here).
+type HelloMsg struct {
+	From      cnet.NodeID
+	CacheDocs []trace.DocID
+}
+
+// FwdMsg forwards a request from the initial node to the service node.
+type FwdMsg struct {
+	ID   uint64
+	Doc  trace.DocID
+	Load int // piggybacked open-request count of the sender
+}
+
+// FwdReplyMsg returns the document to the initial node; its wire size is
+// the document size.
+type FwdReplyMsg struct {
+	ID   uint64
+	Doc  trace.DocID
+	OK   bool
+	Load int
+}
+
+// AnnounceMsg broadcasts a caching decision (start caching / evict).
+type AnnounceMsg struct {
+	From   cnet.NodeID
+	Doc    trace.DocID
+	Cached bool
+	Load   int
+}
+
+// HBMsg is a ring heartbeat.
+type HBMsg struct {
+	From cnet.NodeID
+	Load int
+}
+
+// ExcludeMsg is broadcast by the ring detector when it declares a node
+// dead, so the rest of the ring reconfigures at once.
+type ExcludeMsg struct {
+	From cnet.NodeID
+	Dead cnet.NodeID
+}
+
+// JoinReqMsg is broadcast by a (re)starting node.
+type JoinReqMsg struct {
+	From cnet.NodeID
+}
+
+// JoinRespMsg is sent by the lowest-ID active member with the current
+// configuration.
+type JoinRespMsg struct {
+	From cnet.NodeID
+	View []cnet.NodeID
+}
+
+// approximate wire sizes (bytes) for the simulator's bandwidth model.
+const (
+	sizeReq     = 256
+	sizeResp    = 128 // headers; body size added separately
+	sizeFwd     = 192
+	sizeHello   = 64 // plus 4 bytes per directory entry
+	sizeHB      = 48
+	sizeControl = 64
+)

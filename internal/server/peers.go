@@ -1,0 +1,193 @@
+package server
+
+import (
+	"time"
+
+	"press/internal/cnet"
+)
+
+// peer holds the intra-cluster plumbing towards one other node. PRESS uses
+// a pair of unidirectional streams per node pair: each node dials its own
+// send connection and receives on the one the peer dialed. The send queue
+// in front of the connection is the structure queue monitoring watches.
+type peer struct {
+	id      cnet.NodeID
+	conn    cnet.Conn // outbound (send) connection; nil until established
+	dialing bool
+	retry   timerHandle
+	sendQ   []outMsg
+	reqInQ  int // FwdMsgs among sendQ
+	load    int // piggybacked open-request count
+}
+
+type outMsg struct {
+	m     cnet.Message
+	size  int
+	isReq bool
+	reqID uint64 // for requeuing on exclusion; 0 for non-requests
+}
+
+func (s *Server) peer(n cnet.NodeID) *peer {
+	p := s.peers[n]
+	if p == nil {
+		p = &peer{id: n}
+		s.peers[n] = p
+	}
+	return p
+}
+
+func (s *Server) peerLoad(n cnet.NodeID, load int) {
+	if p := s.peers[n]; p != nil {
+		p.load = load
+	} else if s.view[n] {
+		s.peer(n).load = load
+	}
+}
+
+// connectPeer establishes (or re-establishes) the send connection to n.
+func (s *Server) connectPeer(n cnet.NodeID) {
+	p := s.peer(n)
+	if p.conn != nil || p.dialing {
+		return
+	}
+	p.dialing = true
+	h := cnet.StreamHandlers{
+		OnClose: func(c cnet.Conn, err error) {
+			if p.conn == c {
+				p.conn = nil
+				s.peerConnLost(n, err)
+			}
+		},
+		OnWritable: func(c cnet.Conn) { s.drain(n) },
+	}
+	s.env.Dial(n, cnet.ClassIntra, PortPress, h, func(c cnet.Conn, err error) {
+		p.dialing = false
+		if err != nil {
+			// The peer application is dead or the node unreachable. Keep
+			// retrying while it remains in the view; the detectors decide
+			// whether it should stay there.
+			if s.view[n] {
+				p.retry = s.env.Clock().AfterFunc(2*time.Second, func() { s.connectPeer(n) })
+			}
+			return
+		}
+		if !s.view[n] {
+			c.Close()
+			return
+		}
+		p.conn = c
+		hello := HelloMsg{From: s.cfg.Self, CacheDocs: s.cache.Docs()}
+		c.TrySend(hello, sizeHello+4*len(hello.CacheDocs))
+		s.drain(n)
+	})
+}
+
+// enqueue appends a message to n's send queue and pushes the queue.
+func (s *Server) enqueue(n cnet.NodeID, om outMsg) {
+	p := s.peer(n)
+	p.sendQ = append(p.sendQ, om)
+	if om.isReq {
+		p.reqInQ++
+	}
+	s.observeQueue(p)
+	if p.conn == nil {
+		s.connectPeer(n)
+		return
+	}
+	s.drain(n)
+}
+
+// drain pushes queued messages until the connection's window fills.
+func (s *Server) drain(n cnet.NodeID) {
+	p := s.peers[n]
+	if p == nil || p.conn == nil {
+		return
+	}
+	for len(p.sendQ) > 0 {
+		om := p.sendQ[0]
+		if !p.conn.TrySend(om.m, om.size) {
+			break // flow control: the peer is not reading
+		}
+		p.sendQ = p.sendQ[1:]
+		if om.isReq {
+			p.reqInQ--
+		}
+	}
+	s.observeQueue(p)
+}
+
+func (s *Server) observeQueue(p *peer) {
+	if s.qm != nil {
+		s.qm.Observe(p.id, len(p.sendQ), p.reqInQ)
+	}
+}
+
+// teardown closes the peer's plumbing and empties its send queue. Queued
+// requests are rerouted by the caller via the inflight table.
+func (p *peer) teardown() {
+	p.sendQ = nil
+	p.reqInQ = 0
+	if p.retry != nil {
+		p.retry.Stop()
+	}
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	p.dialing = false
+}
+
+// peerConnLost reacts to the loss of our send connection to n. A reset
+// means the peer process crashed (or its machine rebooted): PRESS treats
+// that as the peer leaving the cooperation set; it rejoins via the join
+// protocol or the membership service.
+func (s *Server) peerConnLost(n cnet.NodeID, err error) {
+	if !s.view[n] {
+		return
+	}
+	s.emitDetect(int(n), "conn: "+err.Error())
+	s.exclude(n, "connection lost")
+}
+
+// acceptPeer handles inbound intra-cluster connections (the peer's send
+// connection). The first message must be a Hello identifying the dialer.
+func (s *Server) acceptPeer(c cnet.Conn) cnet.StreamHandlers {
+	return cnet.StreamHandlers{
+		OnMessage: func(c cnet.Conn, m cnet.Message) { s.onPeerMsg(c, m) },
+		OnClose: func(c cnet.Conn, err error) {
+			n, known := s.inboundFrom[c]
+			delete(s.inboundFrom, c)
+			if known {
+				s.peerConnLost(n, err)
+			}
+		},
+	}
+}
+
+func (s *Server) onPeerMsg(c cnet.Conn, m cnet.Message) {
+	from, known := s.inboundFrom[c]
+	switch msg := m.(type) {
+	case HelloMsg:
+		s.env.Charge(s.cfg.Cost.Control)
+		s.inboundFrom[c] = msg.From
+		for _, d := range msg.CacheDocs {
+			s.dir.Set(msg.From, d, true)
+		}
+		// A Hello from a node outside the view is a (re)joining member:
+		// NodeIn. (Base PRESS: the rejoining node re-establishes the
+		// intra-cluster connections.)
+		s.include(msg.From, "hello")
+	case FwdMsg:
+		if !known {
+			return
+		}
+		s.peerLoad(from, msg.Load)
+		s.servePeer(from, msg)
+	case FwdReplyMsg:
+		if !known {
+			return
+		}
+		s.peerLoad(from, msg.Load)
+		s.completeForwarded(from, msg)
+	}
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"press/internal/cnet"
+)
+
+// ringDetector is PRESS's built-in fault detector (§3): cluster nodes
+// form a directed ring ordered by node ID; each node heartbeats only the
+// node it points to (its successor) and watches for heartbeats from its
+// predecessor. Three consecutive missing heartbeats declare the
+// predecessor dead; the detecting node excludes it and broadcasts the
+// exclusion so the whole ring reconfigures.
+//
+// Heartbeats are sent by the main coordinating thread, so a server whose
+// main thread is blocked (full disk queue) or hung stops heartbeating —
+// that, not any network fault, is how disk faults surface in Figure 4.
+type ringDetector struct {
+	s       *Server
+	enabled bool
+	pred    cnet.NodeID
+	succ    cnet.NodeID
+	lastHB  time.Duration
+}
+
+func (r *ringDetector) init(s *Server) {
+	r.s = s
+	r.pred, r.succ = cnet.None, cnet.None
+	if !s.cfg.RingDetector {
+		return
+	}
+	r.enabled = true
+	r.recompute()
+	r.tickLater()
+}
+
+func (r *ringDetector) tickLater() {
+	r.s.env.Clock().AfterFunc(r.s.cfg.HeartbeatPeriod, func() { r.tick() })
+}
+
+func (r *ringDetector) tick() {
+	if !r.enabled {
+		return
+	}
+	s := r.s
+	s.env.Charge(s.cfg.Cost.Control)
+	if r.succ != cnet.None {
+		s.env.Send(r.succ, cnet.ClassIntra, PortHB, HBMsg{From: s.cfg.Self, Load: s.active}, sizeHB)
+	}
+	if r.pred != cnet.None {
+		deadline := time.Duration(s.cfg.HeartbeatMiss) * s.cfg.HeartbeatPeriod
+		if s.env.Clock().Now()-r.lastHB > deadline {
+			dead := r.pred
+			s.emitDetect(int(dead), fmt.Sprintf("ring: %d heartbeats missed", s.cfg.HeartbeatMiss))
+			// Tell the rest of the ring before reconfiguring locally.
+			for _, n := range s.sortedView() {
+				if n != s.cfg.Self && n != dead {
+					s.env.Send(n, cnet.ClassIntra, PortControl, ExcludeMsg{From: s.cfg.Self, Dead: dead}, sizeControl)
+				}
+			}
+			s.exclude(dead, "ring heartbeat loss")
+		}
+	}
+	r.tickLater()
+}
+
+// onHeartbeat is the server's PortHB datagram handler.
+func (s *Server) onHeartbeat(from cnet.NodeID, m cnet.Message) {
+	hb, ok := m.(HBMsg)
+	if !ok {
+		return
+	}
+	s.env.Charge(s.cfg.Cost.Control)
+	s.peerLoad(hb.From, hb.Load)
+	if hb.From == s.ring.pred {
+		s.ring.lastHB = s.env.Clock().Now()
+	}
+}
+
+// recompute re-derives ring neighbours after any view change. A fresh
+// predecessor gets a full grace window.
+func (r *ringDetector) recompute() {
+	if !r.enabled {
+		return
+	}
+	view := r.s.sortedView()
+	if len(view) <= 1 {
+		r.pred, r.succ = cnet.None, cnet.None
+		return
+	}
+	self := r.s.cfg.Self
+	idx := -1
+	for i, n := range view {
+		if n == self {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		r.pred, r.succ = cnet.None, cnet.None
+		return
+	}
+	newSucc := view[(idx+1)%len(view)]
+	newPred := view[(idx-1+len(view))%len(view)]
+	r.succ = newSucc
+	if newPred != r.pred {
+		r.pred = newPred
+		r.lastHB = r.s.env.Clock().Now()
+	}
+}

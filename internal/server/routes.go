@@ -1,0 +1,277 @@
+package server
+
+import (
+	"press/internal/cnet"
+	"press/internal/trace"
+)
+
+// acceptClient handles client-facing (or front-end-forwarded, or
+// FME-probe) connections. One request per connection, HTTP/1.0 style.
+//
+// Shedding happens here, at accept time: when the service slots and the
+// backlog are both full, the connection is refused like a kernel
+// overflowing its SYN queue — without costing the main coordinating
+// thread anything. This keeps heartbeats timely under overload; without
+// it, deep overload delays the heartbeat path enough to splinter the
+// cluster, which is not a behaviour the paper's testbed exhibited.
+func (s *Server) acceptClient(c cnet.Conn) cnet.StreamHandlers {
+	if s.active >= s.cfg.MaxConcurrent && len(s.acceptQ) >= s.cfg.AcceptBacklog {
+		c.Close()
+		return cnet.StreamHandlers{}
+	}
+	return cnet.StreamHandlers{
+		OnMessage: func(c cnet.Conn, m cnet.Message) {
+			req, ok := m.(ReqMsg)
+			if !ok {
+				return
+			}
+			s.handleRequest(c, req)
+		},
+		OnClose: func(c cnet.Conn, err error) {
+			// Client gave up (timeout) or finished: release anything the
+			// request still holds.
+			if id, ok := s.clientOf[c]; ok {
+				delete(s.clientOf, c)
+				if st := s.inflight[id]; st != nil {
+					st.client = nil
+					s.finish(st, false)
+				}
+			}
+			// Also drop it from the accept queue if it never got a slot.
+			for i := range s.acceptQ {
+				if s.acceptQ[i].conn == c {
+					s.acceptQ = append(s.acceptQ[:i], s.acceptQ[i+1:]...)
+					break
+				}
+			}
+		},
+	}
+}
+
+func (s *Server) handleRequest(c cnet.Conn, req ReqMsg) {
+	if req.Probe {
+		// FME/S-FME liveness probe: answered inline by the main thread,
+		// no slot, reporting the cooperation set.
+		s.env.Charge(s.cfg.Cost.Control)
+		c.TrySend(RespMsg{ID: req.ID, OK: true, Probe: true, View: s.View()}, sizeResp)
+		return
+	}
+	if s.active >= s.cfg.MaxConcurrent {
+		if len(s.acceptQ) >= s.cfg.AcceptBacklog {
+			// Listen backlog full: shed the connection cheaply, like a
+			// kernel-level refusal, before any parsing happens.
+			s.env.Charge(s.cfg.Cost.Control)
+			c.Close()
+			return
+		}
+		// No service slot: the request waits unserved. Under a stuck-peer
+		// fault this queue is where cluster throughput goes to die. The
+		// accept/parse cost is charged on admission.
+		s.acceptQ = append(s.acceptQ, pendingReq{conn: c, msg: req})
+		return
+	}
+	s.env.Charge(s.cfg.Cost.Accept)
+	s.admit(c, req)
+}
+
+func (s *Server) admit(c cnet.Conn, req ReqMsg) {
+	s.active++
+	s.nextID++
+	st := &reqState{id: s.nextID, doc: req.Doc, client: c, forwardedTo: cnet.None}
+	s.inflight[st.id] = st
+	s.clientOf[c] = st.id
+	s.route(st)
+}
+
+// route decides how to serve st: local cache, a caching peer, the
+// document's home node, or the local disk (§3's request distribution).
+func (s *Server) route(st *reqState) {
+	if s.cache.Has(st.doc) {
+		s.env.Charge(s.cfg.Cost.LocalHit)
+		s.stats.LocalHits++
+		s.respond(st, true)
+		return
+	}
+	if !s.cfg.Cooperative {
+		s.diskRead(st.doc, func(ok bool) { s.localDiskServed(st, ok) })
+		return
+	}
+	if target, ok := s.pickService(st.doc); ok {
+		s.forward(st, target)
+		return
+	}
+	s.diskRead(st.doc, func(ok bool) { s.localDiskServed(st, ok) })
+}
+
+// pickService chooses the service node for a document we don't cache:
+// the least-loaded peer known to cache it, else the document's home node
+// (hash placement), unless queue monitoring says to route away.
+func (s *Server) pickService(doc trace.DocID) (cnet.NodeID, bool) {
+	view := s.sortedView()
+	if len(view) <= 1 {
+		return cnet.None, false
+	}
+	var candidates []cnet.NodeID
+	for _, n := range view {
+		if n != s.cfg.Self {
+			candidates = append(candidates, n)
+		}
+	}
+	best := cnet.None
+	bestLoad := int(^uint(0) >> 1)
+	for _, n := range s.dir.Holders(doc, candidates) {
+		if s.qm != nil && s.qm.ShouldReroute(n) {
+			s.stats.Rerouted++
+			continue
+		}
+		if l := s.peer(n).load; l < bestLoad {
+			best, bestLoad = n, l
+		}
+	}
+	if best != cnet.None {
+		return best, true
+	}
+	home := view[int(doc)%len(view)]
+	if home == s.cfg.Self {
+		return cnet.None, false
+	}
+	if s.qm != nil && s.qm.ShouldReroute(home) {
+		s.stats.Rerouted++
+		return cnet.None, false
+	}
+	return home, true
+}
+
+func (s *Server) forward(st *reqState, target cnet.NodeID) {
+	s.env.Charge(s.cfg.Cost.Forward)
+	st.forwardedTo = target
+	s.stats.ForwardsOut++
+	s.enqueue(target, outMsg{
+		m:     FwdMsg{ID: st.id, Doc: st.doc, Load: s.active},
+		size:  sizeFwd,
+		isReq: true,
+		reqID: st.id,
+	})
+}
+
+// completeForwarded handles a service node's reply.
+func (s *Server) completeForwarded(from cnet.NodeID, msg FwdReplyMsg) {
+	st := s.inflight[msg.ID]
+	if st == nil || st.forwardedTo != from {
+		return // request already dead (client timeout / rerouted elsewhere)
+	}
+	s.env.Charge(s.cfg.Cost.Reply)
+	s.stats.RemoteServed++
+	s.respond(st, msg.OK)
+}
+
+// servePeer is the service-node half of a forwarded request.
+func (s *Server) servePeer(from cnet.NodeID, msg FwdMsg) {
+	reply := func(ok bool) {
+		if !s.view[from] {
+			return
+		}
+		s.stats.PeerServes++
+		s.enqueue(from, outMsg{
+			m:    FwdReplyMsg{ID: msg.ID, Doc: msg.Doc, OK: ok, Load: s.active},
+			size: sizeResp + int(s.cfg.Catalog.Size),
+		})
+	}
+	if s.cache.Has(msg.Doc) {
+		s.env.Charge(s.cfg.Cost.PeerServe)
+		reply(true)
+		return
+	}
+	// Miss at the service node: read and start caching (the announce
+	// happens in diskDone).
+	s.env.Charge(s.cfg.Cost.PeerServe)
+	s.diskRead(msg.Doc, func(ok bool) {
+		s.env.Charge(s.cfg.Cost.DiskDone)
+		if ok {
+			s.insertCache(msg.Doc)
+		}
+		reply(ok)
+	})
+}
+
+// diskKey maps a document to its placement key on the local disks. The
+// low bits of the document ID drive cooperative-cache ownership (home =
+// view[doc mod n]), so the disk placement must use different bits or each
+// node would exercise only one of its disks.
+func diskKey(doc trace.DocID) int { return int(doc) >> 3 }
+
+// diskRead submits a read, blocking the main thread (Stall) when the disk
+// queue is full — the behaviour at the heart of Figure 4. done runs in
+// server context.
+func (s *Server) diskRead(doc trace.DocID, done func(ok bool)) {
+	posted := func(ok bool) {
+		// Disk completions arrive from the disk subsystem's context;
+		// bounce them through the mailbox.
+		s.env.Clock().AfterFunc(0, func() { s.stats.DiskReads++; done(ok) })
+	}
+	if s.disk.Read(diskKey(doc), posted) {
+		return
+	}
+	// Queue full: the main thread blocks until space frees, then retries
+	// this same operation.
+	s.env.Stall()
+	s.disk.NotifySpace(func() {
+		s.env.Resume()
+		s.env.Clock().AfterFunc(0, func() { s.diskRead(doc, done) })
+	})
+}
+
+func (s *Server) localDiskServed(st *reqState, ok bool) {
+	s.env.Charge(s.cfg.Cost.DiskDone)
+	if ok {
+		s.insertCache(st.doc)
+	}
+	s.respond(st, ok)
+}
+
+// insertCache caches doc locally and broadcasts the caching decision(s).
+func (s *Server) insertCache(doc trace.DocID) {
+	evicted, didEvict := s.cache.Insert(doc)
+	if s.cfg.Cooperative {
+		s.announce(doc, true)
+		if didEvict {
+			s.announce(evicted, false)
+		}
+	}
+}
+
+// respond sends the answer to the client and releases the slot.
+func (s *Server) respond(st *reqState, ok bool) {
+	if st.client != nil {
+		size := sizeResp
+		if ok {
+			size += int(s.cfg.Catalog.Size)
+		}
+		st.client.TrySend(RespMsg{ID: st.id, OK: ok}, size)
+		s.stats.Served++
+	}
+	s.finish(st, true)
+}
+
+// finish tears down request state and pulls the next waiter in.
+func (s *Server) finish(st *reqState, responded bool) {
+	if s.inflight[st.id] == nil {
+		return
+	}
+	delete(s.inflight, st.id)
+	if st.client != nil {
+		delete(s.clientOf, st.client)
+	}
+	st.forwardedTo = cnet.None
+	s.active--
+	if s.active < s.cfg.MaxConcurrent && len(s.acceptQ) > 0 {
+		next := s.acceptQ[0]
+		s.acceptQ = s.acceptQ[1:]
+		// Admit through the mailbox: the accept backlog drains as a chain
+		// of separately charged work items, not one giant handler.
+		s.env.Clock().AfterFunc(0, func() {
+			s.env.Charge(s.cfg.Cost.Accept)
+			s.admit(next.conn, next.msg)
+		})
+	}
+}

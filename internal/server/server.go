@@ -1,0 +1,337 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"press/internal/cnet"
+	"press/internal/metrics"
+	"press/internal/qmon"
+	"press/internal/trace"
+)
+
+// Stats counts server-side work; the availability figures are measured at
+// the clients, these are for tests and diagnostics.
+type Stats struct {
+	Served       uint64 // responses sent to clients
+	LocalHits    uint64 // served from the local cache
+	RemoteServed uint64 // served via a peer's cache/disk
+	DiskReads    uint64 // local disk reads completed
+	ForwardsOut  uint64 // requests forwarded to peers
+	PeerServes   uint64 // forwarded requests served for peers
+	Rerouted     uint64 // requests rerouted away from overloaded peers
+	Excludes     uint64
+	Includes     uint64
+}
+
+// Server is one PRESS process.
+type Server struct {
+	cfg  Config
+	env  cnet.Env
+	disk DiskArray
+	memb MembershipView
+	qm   *qmon.Monitor
+
+	cache *docCache
+	dir   *directory
+
+	view   map[cnet.NodeID]bool
+	sorted []cnet.NodeID // cached sorted view
+	peers  map[cnet.NodeID]*peer
+	joined bool
+
+	active      int
+	acceptQ     []pendingReq
+	nextID      uint64
+	inflight    map[uint64]*reqState
+	clientOf    map[cnet.Conn]uint64
+	inboundFrom map[cnet.Conn]cnet.NodeID
+
+	ring  ringDetector
+	stats Stats
+
+	joinTimer timerHandle
+}
+
+type timerHandle interface{ Stop() bool }
+
+type pendingReq struct {
+	conn cnet.Conn
+	msg  ReqMsg
+}
+
+type reqState struct {
+	id          uint64
+	doc         trace.DocID
+	client      cnet.Conn
+	forwardedTo cnet.NodeID
+}
+
+// New constructs and starts a PRESS server process on env. memb may be
+// nil (no external membership service); disk must serve every document.
+func New(cfg Config, env cnet.Env, disk DiskArray, memb MembershipView) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		env:         env,
+		disk:        disk,
+		memb:        memb,
+		cache:       newDocCache(cfg.Catalog.DocsFitting(cfg.CacheBytes)),
+		dir:         newDirectory(cfg.Nodes),
+		view:        map[cnet.NodeID]bool{cfg.Self: true},
+		peers:       make(map[cnet.NodeID]*peer),
+		inflight:    make(map[uint64]*reqState),
+		clientOf:    make(map[cnet.Conn]uint64),
+		inboundFrom: make(map[cnet.Conn]cnet.NodeID),
+	}
+	if cfg.QMon != nil {
+		s.qm = qmon.New(*cfg.QMon, qmon.Callbacks{
+			OnReroute: func(p cnet.NodeID) {
+				s.emit(metrics.EvQMonReroute, int(p), "queue overloaded")
+			},
+			OnFail: func(p cnet.NodeID) {
+				s.emit(metrics.EvQMonFail, int(p), "queue threshold crossed")
+				s.emitDetect(int(p), "qmon")
+				s.exclude(p, "qmon")
+			},
+		}, env.Rand())
+	}
+	s.start()
+	return s
+}
+
+func (s *Server) start() {
+	s.env.Listen(PortHTTP, s.acceptClient)
+	if !s.cfg.Cooperative {
+		s.joined = true
+		s.emit(metrics.EvServerUp, int(s.cfg.Self), "independent")
+		return
+	}
+	s.env.Listen(PortPress, s.acceptPeer)
+	s.env.BindDatagram(PortControl, s.onControl)
+	s.env.BindDatagram(PortHB, s.onHeartbeat)
+	s.ring.init(s)
+
+	// Rejoin protocol (§3): broadcast our identity; the lowest-ID active
+	// member answers with the current configuration. If nobody answers
+	// within JoinTimeout this is a cold start and the static configuration
+	// is adopted.
+	for _, n := range s.cfg.Nodes {
+		if n != s.cfg.Self {
+			s.env.Send(n, cnet.ClassIntra, PortControl, JoinReqMsg{From: s.cfg.Self}, sizeControl)
+		}
+	}
+	s.joinTimer = s.env.Clock().AfterFunc(s.cfg.JoinTimeout, func() {
+		if s.joined {
+			return
+		}
+		s.adoptView(s.cfg.Nodes, "cold start")
+	})
+
+	if s.memb != nil {
+		s.memb.Subscribe(s.reconcileMembership)
+	}
+	s.emit(metrics.EvServerUp, int(s.cfg.Self), "cooperative")
+}
+
+// adoptView installs a full view at join time.
+func (s *Server) adoptView(nodes []cnet.NodeID, why string) {
+	s.joined = true
+	if s.joinTimer != nil {
+		s.joinTimer.Stop()
+	}
+	for _, n := range nodes {
+		if n != s.cfg.Self && !s.view[n] {
+			s.include(n, why)
+		}
+	}
+}
+
+// Sorted view (self included).
+func (s *Server) sortedView() []cnet.NodeID {
+	if s.sorted == nil {
+		for n := range s.view {
+			s.sorted = append(s.sorted, n)
+		}
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	}
+	return s.sorted
+}
+
+func (s *Server) viewChanged() {
+	s.sorted = nil
+	s.ring.recompute()
+}
+
+// View returns the current cooperation set, sorted, self included.
+func (s *Server) View() []cnet.NodeID {
+	out := make([]cnet.NodeID, len(s.sortedView()))
+	copy(out, s.sortedView())
+	return out
+}
+
+// Active returns the number of requests currently holding service slots.
+func (s *Server) Active() int { return s.active }
+
+// QueuedAccepts returns requests waiting for a slot.
+func (s *Server) QueuedAccepts() int { return len(s.acceptQ) }
+
+// Stats returns a copy of the server counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// CacheLen returns the number of locally cached documents.
+func (s *Server) CacheLen() int { return s.cache.Len() }
+
+// Joined reports whether the join protocol completed.
+func (s *Server) Joined() bool { return s.joined }
+
+// SendQueueLen reports the send-queue length towards peer (tests).
+func (s *Server) SendQueueLen(n cnet.NodeID) int {
+	if p := s.peers[n]; p != nil {
+		return len(p.sendQ)
+	}
+	return 0
+}
+
+// include admits n to the cooperation set (NodeIn).
+func (s *Server) include(n cnet.NodeID, why string) {
+	if n == s.cfg.Self || s.view[n] {
+		return
+	}
+	s.view[n] = true
+	s.viewChanged()
+	s.stats.Includes++
+	if s.qm != nil {
+		s.qm.ClearFailed(n)
+	}
+	s.emit(metrics.EvInclude, int(n), why)
+	s.connectPeer(n)
+}
+
+// exclude removes n from the cooperation set (NodeOut) and reroutes its
+// pending work.
+func (s *Server) exclude(n cnet.NodeID, why string) {
+	if n == s.cfg.Self || !s.view[n] {
+		return
+	}
+	delete(s.view, n)
+	s.viewChanged()
+	s.stats.Excludes++
+	s.emit(metrics.EvExclude, int(n), why)
+	s.dir.DropNode(n)
+	if s.qm != nil {
+		s.qm.Forget(n)
+	}
+	if p := s.peers[n]; p != nil {
+		p.teardown()
+	}
+	// Requests forwarded to n — still queued or already sent and awaiting
+	// a reply — are rerouted ("to other cooperative peers or the disk
+	// queue"). Queued ones are covered here too: forward() stamps
+	// forwardedTo before enqueueing.
+	var requeue []uint64
+	for id, st := range s.inflight {
+		if st.forwardedTo == n {
+			requeue = append(requeue, id)
+		}
+	}
+	sort.Slice(requeue, func(i, j int) bool { return requeue[i] < requeue[j] })
+	for _, id := range requeue {
+		st := s.inflight[id]
+		if st == nil {
+			continue
+		}
+		st.forwardedTo = cnet.None
+		s.route(st)
+	}
+}
+
+// reconcileMembership folds the external membership view into the
+// cooperation set. It runs on every poll of the published view, so a peer
+// excluded by queue monitoring but still in the membership group is
+// re-admitted here — the conflicting-recovery seam of §4.4.
+func (s *Server) reconcileMembership(members []cnet.NodeID) {
+	if !s.joined {
+		s.joined = true
+		if s.joinTimer != nil {
+			s.joinTimer.Stop()
+		}
+	}
+	in := make(map[cnet.NodeID]bool, len(members))
+	for _, n := range members {
+		in[n] = true
+	}
+	for _, n := range s.sortedView() {
+		if n != s.cfg.Self && !in[n] {
+			s.exclude(n, "membership NodeOut")
+		}
+	}
+	static := make(map[cnet.NodeID]bool, len(s.cfg.Nodes))
+	for _, n := range s.cfg.Nodes {
+		static[n] = true
+	}
+	for _, n := range members {
+		if n != s.cfg.Self && static[n] && !s.view[n] {
+			s.include(n, "membership NodeIn")
+		}
+	}
+}
+
+// onControl handles the join protocol and exclude broadcasts.
+func (s *Server) onControl(from cnet.NodeID, m cnet.Message) {
+	s.env.Charge(s.cfg.Cost.Control)
+	switch msg := m.(type) {
+	case JoinReqMsg:
+		if !s.joined {
+			return
+		}
+		// Lowest-ID active member answers with the configuration.
+		if s.sortedView()[0] != s.cfg.Self {
+			return
+		}
+		resp := JoinRespMsg{From: s.cfg.Self, View: s.View()}
+		s.env.Send(msg.From, cnet.ClassIntra, PortControl, resp, sizeControl+4*len(resp.View))
+	case JoinRespMsg:
+		if s.joined {
+			return
+		}
+		s.adoptView(append(msg.View, msg.From), "join response")
+	case ExcludeMsg:
+		if msg.Dead == s.cfg.Self {
+			return // we are apparently dead to them; splinter, do nothing
+		}
+		if !s.view[msg.From] {
+			// Exclusion claims from outside our cooperation set are stale
+			// ring state — e.g. a node that just thawed from a freeze and
+			// thinks everyone else missed its heartbeats.
+			return
+		}
+		if s.view[msg.Dead] {
+			s.exclude(msg.Dead, fmt.Sprintf("ring broadcast from %d", msg.From))
+		}
+	case AnnounceMsg:
+		if !s.view[msg.From] {
+			return
+		}
+		s.dir.Set(msg.From, msg.Doc, msg.Cached)
+		s.peerLoad(msg.From, msg.Load)
+	}
+}
+
+func (s *Server) emit(kind string, node int, detail string) {
+	s.env.Events().Emit(s.env.Clock().Now(), fmt.Sprintf("press/%d", s.cfg.Self), kind, node, detail)
+}
+
+func (s *Server) emitDetect(node int, by string) {
+	s.env.Events().Emit(s.env.Clock().Now(), fmt.Sprintf("press/%d", s.cfg.Self), metrics.EvDetect, node, by)
+}
+
+// announce broadcasts a caching decision to the cooperation set.
+func (s *Server) announce(doc trace.DocID, cached bool) {
+	for _, n := range s.sortedView() {
+		if n != s.cfg.Self {
+			s.env.Send(n, cnet.ClassIntra, PortControl,
+				AnnounceMsg{From: s.cfg.Self, Doc: doc, Cached: cached, Load: s.active}, sizeControl)
+		}
+	}
+}

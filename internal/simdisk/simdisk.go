@@ -1,0 +1,256 @@
+// Package simdisk models the per-node SCSI disk subsystem of the paper's
+// testbed (two disks per node, accessed through PRESS's pool of disk
+// helper threads and a shared disk queue) and its one fault mode, the SCSI
+// timeout: operations submitted to a faulty disk never complete.
+//
+// The structure matters for reproducing Figure 4. When one disk times out,
+// the helper threads blocked on it are captured one by one; once all
+// threads are stuck the shared disk queue fills at the node's miss rate,
+// and then the PRESS main thread blocks trying to enqueue — which silences
+// its heartbeats and stalls the entire cooperative cluster.
+package simdisk
+
+import (
+	"math/rand"
+	"time"
+
+	"press/internal/sim"
+)
+
+// Config describes a node's disk subsystem.
+type Config struct {
+	// MeanService is the average time one disk takes to satisfy one read
+	// (seek + rotation + transfer for a 27 KB file).
+	MeanService time.Duration
+	// JitterFrac spreads individual service times uniformly in
+	// [Mean*(1-j), Mean*(1+j)].
+	JitterFrac float64
+	// QueueCap bounds the shared queue of not-yet-started operations; a
+	// full queue blocks the PRESS main thread.
+	QueueCap int
+	// Workers is the number of disk helper threads.
+	Workers int
+}
+
+// DefaultConfig models the 2x10K rpm SCSI subsystem at the simulation's
+// time scale. (The whole simulation runs ~10x slower than the 2003
+// hardware so that a fault-injection campaign stays cheap; CPU and disk
+// costs share the scale, so ratios — and therefore availability — are
+// preserved.)
+func DefaultConfig() Config {
+	return Config{MeanService: 65 * time.Millisecond, JitterFrac: 0.3, QueueCap: 16, Workers: 2}
+}
+
+// Disk is a single device: a fault flag and a service-time sampler.
+type Disk struct {
+	sim    *sim.Sim
+	rng    *rand.Rand
+	mean   time.Duration
+	jitter float64
+	faulty bool
+	reads  uint64
+	arr    *Array
+}
+
+// Faulty reports the fault state.
+func (d *Disk) Faulty() bool { return d.faulty }
+
+// Reads returns the number of reads this device completed.
+func (d *Disk) Reads() uint64 { return d.reads }
+
+// SetFaulty injects or repairs the SCSI-timeout fault. Repair releases
+// any helper threads blocked on this device.
+func (d *Disk) SetFaulty(f bool) {
+	if d.faulty == f {
+		return
+	}
+	d.faulty = f
+	if !f && d.arr != nil {
+		d.arr.releaseBlocked(d)
+	}
+}
+
+// Probe issues a direct SCSI health check, the way the FME daemon does
+// through the SCSI generic interface: it bypasses the request queue, so it
+// works even when the queue is full and all helper threads are stuck.
+// done(false) fires after `timeout` on a faulty disk, done(true) after one
+// service time otherwise.
+func (d *Disk) Probe(timeout time.Duration, done func(healthy bool)) {
+	if d.faulty {
+		d.sim.After(timeout, func() { done(false) })
+		return
+	}
+	d.sim.After(d.serviceTime(), func() { done(!d.faulty) })
+}
+
+func (d *Disk) serviceTime() time.Duration {
+	if d.jitter <= 0 {
+		return d.mean
+	}
+	f := 1 - d.jitter + 2*d.jitter*d.rng.Float64()
+	return time.Duration(float64(d.mean) * f)
+}
+
+type op struct {
+	key  int
+	done func(ok bool)
+}
+
+// Array is a node's disk subsystem: devices, helper threads, and the
+// shared queue. Documents are placed on devices by key, as PRESS spreads
+// its replicated document set across the local disks.
+type Array struct {
+	sim     *sim.Sim
+	cfg     Config
+	disks   []*Disk
+	queue   []op
+	idle    int            // free helper threads
+	blocked map[*Disk][]op // threads captured by a faulty device, with their ops
+	onSpace []func()
+}
+
+// NewArray builds the subsystem with n devices.
+func NewArray(s *sim.Sim, rng *rand.Rand, cfg Config, n int) *Array {
+	if n <= 0 {
+		panic("simdisk: array needs at least one disk")
+	}
+	if cfg.MeanService <= 0 {
+		cfg.MeanService = DefaultConfig().MeanService
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultConfig().QueueCap
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultConfig().Workers
+	}
+	a := &Array{sim: s, cfg: cfg, idle: cfg.Workers, blocked: make(map[*Disk][]op)}
+	for i := 0; i < n; i++ {
+		a.disks = append(a.disks, &Disk{sim: s, rng: rng, mean: cfg.MeanService, jitter: cfg.JitterFrac, arr: a})
+	}
+	return a
+}
+
+// Disks returns the member devices (for fault injection and probing).
+func (a *Array) Disks() []*Disk { return a.disks }
+
+// QueueLen reports the shared-queue backlog (excluding in-service ops).
+func (a *Array) QueueLen() int { return len(a.queue) }
+
+// Full reports whether a Read would be rejected right now.
+func (a *Array) Full() bool { return a.idle == 0 && len(a.queue) >= a.cfg.QueueCap }
+
+// Read submits a read for the document with the given placement key.
+// done(true) runs after service (much later if the device is faulty and
+// must be repaired first). Read reports false — without accepting the
+// operation — when the queue is full; the caller stalls and retries after
+// NotifySpace, exactly like the PRESS main thread.
+func (a *Array) Read(key int, done func(ok bool)) bool {
+	o := op{key: key, done: done}
+	if a.idle > 0 {
+		a.start(o)
+		return true
+	}
+	if len(a.queue) >= a.cfg.QueueCap {
+		return false
+	}
+	a.queue = append(a.queue, o)
+	return true
+}
+
+// NotifySpace registers a one-shot callback invoked the next time an
+// operation could be accepted again.
+func (a *Array) NotifySpace(fn func()) { a.onSpace = append(a.onSpace, fn) }
+
+// AnyFaulty reports whether any device is faulty.
+func (a *Array) AnyFaulty() bool {
+	for _, d := range a.disks {
+		if d.faulty {
+			return true
+		}
+	}
+	return false
+}
+
+// Probe health-checks every device; done(false) as soon as one reports
+// unhealthy, done(true) once all pass.
+func (a *Array) Probe(timeout time.Duration, done func(healthy bool)) {
+	remaining := len(a.disks)
+	reported := false
+	for _, d := range a.disks {
+		d.Probe(timeout, func(h bool) {
+			if reported {
+				return
+			}
+			if !h {
+				reported = true
+				done(false)
+				return
+			}
+			remaining--
+			if remaining == 0 {
+				reported = true
+				done(true)
+			}
+		})
+	}
+}
+
+// start dispatches o on a free helper thread.
+func (a *Array) start(o op) {
+	d := a.disks[o.key%len(a.disks)]
+	a.idle--
+	if d.faulty {
+		// The thread blocks on the hung device until repair.
+		a.blocked[d] = append(a.blocked[d], o)
+		return
+	}
+	a.sim.After(d.serviceTime(), func() {
+		if d.faulty {
+			// Fault arrived mid-service: the thread is now stuck.
+			a.blocked[d] = append(a.blocked[d], o)
+			return
+		}
+		d.reads++
+		a.finish()
+		o.done(true)
+	})
+}
+
+// finish returns a thread to the pool and dispatches queued work.
+func (a *Array) finish() {
+	a.idle++
+	for a.idle > 0 && len(a.queue) > 0 {
+		next := a.queue[0]
+		copy(a.queue, a.queue[1:])
+		a.queue = a.queue[:len(a.queue)-1]
+		a.start(next)
+	}
+	if !a.Full() && len(a.onSpace) > 0 {
+		cbs := a.onSpace
+		a.onSpace = nil
+		for _, fn := range cbs {
+			fn()
+		}
+	}
+}
+
+// releaseBlocked restarts the ops whose threads were captured by d.
+func (a *Array) releaseBlocked(d *Disk) {
+	ops := a.blocked[d]
+	if len(ops) == 0 {
+		return
+	}
+	delete(a.blocked, d)
+	for _, o := range ops {
+		a.idle++ // thread released...
+		a.startOrQueue(o)
+	}
+}
+
+func (a *Array) startOrQueue(o op) {
+	if a.idle > 0 {
+		a.start(o)
+		return
+	}
+	a.queue = append(a.queue, o) // may transiently exceed cap; drains immediately
+}

@@ -1,0 +1,588 @@
+// Package simnet is the discrete-event implementation of the cnet
+// transport: the stand-in for the paper's cLAN/VIA interconnect plus
+// switch, with the fault hooks Mendosus provided on the real testbed.
+//
+// Fidelity notes — the availability results depend on these distinctions,
+// so they are modeled explicitly:
+//
+//   - Intra-cluster faults (link down, switch down) never affect
+//     client-class traffic, mirroring Mendosus's emulation (§5).
+//   - An application crash resets its TCP connections immediately (RST),
+//     so peers can notice quickly; a *machine* crash leaves peers hanging
+//     until the machine reboots (then RSTs), so only heartbeat timeouts
+//     can detect it — the paper's membership service exists exactly for
+//     this case.
+//   - A frozen machine (or hung/stalled process) stops *reading*: stream
+//     messages buffer up to a flow-control window and then senders stall,
+//     which is what makes PRESS's self-monitoring send queues build up
+//     (§4.3); datagrams to it are dropped (socket buffer overflow).
+//   - Connecting to a listening port succeeds at TCP level even when the
+//     accepting process is hung (listen backlog), which is why FME's HTTP
+//     probe observes "connects, but no reply" for a hung server (§4.5).
+package simnet
+
+import (
+	"sort"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/metrics"
+	"press/internal/sim"
+)
+
+// NodeState is the coarse machine state the machine layer mirrors into the
+// network.
+type NodeState int
+
+const (
+	// NodeUp : normal operation.
+	NodeUp NodeState = iota
+	// NodeDown : machine crashed/powered off. Black hole; RSTs on reboot.
+	NodeDown
+	// NodeFrozen : machine wedged. Streams buffer, datagrams drop, dials
+	// time out; everything resumes when unfrozen.
+	NodeFrozen
+)
+
+// Config carries the physical parameters of the simulated network.
+type Config struct {
+	PropDelay  time.Duration // one-way propagation + switching latency
+	Bandwidth  float64       // bytes/second per NIC direction
+	SynTimeout time.Duration // connect attempts give up after this
+	RecvWindow int           // stream messages buffered at a non-reading receiver before senders stall
+	DgramSize  int           // default wire size when a send passes size<=0
+}
+
+// DefaultConfig mirrors the paper's 1 Gb/s cLAN in spirit: latency is tens
+// of microseconds, bandwidth is never the bottleneck for the workload.
+func DefaultConfig() Config {
+	return Config{
+		PropDelay:  50 * time.Microsecond,
+		Bandwidth:  125e6,
+		SynTimeout: 3 * time.Second,
+		RecvWindow: 16,
+		DgramSize:  64,
+	}
+}
+
+// Network is the simulated cluster network: a set of interfaces joined by
+// one intra-cluster switch, plus an always-up client-access path.
+type Network struct {
+	sim      *sim.Sim
+	cfg      Config
+	log      *metrics.Log
+	switchUp bool
+	ifaces   map[cnet.NodeID]*Iface
+	groups   map[string][]*Iface // kept sorted by NodeID for determinism
+	aliases  map[cnet.NodeID]cnet.NodeID
+}
+
+// New creates an empty network.
+func New(s *sim.Sim, cfg Config, log *metrics.Log) *Network {
+	if cfg.PropDelay <= 0 {
+		cfg.PropDelay = DefaultConfig().PropDelay
+	}
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = DefaultConfig().Bandwidth
+	}
+	if cfg.SynTimeout <= 0 {
+		cfg.SynTimeout = DefaultConfig().SynTimeout
+	}
+	if cfg.RecvWindow <= 0 {
+		cfg.RecvWindow = DefaultConfig().RecvWindow
+	}
+	if cfg.DgramSize <= 0 {
+		cfg.DgramSize = DefaultConfig().DgramSize
+	}
+	return &Network{
+		sim:      s,
+		cfg:      cfg,
+		log:      log,
+		switchUp: true,
+		ifaces:   make(map[cnet.NodeID]*Iface),
+		groups:   make(map[string][]*Iface),
+		aliases:  make(map[cnet.NodeID]cnet.NodeID),
+	}
+}
+
+// SetAlias points the virtual address `vip` at `target` — the IP-takeover
+// primitive behind redundant front-end pairs: traffic addressed to the
+// vip is delivered to whoever currently holds it. Passing target ==
+// cnet.None clears the alias.
+func (n *Network) SetAlias(vip, target cnet.NodeID) {
+	if _, taken := n.ifaces[vip]; taken {
+		panic("simnet: alias collides with a real node")
+	}
+	if target == cnet.None {
+		delete(n.aliases, vip)
+		return
+	}
+	n.aliases[vip] = target
+}
+
+// resolve maps a possibly-virtual address to the real interface.
+func (n *Network) resolve(id cnet.NodeID) *Iface {
+	if t, ok := n.aliases[id]; ok {
+		id = t
+	}
+	return n.ifaces[id]
+}
+
+// Sim returns the simulator driving this network.
+func (n *Network) Sim() *sim.Sim { return n.sim }
+
+// Config returns the network parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// SetSwitch raises or drops the intra-cluster switch. Client traffic is
+// unaffected (see package doc).
+func (n *Network) SetSwitch(up bool) { n.switchUp = up }
+
+// SwitchUp reports the switch state.
+func (n *Network) SwitchUp() bool { return n.switchUp }
+
+// AddIface attaches a new interface for node id. It panics on duplicates —
+// topology is fixed at experiment construction time.
+func (n *Network) AddIface(id cnet.NodeID) *Iface {
+	if _, dup := n.ifaces[id]; dup {
+		panic("simnet: duplicate iface")
+	}
+	ifc := &Iface{
+		net:       n,
+		id:        id,
+		state:     NodeUp,
+		linkUp:    true,
+		dgram:     make(map[string]func(cnet.NodeID, cnet.Message)),
+		listeners: make(map[string]func(cnet.Conn) cnet.StreamHandlers),
+	}
+	n.ifaces[id] = ifc
+	return ifc
+}
+
+// Iface returns the interface of node id, or nil.
+func (n *Network) Iface(id cnet.NodeID) *Iface { return n.ifaces[id] }
+
+// pathUp reports whether traffic of the given class can flow from a to b
+// right now. Same-node (loopback) traffic bypasses the fabric entirely.
+func (n *Network) pathUp(a, b *Iface, class cnet.Class) bool {
+	if b.state == NodeDown || a.state == NodeDown {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	if class == cnet.ClassIntra {
+		return a.linkUp && b.linkUp && n.switchUp
+	}
+	return true
+}
+
+// Iface is one node's attachment to the network. All methods must be
+// called from simulator context (single-threaded).
+type Iface struct {
+	net        *Network
+	id         cnet.NodeID
+	state      NodeState
+	linkUp     bool
+	sendFreeAt time.Duration
+
+	dgram     map[string]func(from cnet.NodeID, m cnet.Message)
+	listeners map[string]func(cnet.Conn) cnet.StreamHandlers
+	conns     []*half // local halves of open/zombie conns
+}
+
+// ID returns the node this interface belongs to.
+func (i *Iface) ID() cnet.NodeID { return i.id }
+
+// State returns the mirrored machine state.
+func (i *Iface) State() NodeState { return i.state }
+
+// SetLink raises or drops this node's intra-cluster link.
+func (i *Iface) SetLink(up bool) { i.linkUp = up }
+
+// LinkUp reports the intra-cluster link state.
+func (i *Iface) LinkUp() bool { return i.linkUp }
+
+// SetState mirrors a machine state change into the transport, applying the
+// crash/freeze semantics from the package documentation.
+func (i *Iface) SetState(s NodeState) {
+	prev := i.state
+	i.state = s
+	switch {
+	case s == NodeDown && prev != NodeDown:
+		// Machine died: registrations vanish; conns become zombies.
+		i.dgram = make(map[string]func(cnet.NodeID, cnet.Message))
+		i.listeners = make(map[string]func(cnet.Conn) cnet.StreamHandlers)
+		for _, h := range i.conns {
+			h.zombie = true
+			h.paused = true
+		}
+	case s == NodeUp && prev == NodeDown:
+		// Reboot: surviving peers now see RSTs on their old connections.
+		old := i.conns
+		i.conns = nil
+		for _, h := range old {
+			h.abortPeer(cnet.ErrReset)
+		}
+	case s == NodeFrozen:
+		for _, h := range append([]*half(nil), i.conns...) {
+			h.setPaused(true)
+		}
+	case s == NodeUp && prev == NodeFrozen:
+		// Unpausing drains buffers and can close conns, mutating i.conns:
+		// iterate a snapshot.
+		for _, h := range append([]*half(nil), i.conns...) {
+			if !h.closed && !h.procPaused {
+				h.setPaused(false)
+			}
+		}
+	}
+}
+
+// BindDatagram registers (or, with nil, removes) the datagram handler for
+// a port.
+func (i *Iface) BindDatagram(port string, h func(from cnet.NodeID, m cnet.Message)) {
+	if h == nil {
+		delete(i.dgram, port)
+		return
+	}
+	i.dgram[port] = h
+}
+
+// Listen registers (or removes, with nil) the stream acceptor for a port.
+func (i *Iface) Listen(port string, accept func(cnet.Conn) cnet.StreamHandlers) {
+	if accept == nil {
+		delete(i.listeners, port)
+		return
+	}
+	i.listeners[port] = accept
+}
+
+// JoinGroup subscribes the interface to a multicast group.
+func (i *Iface) JoinGroup(group string) {
+	members := i.net.groups[group]
+	for _, m := range members {
+		if m == i {
+			return
+		}
+	}
+	members = append(members, i)
+	sort.Slice(members, func(a, b int) bool { return members[a].id < members[b].id })
+	i.net.groups[group] = members
+}
+
+// serialize accounts NIC transmit time for size bytes and returns the
+// departure instant.
+func (i *Iface) serialize(size int) time.Duration {
+	now := i.net.sim.Now()
+	if i.sendFreeAt < now {
+		i.sendFreeAt = now
+	}
+	i.sendFreeAt += time.Duration(float64(size) / i.net.cfg.Bandwidth * float64(time.Second))
+	return i.sendFreeAt
+}
+
+// Send transmits a datagram. Delivery is best-effort: any broken path or
+// non-reading destination drops it silently, like UDP.
+func (i *Iface) Send(to cnet.NodeID, class cnet.Class, port string, m cnet.Message, size int) {
+	if i.state != NodeUp {
+		return
+	}
+	if size <= 0 {
+		size = i.net.cfg.DgramSize
+	}
+	dst := i.net.resolve(to)
+	if dst == nil {
+		return
+	}
+	arrive := i.serialize(size) + i.net.cfg.PropDelay
+	i.net.sim.At(arrive, func() {
+		if !i.net.pathUp(i, dst, class) || dst.state != NodeUp {
+			return
+		}
+		if h := dst.dgram[port]; h != nil {
+			h(i.id, m)
+		}
+	})
+}
+
+// Multicast transmits a datagram to every group member (intra class). The
+// sender does not receive its own multicast.
+func (i *Iface) Multicast(group, port string, m cnet.Message, size int) {
+	if i.state != NodeUp {
+		return
+	}
+	if size <= 0 {
+		size = i.net.cfg.DgramSize
+	}
+	arrive := i.serialize(size) + i.net.cfg.PropDelay
+	members := i.net.groups[group]
+	for _, dst := range members {
+		if dst == i {
+			continue
+		}
+		dst := dst
+		i.net.sim.At(arrive, func() {
+			if !i.net.pathUp(i, dst, cnet.ClassIntra) || dst.state != NodeUp {
+				return
+			}
+			if h := dst.dgram[port]; h != nil {
+				h(i.id, m)
+			}
+		})
+	}
+}
+
+// Dial opens a stream to (to, port). See cnet.Env.Dial for semantics.
+func (i *Iface) Dial(to cnet.NodeID, class cnet.Class, port string, h cnet.StreamHandlers, result func(cnet.Conn, error)) {
+	s := i.net.sim
+	dst := i.net.resolve(to)
+	rtt := 2 * i.net.cfg.PropDelay
+	fail := func(err error, after time.Duration) {
+		s.After(after, func() { result(nil, err) })
+	}
+	if i.state != NodeUp {
+		fail(cnet.ErrTimeout, i.net.cfg.SynTimeout)
+		return
+	}
+	if dst == nil || !i.net.pathUp(i, dst, class) || dst.state == NodeDown || dst.state == NodeFrozen {
+		fail(cnet.ErrTimeout, i.net.cfg.SynTimeout)
+		return
+	}
+	accept := dst.listeners[port]
+	if accept == nil {
+		fail(cnet.ErrRefused, rtt)
+		return
+	}
+	// Handshake: completes at TCP level even if the accepting process is
+	// busy/hung. Re-check reachability at SYN arrival.
+	s.After(i.net.cfg.PropDelay, func() {
+		if dst.state == NodeDown || dst.state == NodeFrozen || !i.net.pathUp(i, dst, class) {
+			fail(cnet.ErrTimeout, i.net.cfg.SynTimeout-i.net.cfg.PropDelay)
+			return
+		}
+		acceptNow := dst.listeners[port]
+		if acceptNow == nil {
+			fail(cnet.ErrRefused, i.net.cfg.PropDelay)
+			return
+		}
+		local := &half{iface: i, class: class}
+		remote := &half{iface: dst, class: class}
+		local.peer, remote.peer = remote, local
+		i.conns = append(i.conns, local)
+		dst.conns = append(dst.conns, remote)
+		remote.h = acceptNow(remote)
+		s.After(i.net.cfg.PropDelay, func() {
+			local.h = h
+			result(local, nil)
+		})
+	})
+}
+
+// StreamConn is the control surface the machine layer needs on simulated
+// connections beyond cnet.Conn: pausing reads while the owning process is
+// hung or stalled, and abortive close when the process dies.
+type StreamConn interface {
+	cnet.Conn
+	// SetPaused stops (true) or resumes (false) reading at this end.
+	SetPaused(bool)
+	// Abort closes abortively; the peer sees ErrReset.
+	Abort()
+	// Buffered reports messages waiting unread at this end.
+	Buffered() int
+	// SetCloseHook registers a callback invoked exactly once when this
+	// half closes, whatever the path (local Close/Abort or peer-initiated)
+	// — the owner's bookkeeping hook.
+	SetCloseHook(func())
+}
+
+// half is one direction-endpoint of a stream connection; cnet.Conn is
+// implemented by *half.
+type half struct {
+	iface      *Iface
+	peer       *half
+	class      cnet.Class
+	h          cnet.StreamHandlers
+	closed     bool
+	zombie     bool // machine died; silent until reboot RST
+	paused     bool // receiver not reading (freeze/hang/stall)
+	procPaused bool // pause requested by the proc layer (vs machine freeze)
+	buf        []cnet.Message
+	inTransit  int
+	wantWrite  bool
+	closeHook  func()
+}
+
+var _ cnet.Conn = (*half)(nil)
+
+// Peer returns the node at the other end.
+func (hc *half) Peer() cnet.NodeID {
+	if hc.peer == nil {
+		return cnet.None
+	}
+	return hc.peer.iface.id
+}
+
+// TrySend implements cnet.Conn.
+func (hc *half) TrySend(m cnet.Message, size int) bool {
+	if hc.closed || hc.zombie || hc.peer == nil {
+		return true // dropped; death is reported via OnClose
+	}
+	p := hc.peer
+	if p.closed {
+		return true
+	}
+	if p.paused && len(p.buf)+p.inTransit >= hc.iface.net.cfg.RecvWindow {
+		hc.wantWrite = true
+		return false
+	}
+	if size <= 0 {
+		size = hc.iface.net.cfg.DgramSize
+	}
+	net := hc.iface.net
+	arrive := hc.iface.serialize(size) + net.cfg.PropDelay
+	p.inTransit++
+	net.sim.At(arrive, func() {
+		p.inTransit--
+		if p.closed || p.zombie || hc.closed {
+			return
+		}
+		if !net.pathUp(hc.iface, p.iface, hc.class) {
+			// Path broke while in flight; TCP would retransmit until the
+			// path heals or the connection errors. We drop: every
+			// protocol in this repo treats streams as unreliable across
+			// fault boundaries and resynchronizes on reconnect.
+			return
+		}
+		if p.paused {
+			p.buf = append(p.buf, m)
+			return
+		}
+		if p.h.OnMessage != nil {
+			p.h.OnMessage(p, m)
+		}
+	})
+	return true
+}
+
+// Close implements cnet.Conn: orderly shutdown, peer sees ErrClosed.
+func (hc *half) Close() { hc.shutdown(cnet.ErrClosed) }
+
+// Abort closes the connection abortively: the peer sees ErrReset now.
+// The machine layer uses it when a process (not the whole machine) dies.
+func (hc *half) Abort() { hc.shutdown(cnet.ErrReset) }
+
+// SetCloseHook implements StreamConn.
+func (hc *half) SetCloseHook(fn func()) { hc.closeHook = fn }
+
+func (hc *half) ranCloseHook() {
+	if hc.closeHook != nil {
+		fn := hc.closeHook
+		hc.closeHook = nil
+		fn()
+	}
+}
+
+func (hc *half) shutdown(peerErr error) {
+	if hc.closed {
+		return
+	}
+	hc.closed = true
+	hc.buf = nil
+	hc.ranCloseHook()
+	hc.iface.dropConn(hc)
+	p := hc.peer
+	if p == nil || p.closed || p.zombie {
+		return
+	}
+	net := hc.iface.net
+	net.sim.After(net.cfg.PropDelay, func() {
+		p.deliverClose(peerErr)
+	})
+}
+
+// abortPeer delivers an immediate reset to the peer half (reboot RST).
+func (hc *half) abortPeer(err error) {
+	hc.closed = true
+	hc.buf = nil
+	hc.ranCloseHook()
+	p := hc.peer
+	if p == nil || p.closed || p.zombie {
+		return
+	}
+	net := hc.iface.net
+	net.sim.After(net.cfg.PropDelay, func() { p.deliverClose(err) })
+}
+
+func (hc *half) deliverClose(err error) {
+	if hc.closed {
+		return
+	}
+	hc.closed = true
+	hc.buf = nil
+	hc.ranCloseHook()
+	hc.iface.dropConn(hc)
+	if hc.h.OnClose != nil {
+		hc.h.OnClose(hc, err)
+	}
+}
+
+// SetPaused is called by the proc layer when the owning process stops or
+// resumes reading.
+func (hc *half) SetPaused(paused bool) {
+	hc.procPaused = paused
+	// Machine freeze dominates a proc-level resume.
+	if !paused && hc.iface.state == NodeFrozen {
+		return
+	}
+	hc.setPaused(paused)
+}
+
+func (hc *half) setPaused(paused bool) {
+	if hc.paused == paused {
+		return
+	}
+	hc.paused = paused
+	if paused || hc.closed || hc.zombie {
+		return
+	}
+	// Drain buffered messages in order, then wake a stalled writer.
+	buf := hc.buf
+	hc.buf = nil
+	for _, m := range buf {
+		if hc.h.OnMessage != nil {
+			hc.h.OnMessage(hc, m)
+		}
+	}
+	hc.notifyWritable()
+}
+
+func (hc *half) notifyWritable() {
+	p := hc.peer
+	if p == nil || !p.wantWrite || p.closed {
+		return
+	}
+	p.wantWrite = false
+	net := hc.iface.net
+	net.sim.After(net.cfg.PropDelay, func() {
+		if !p.closed && p.h.OnWritable != nil {
+			p.h.OnWritable(p)
+		}
+	})
+}
+
+// Buffered returns how many stream messages wait unread at this half.
+func (hc *half) Buffered() int { return len(hc.buf) }
+
+func (i *Iface) dropConn(hc *half) {
+	for k, c := range i.conns {
+		if c == hc {
+			// Swap-remove: O(1) and deterministic (no map iteration).
+			last := len(i.conns) - 1
+			i.conns[k] = i.conns[last]
+			i.conns[last] = nil
+			i.conns = i.conns[:last]
+			return
+		}
+	}
+}

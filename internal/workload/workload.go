@@ -1,0 +1,249 @@
+// Package workload reproduces the paper's client side (§5): an open-loop
+// Poisson request stream replaying the fixed-size synthetic trace against
+// the server cluster, with the paper's exact timeout discipline — 2 s to
+// establish a connection, 6 s after that to complete the request — and a
+// recorder that produces the per-second throughput series and the offered
+// vs. successfully-served counts that define availability ("the
+// percentage of requests served successfully", §2).
+//
+// Clients attach to the simulated network directly (they are driver
+// machines, not part of the system under test) and are deliberately
+// unaffected by intra-cluster faults, as Mendosus arranged.
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/metrics"
+	"press/internal/server"
+	"press/internal/sim"
+	"press/internal/simnet"
+	"press/internal/trace"
+)
+
+// Config drives one Generator.
+type Config struct {
+	// Rate is the total offered load, requests/second.
+	Rate float64
+	// Targets are the addresses requests rotate over: the server nodes
+	// (round-robin DNS) or the front-end.
+	Targets []cnet.NodeID
+	// ConnectTimeout and CompleteTimeout are the paper's 2 s / 6 s.
+	ConnectTimeout  time.Duration
+	CompleteTimeout time.Duration
+	// Catalog supplies document popularity.
+	Catalog *trace.Catalog
+	// RampUp, when positive, scales the offered rate linearly from zero
+	// over this span (the paper warms the server up to its 90% load over
+	// five minutes).
+	RampUp time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = 2 * time.Second
+	}
+	if c.CompleteTimeout <= 0 {
+		c.CompleteTimeout = 6 * time.Second
+	}
+	if c.Catalog == nil {
+		c.Catalog = trace.Default()
+	}
+	return c
+}
+
+// Recorder accumulates the client-observed outcome of a run.
+type Recorder struct {
+	Offered   uint64
+	Succeeded uint64
+	Failed    uint64
+
+	ConnectFailures  uint64 // could not establish within 2 s (or refused/reset)
+	CompleteFailures uint64 // connected but no answer within 6 s
+
+	Throughput *metrics.Series // successful completions per bucket
+	Offers     *metrics.Series
+	Failures   *metrics.Series
+
+	latencySum time.Duration
+}
+
+// NewRecorder allocates a recorder with 1-second buckets.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		Throughput: metrics.NewSeries(time.Second),
+		Offers:     metrics.NewSeries(time.Second),
+		Failures:   metrics.NewSeries(time.Second),
+	}
+}
+
+// Availability returns the fraction of requests offered in [from, to)
+// that were eventually served successfully, the paper's availability
+// metric. It uses the bucketed series so that warm-up can be excluded.
+func (r *Recorder) Availability(from, to time.Duration) float64 {
+	offered := r.Offers.Sum(from, to)
+	if offered == 0 {
+		return 1
+	}
+	// Success is attributed to the offer bucket: failures series records
+	// per-offer-time failures.
+	failed := r.Failures.Sum(from, to)
+	return (offered - failed) / offered
+}
+
+// MeanThroughput returns the average successful completions/s in a window.
+func (r *Recorder) MeanThroughput(from, to time.Duration) float64 {
+	return r.Throughput.MeanRate(from, to)
+}
+
+// MeanLatency returns the average latency of successful requests.
+func (r *Recorder) MeanLatency() time.Duration {
+	if r.Succeeded == 0 {
+		return 0
+	}
+	return r.latencySum / time.Duration(r.Succeeded)
+}
+
+// Generator drives the request stream. It occupies one node ID on the
+// simulated network (a client driver machine).
+type Generator struct {
+	sim     *sim.Sim
+	iface   *simnet.Iface
+	cfg     Config
+	rec     *Recorder
+	rng     *rand.Rand
+	running bool
+	started time.Duration
+	next    uint64
+	rr      int
+}
+
+// NewGenerator attaches a client driver to the network as node id.
+func NewGenerator(s *sim.Sim, net *simnet.Network, id cnet.NodeID, cfg Config, rec *Recorder) *Generator {
+	return &Generator{
+		sim:   s,
+		iface: net.AddIface(id),
+		cfg:   cfg.withDefaults(),
+		rec:   rec,
+		rng:   s.NewRand("workload"),
+	}
+}
+
+// Start begins the arrival process.
+func (g *Generator) Start() {
+	if g.running {
+		return
+	}
+	if g.cfg.Rate <= 0 || len(g.cfg.Targets) == 0 {
+		panic("workload: Rate and Targets are required")
+	}
+	g.running = true
+	g.started = g.sim.Now()
+	g.scheduleNext()
+}
+
+// Stop halts new arrivals; requests in flight run to completion.
+func (g *Generator) Stop() { g.running = false }
+
+func (g *Generator) currentRate() float64 {
+	if g.cfg.RampUp <= 0 {
+		return g.cfg.Rate
+	}
+	el := g.sim.Now() - g.started
+	if el >= g.cfg.RampUp {
+		return g.cfg.Rate
+	}
+	frac := float64(el) / float64(g.cfg.RampUp)
+	if frac < 0.05 {
+		frac = 0.05
+	}
+	return g.cfg.Rate * frac
+}
+
+func (g *Generator) scheduleNext() {
+	if !g.running {
+		return
+	}
+	mean := 1 / g.currentRate()
+	gap := time.Duration(g.rng.ExpFloat64() * mean * float64(time.Second))
+	g.sim.After(gap, func() {
+		if !g.running {
+			return
+		}
+		g.launch()
+		g.scheduleNext()
+	})
+}
+
+// launch issues one request with the paper's timeout discipline.
+func (g *Generator) launch() {
+	now := g.sim.Now()
+	g.rec.Offered++
+	g.rec.Offers.Add(now, 1)
+	g.next++
+	id := g.next
+	doc := g.cfg.Catalog.Sample(g.rng)
+	target := g.cfg.Targets[g.rr%len(g.cfg.Targets)]
+	g.rr++
+
+	done := false
+	var conn cnet.Conn
+	fail := func(connectPhase bool) {
+		if done {
+			return
+		}
+		done = true
+		g.rec.Failed++
+		g.rec.Failures.Add(now, 1)
+		if connectPhase {
+			g.rec.ConnectFailures++
+		} else {
+			g.rec.CompleteFailures++
+		}
+		if conn != nil {
+			conn.Close()
+		}
+	}
+
+	connectDeadline := g.sim.After(g.cfg.ConnectTimeout, func() { fail(true) })
+
+	h := cnet.StreamHandlers{
+		OnMessage: func(c cnet.Conn, m cnet.Message) {
+			resp, ok := m.(server.RespMsg)
+			if !ok || done {
+				return
+			}
+			done = true
+			if resp.OK {
+				g.rec.Succeeded++
+				g.rec.Throughput.Add(g.sim.Now(), 1)
+				g.rec.latencySum += g.sim.Now() - now
+			} else {
+				g.rec.Failed++
+				g.rec.Failures.Add(now, 1)
+				g.rec.CompleteFailures++
+			}
+			c.Close()
+		},
+		OnClose: func(c cnet.Conn, err error) { fail(false) },
+	}
+
+	g.iface.Dial(target, cnet.ClassClient, server.PortHTTP, h, func(c cnet.Conn, err error) {
+		if done {
+			if c != nil {
+				c.Close()
+			}
+			return
+		}
+		connectDeadline.Stop()
+		if err != nil {
+			fail(true)
+			return
+		}
+		conn = c
+		c.TrySend(server.ReqMsg{ID: id, Doc: doc}, 256)
+		g.sim.After(g.cfg.CompleteTimeout, func() { fail(false) })
+	})
+}

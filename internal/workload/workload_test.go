@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/server"
+	"press/internal/sim"
+	"press/internal/simnet"
+	"press/internal/trace"
+)
+
+// fakeServer answers every request OK after a fixed service delay. The
+// returned listen func (re)registers the handler — a machine crash wipes
+// port registrations, so "rebooting" the fake requires calling it again.
+func fakeServer(s *sim.Sim, net *simnet.Network, id cnet.NodeID, delay time.Duration) (*simnet.Iface, func()) {
+	ifc := net.AddIface(id)
+	listen := func() {
+		ifc.Listen(server.PortHTTP, func(c cnet.Conn) cnet.StreamHandlers {
+			return cnet.StreamHandlers{
+				OnMessage: func(c cnet.Conn, m cnet.Message) {
+					req := m.(server.ReqMsg)
+					s.After(delay, func() {
+						c.TrySend(server.RespMsg{ID: req.ID, OK: true}, 27*1024)
+					})
+				},
+			}
+		})
+	}
+	listen()
+	return ifc, listen
+}
+
+// mustServe attaches an instant fake server at node 0 and returns its
+// iface and re-listen hook.
+func mustServe(s *sim.Sim, net *simnet.Network) (*simnet.Iface, func()) {
+	return fakeServer(s, net, 0, time.Millisecond)
+}
+
+func setup(t *testing.T, rate float64, targets []cnet.NodeID) (*sim.Sim, *simnet.Network, *Generator, *Recorder) {
+	t.Helper()
+	s := sim.New(7)
+	net := simnet.New(s, simnet.DefaultConfig(), nil)
+	rec := NewRecorder()
+	gen := NewGenerator(s, net, 1000, Config{
+		Rate:    rate,
+		Targets: targets,
+		Catalog: trace.NewCatalog(100, 27*1024, 0.8),
+	}, rec)
+	return s, net, gen, rec
+}
+
+func TestPoissonRateApproximatesTarget(t *testing.T) {
+	s, net, gen, rec := setup(t, 100, []cnet.NodeID{0})
+	_, _ = mustServe(s, net)
+	gen.Start()
+	s.RunFor(100 * time.Second)
+	gen.Stop()
+	got := float64(rec.Offered) / 100
+	if math.Abs(got-100) > 5 {
+		t.Fatalf("offered rate %v, want ~100", got)
+	}
+	if rec.Failed != 0 {
+		t.Fatalf("failures against healthy server: %d", rec.Failed)
+	}
+	if rec.Succeeded != rec.Offered {
+		t.Fatalf("succeeded %d != offered %d", rec.Succeeded, rec.Offered)
+	}
+}
+
+func TestRoundRobinSpreadsTargets(t *testing.T) {
+	s, net, gen, rec := setup(t, 50, []cnet.NodeID{0, 1})
+	counts := [2]int{}
+	for i := 0; i < 2; i++ {
+		i := i
+		ifc := net.AddIface(cnet.NodeID(i))
+		ifc.Listen(server.PortHTTP, func(c cnet.Conn) cnet.StreamHandlers {
+			return cnet.StreamHandlers{OnMessage: func(c cnet.Conn, m cnet.Message) {
+				counts[i]++
+				c.TrySend(server.RespMsg{OK: true}, 1024)
+			}}
+		})
+	}
+	gen.Start()
+	s.RunFor(20 * time.Second)
+	gen.Stop()
+	s.RunFor(10 * time.Second)
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("requests not spread: %v", counts)
+	}
+	if d := counts[0] - counts[1]; d < -1 || d > 1 {
+		t.Fatalf("round robin imbalance: %v", counts)
+	}
+	_ = rec
+}
+
+func TestConnectTimeoutAgainstDeadNode(t *testing.T) {
+	s, _, gen, rec := setup(t, 20, []cnet.NodeID{5}) // nothing at node 5
+	gen.Start()
+	s.RunFor(10 * time.Second)
+	gen.Stop()
+	s.RunFor(10 * time.Second)
+	if rec.Succeeded != 0 {
+		t.Fatal("succeeded against nothing")
+	}
+	if rec.ConnectFailures == 0 || rec.ConnectFailures != rec.Failed {
+		t.Fatalf("connect failures %d, failed %d", rec.ConnectFailures, rec.Failed)
+	}
+}
+
+func TestCompleteTimeoutAgainstSilentServer(t *testing.T) {
+	s, net, gen, rec := setup(t, 20, []cnet.NodeID{0})
+	// Listens and accepts but never answers.
+	ifc := net.AddIface(0)
+	ifc.Listen(server.PortHTTP, func(c cnet.Conn) cnet.StreamHandlers {
+		return cnet.StreamHandlers{}
+	})
+	gen.Start()
+	s.RunFor(10 * time.Second)
+	gen.Stop()
+	s.RunFor(10 * time.Second)
+	if rec.CompleteFailures == 0 {
+		t.Fatal("no completion timeouts recorded")
+	}
+	if rec.ConnectFailures != 0 {
+		t.Fatalf("connect failures %d against a listening server", rec.ConnectFailures)
+	}
+}
+
+func TestAvailabilityWindow(t *testing.T) {
+	s, net, gen, rec := setup(t, 50, []cnet.NodeID{0})
+	srv, relisten := mustServe(s, net)
+	gen.Start()
+	s.RunFor(30 * time.Second)
+	srv.SetState(simnet.NodeDown) // total outage
+	s.RunFor(30 * time.Second)
+	srv.SetState(simnet.NodeUp)
+	relisten() // the reboot wiped the port registration
+	s.RunFor(30 * time.Second)
+	gen.Stop()
+	s.RunFor(10 * time.Second)
+
+	if av := rec.Availability(5*time.Second, 25*time.Second); av < 0.99 {
+		t.Fatalf("healthy-window availability %v", av)
+	}
+	if av := rec.Availability(35*time.Second, 55*time.Second); av > 0.05 {
+		t.Fatalf("outage-window availability %v, want ~0", av)
+	}
+	if av := rec.Availability(70*time.Second, 85*time.Second); av < 0.99 {
+		t.Fatalf("recovered-window availability %v", av)
+	}
+}
+
+func TestRampUpReducesEarlyRate(t *testing.T) {
+	s := sim.New(9)
+	net := simnet.New(s, simnet.DefaultConfig(), nil)
+	rec := NewRecorder()
+	gen := NewGenerator(s, net, 1000, Config{
+		Rate:    100,
+		Targets: []cnet.NodeID{0},
+		Catalog: trace.NewCatalog(100, 1024, 0),
+		RampUp:  60 * time.Second,
+	}, rec)
+	_, _ = mustServe(s, net)
+	gen.Start()
+	s.RunFor(120 * time.Second)
+	early := rec.Offers.Sum(0, 30*time.Second)
+	late := rec.Offers.Sum(90*time.Second, 120*time.Second)
+	if early >= late/2 {
+		t.Fatalf("ramp-up ineffective: early=%v late=%v", early, late)
+	}
+}
+
+func TestMeanLatencyAndThroughput(t *testing.T) {
+	s, net, gen, rec := setup(t, 50, []cnet.NodeID{0})
+	fakeServer(s, net, 0, 20*time.Millisecond)
+	gen.Start()
+	s.RunFor(30 * time.Second)
+	gen.Stop()
+	s.RunFor(10 * time.Second)
+	if l := rec.MeanLatency(); l < 20*time.Millisecond || l > 40*time.Millisecond {
+		t.Fatalf("mean latency %v, want ~20-30ms", l)
+	}
+	tp := rec.MeanThroughput(5*time.Second, 25*time.Second)
+	if math.Abs(tp-50) > 8 {
+		t.Fatalf("throughput %v, want ~50", tp)
+	}
+}
+
+func TestGeneratorPanicsWithoutTargets(t *testing.T) {
+	s := sim.New(1)
+	net := simnet.New(s, simnet.DefaultConfig(), nil)
+	gen := NewGenerator(s, net, 1000, Config{Rate: 10}, NewRecorder())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic without targets")
+		}
+	}()
+	gen.Start()
+}

@@ -1,0 +1,163 @@
+// Package press is the public facade of this repository: a from-scratch
+// reproduction of "Quantifying and Improving the Availability of
+// High-Performance Cluster-Based Internet Services" (Nagaraja, Krishnan,
+// Bianchini, Martin, Nguyen — SC 2003).
+//
+// The library contains, under internal/, the paper's entire stack — the
+// PRESS cooperative cluster web server, the availability subsystems
+// (front-end fail-over, group membership, queue monitoring, Fault Model
+// Enforcement), a deterministic discrete-event cluster substrate with a
+// Mendosus-style fault injector, and the two-phase quantification
+// methodology (7-stage templates + analytic performability model). This
+// package re-exports the handful of types and entry points a downstream
+// user needs:
+//
+//   - Build a simulated cluster of any studied version and drive it:
+//     BuildCluster, Version constants, Options.
+//   - Run fault-injection episodes and whole campaigns: RunEpisode,
+//     RunCampaign, EpisodeSchedule.
+//   - Quantify: Template, FaultLoad, ModelAvailability, scaling and
+//     redundancy transforms.
+//   - Regenerate the paper's tables and figures: NewFigures.
+//
+// See DESIGN.md for the system inventory and the per-experiment index,
+// and EXPERIMENTS.md for paper-vs-measured results.
+package press
+
+import (
+	"press/internal/avail"
+	"press/internal/faults"
+	"press/internal/harness"
+	"press/internal/template7"
+)
+
+// Version identifies a studied server configuration.
+type Version = harness.Version
+
+// The paper's configurations.
+const (
+	INDEP    = harness.VINDEP
+	FEXINDEP = harness.VFEXINDEP
+	COOP     = harness.VCOOP
+	FEX      = harness.VFEX
+	MEM      = harness.VMEM
+	QMON     = harness.VQMON
+	MQ       = harness.VMQ
+	FME      = harness.VFME
+	SFME     = harness.VSFME
+	CMON     = harness.VCMON
+	XSW      = harness.VXSW
+	XSWRAID  = harness.VXSWRAID
+)
+
+// Options parameterizes an experiment world.
+type Options = harness.Options
+
+// Cluster is a built simulated deployment.
+type Cluster = harness.Cluster
+
+// EpisodeSchedule controls a fault-injection episode.
+type EpisodeSchedule = harness.EpisodeSchedule
+
+// Episode is one injection run's outcome.
+type Episode = harness.Episode
+
+// CampaignResult is a full phase-1 measurement set.
+type CampaignResult = harness.CampaignResult
+
+// Figures regenerates the paper's tables and figures.
+type Figures = harness.Figures
+
+// Table is a rendered figure/table.
+type Table = harness.Table
+
+// FaultType enumerates the injectable fault classes of Table 1.
+type FaultType = faults.Type
+
+// The fault classes.
+const (
+	LinkDown        = faults.LinkDown
+	SwitchDown      = faults.SwitchDown
+	SCSITimeout     = faults.SCSITimeout
+	NodeCrash       = faults.NodeCrash
+	NodeFreeze      = faults.NodeFreeze
+	AppCrash        = faults.AppCrash
+	AppHang         = faults.AppHang
+	FrontendFailure = faults.FrontendFailure
+)
+
+// Template is the paper's 7-stage piecewise-linear fault-episode shape.
+type Template = template7.Template
+
+// FaultLoad pairs a fault class's expected rate with its template.
+type FaultLoad = avail.FaultLoad
+
+// ModelEnv holds the evaluator-supplied parameters of the phase-2 model.
+type ModelEnv = avail.Env
+
+// ModelResult is the phase-2 model output (AT, AA, unavailability).
+type ModelResult = avail.Result
+
+// BuildCluster assembles a simulated deployment of the given version.
+// Drive it via its Sim, Gen and Injector fields.
+func BuildCluster(v Version, o Options) *Cluster { return harness.Build(v, o) }
+
+// Saturation measures (memoized) the version's maximum throughput.
+func Saturation(v Version, o Options) float64 { return harness.Saturation(v, o) }
+
+// RunEpisode performs one single-fault phase-1 measurement.
+func RunEpisode(v Version, o Options, f FaultType, component int, s EpisodeSchedule) (Episode, error) {
+	return harness.RunEpisode(v, o, f, component, s)
+}
+
+// RunCampaign measures the full Table 1 fault load for a version.
+func RunCampaign(v Version, o Options, s EpisodeSchedule) (CampaignResult, error) {
+	return harness.Campaign(v, o, s)
+}
+
+// ModelAvailability evaluates the phase-2 analytic model.
+func ModelAvailability(w0, offered float64, loads []FaultLoad, env ModelEnv) (ModelResult, error) {
+	return avail.Availability(w0, offered, loads, env)
+}
+
+// ScaleLoads applies the paper's §6.3 cluster-size scaling rules.
+func ScaleLoads(loads []FaultLoad, k float64) []FaultLoad {
+	return avail.ScaleLoads(loads, k, 0.1)
+}
+
+// WithRAID, WithBackupSwitch and WithRedundantFrontend apply the §6.1
+// hardware-redundancy MTTF transforms.
+func WithRAID(loads []FaultLoad) []FaultLoad          { return avail.WithRAID(loads) }
+func WithBackupSwitch(loads []FaultLoad) []FaultLoad  { return avail.WithBackupSwitch(loads) }
+func WithRedundantFrontend(l []FaultLoad) []FaultLoad { return avail.WithRedundantFrontend(l) }
+
+// DefaultModelEnv returns the default evaluator parameters.
+func DefaultModelEnv() ModelEnv { return avail.DefaultEnv() }
+
+// NewFigures builds the generator for every paper table and figure.
+func NewFigures(o Options) *Figures { return harness.NewFigures(o) }
+
+// Table1 returns the paper's expected fault load for an n-node cluster.
+func Table1(n, disksPerNode int, withFrontend bool) []faults.Spec {
+	return faults.Table1(n, disksPerNode, withFrontend)
+}
+
+// FastOptions returns the reduced-scale profile used by tests and quick
+// demos; FastSchedule the matching episode schedule.
+func FastOptions(seed int64) Options { return harness.FastOptions(seed) }
+func FastSchedule() EpisodeSchedule  { return harness.FastSchedule() }
+func AllMeasuredVersions() []Version { return harness.AllMeasuredVersions() }
+
+// StochasticConfig and StochasticResult parameterize and report the
+// whole-fault-load validation run (see harness.StochasticRun): every
+// Table 1 class arrives as a Poisson process at accelerated rates, and
+// the measured availability is compared with the analytic prediction.
+type StochasticConfig = harness.StochasticConfig
+
+// StochasticResult is the outcome of RunStochastic.
+type StochasticResult = harness.StochasticResult
+
+// RunStochastic executes the model-validation run for one version.
+func RunStochastic(v Version, o Options, s EpisodeSchedule, cfg StochasticConfig) (StochasticResult, error) {
+	return harness.StochasticRun(v, o, s, cfg)
+}
