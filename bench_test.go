@@ -13,6 +13,7 @@ package press_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -220,6 +221,34 @@ func BenchmarkAblationFMEvsPrecedence(b *testing.B) {
 						lost += ep.Tpl.Durations[s].Seconds() * (ep.Normal - ep.Tpl.Throughputs[s])
 					}
 					b.ReportMetric(lost, "lost-requests")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngine measures a cold COOP campaign (memos dropped every
+// iteration, so every episode really re-simulates) with the experiment
+// engine's worker pool bounded at 1 (serial) vs GOMAXPROCS (pooled). On
+// an N-core machine the pooled ns/op approaches the longest episode
+// chain instead of the serial sum — ≥2x on 4 cores; the results are
+// bit-identical in both modes (see the harness determinism test).
+func BenchmarkEngine(b *testing.B) {
+	for _, bm := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"pooled", runtime.GOMAXPROCS(0)},
+	} {
+		bm := bm
+		b.Run(fmt.Sprintf("%s-%d", bm.name, bm.workers), func(b *testing.B) {
+			prev := press.SetWorkers(bm.workers)
+			defer press.SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				press.ResetCaches()
+				if _, err := press.RunCampaign(press.COOP, press.FastOptions(benchSeed), press.FastSchedule()); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	reproduce [-fig all|1a|1b|2|4|6|7|8|9a|9b|10|t1|t2] [-fast] [-seed N] [-o file]
+//	reproduce [-fig all|1a|1b|2|4|6|7|8|9a|9b|10|t1|t2] [-fast] [-seed N] [-o file] [-workers N]
 //
 // -fast runs the reduced-scale profile (quarter-size document set and
 // caches, shorter windows); the full profile is the paper-faithful one
-// and takes considerably longer.
+// and takes considerably longer. Episodes run concurrently on the
+// harness worker pool (GOMAXPROCS simulators by default); -workers
+// bounds that, and -workers 1 forces serial execution — the results are
+// bit-identical either way.
 package main
 
 import (
@@ -26,7 +29,12 @@ func main() {
 	fast := flag.Bool("fast", false, "reduced-scale profile")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	out := flag.String("o", "", "also write output to this file")
+	workers := flag.Int("workers", 0, "max concurrent simulators (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	if *workers > 0 {
+		press.SetWorkers(*workers)
+	}
 
 	var o press.Options
 	var fg *press.Figures
@@ -81,7 +89,8 @@ func main() {
 		}
 	}
 
-	emit(fmt.Sprintf("# Reproduction run: seed=%d fast=%v started %s\n\n", *seed, *fast, time.Now().Format(time.RFC3339)))
+	emit(fmt.Sprintf("# Reproduction run: seed=%d fast=%v workers=%d started %s\n\n",
+		*seed, *fast, press.Workers(), time.Now().Format(time.RFC3339)))
 	for _, g := range gens {
 		if *fig != "all" && !want[g.key] {
 			continue

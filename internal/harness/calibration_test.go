@@ -11,6 +11,7 @@ import (
 // performance result: cooperative caching buys roughly a 3x throughput
 // factor over independent servers (Figure 1a's right-hand bars).
 func TestCooperationThroughputFactor(t *testing.T) {
+	t.Parallel()
 	o := FastOptions(1)
 	coop := Saturation(VCOOP, o)
 	indep := Saturation(VINDEP, o)
@@ -26,9 +27,15 @@ func TestCooperationThroughputFactor(t *testing.T) {
 // TestFaultFreeAvailability: at 90% load with no faults, every measured
 // version must serve essentially everything.
 func TestFaultFreeAvailability(t *testing.T) {
-	for _, v := range []Version{VCOOP, VINDEP, VFEX, VFME} {
+	t.Parallel()
+	versions := []Version{VCOOP, VINDEP, VFEX, VFME}
+	if testing.Short() {
+		versions = []Version{VCOOP, VFME}
+	}
+	for _, v := range versions {
 		v := v
 		t.Run(string(v), func(t *testing.T) {
+			t.Parallel()
 			o := FastOptions(1)
 			c := Build(v, o)
 			c.Gen.Start()
@@ -51,6 +58,7 @@ func TestFaultFreeAvailability(t *testing.T) {
 // recover partially, and the system needs an operator reset because the
 // stalled node cannot rejoin by itself.
 func TestEpisodeCOOPDiskFault(t *testing.T) {
+	t.Parallel()
 	ep, err := RunEpisode(VCOOP, FastOptions(1), faults.SCSITimeout, 2, FastSchedule())
 	if err != nil {
 		t.Fatal(err)
@@ -75,6 +83,7 @@ func TestEpisodeCOOPDiskFault(t *testing.T) {
 // TestEpisodeCOOPNodeCrash: crashes are inside the base fault model, so
 // after repair the node rejoins without an operator.
 func TestEpisodeCOOPNodeCrash(t *testing.T) {
+	t.Parallel()
 	ep, err := RunEpisode(VCOOP, FastOptions(1), faults.NodeCrash, 1, FastSchedule())
 	if err != nil {
 		t.Fatal(err)
@@ -94,6 +103,7 @@ func TestEpisodeCOOPNodeCrash(t *testing.T) {
 // node-offline, the front-end masks the node, and after the disk repair
 // the node boots and rejoins — no operator needed.
 func TestEpisodeFMEDiskFault(t *testing.T) {
+	t.Parallel()
 	ep, err := RunEpisode(VFME, FastOptions(1), faults.SCSITimeout, 2, FastSchedule())
 	if err != nil {
 		t.Fatal(err)
@@ -113,6 +123,7 @@ func TestEpisodeFMEDiskFault(t *testing.T) {
 // TestEpisodeINDEPDiskFaultLocalized: in the independent version the same
 // fault costs at most one node's share.
 func TestEpisodeINDEPDiskFaultLocalized(t *testing.T) {
+	t.Parallel()
 	ep, err := RunEpisode(VINDEP, FastOptions(1), faults.SCSITimeout, 2, FastSchedule())
 	if err != nil {
 		t.Fatal(err)

@@ -27,28 +27,69 @@ func (r CampaignResult) Model(env avail.Env) (avail.Result, error) {
 	return avail.Availability(r.Offered, r.Offered, r.Loads, env)
 }
 
+// campEntry is a singleflight memo slot for one campaign.
+type campEntry struct {
+	done chan struct{}
+	res  CampaignResult
+	err  error
+}
+
 // Campaign runs one injection episode per applicable Table 1 fault class
-// and assembles the fault loads for the phase-2 model. Results are
-// memoized: the simulator is deterministic, so a campaign is a pure
-// function of its parameters.
+// and assembles the fault loads for the phase-2 model. The episodes run
+// concurrently on the worker pool; each is independently memoized, so a
+// campaign and a figure that share a (version, fault) episode simulate it
+// once. The campaign itself is also memoized with singleflight semantics:
+// the simulator is deterministic, so a campaign is a pure function of its
+// parameters, and concurrent requests for the same campaign share one
+// assembly.
 func Campaign(v Version, o Options, sched EpisodeSchedule) (CampaignResult, error) {
 	o = o.withDefaults()
 	sched = sched.withDefaults()
 	key := fmt.Sprintf("%s|%+v|%+v", v, o, sched)
 	campMu.Lock()
-	if r, ok := campMemo[key]; ok {
+	if e, ok := campMemo[key]; ok {
 		campMu.Unlock()
-		return r, nil
+		<-e.done
+		return e.res, e.err
 	}
+	e := &campEntry{done: make(chan struct{})}
+	campMemo[key] = e
 	campMu.Unlock()
 
+	e.res, e.err = runCampaign(v, o, sched)
+	close(e.done)
+	return e.res, e.err
+}
+
+// runCampaign fans the campaign's episodes out on the worker pool and
+// assembles the result in Table 1 order (so the output is independent of
+// completion order).
+func runCampaign(v Version, o Options, sched EpisodeSchedule) (CampaignResult, error) {
 	res := CampaignResult{Version: v, Opts: o}
+	// Resolve the shared 90%-of-saturation load once, up front: otherwise
+	// every episode's Build races to the same (memoized) probe and the
+	// losers idle in the pool while the winner measures.
+	if o.Rate <= 0 {
+		Saturation(v, o)
+	}
 	specs := faults.Table1(serverCount(v, o), 2, versionTraits(v).fe)
-	for _, spec := range specs {
-		ep, err := RunEpisode(v, o, spec.Type, DefaultComponent(spec.Type), sched)
-		if err != nil {
-			return res, err
+	eps := make([]Episode, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		i, spec := i, spec
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eps[i], errs[i] = RunEpisode(v, o, spec.Type, DefaultComponent(spec.Type), sched)
+		}()
+	}
+	wg.Wait()
+	for i, spec := range specs {
+		if errs[i] != nil {
+			return res, errs[i]
 		}
+		ep := eps[i]
 		res.Eps = append(res.Eps, ep)
 		res.Loads = append(res.Loads, avail.FaultLoad{Spec: spec, Tpl: ep.Tpl})
 		if ep.Normal > res.Normal {
@@ -56,17 +97,8 @@ func Campaign(v Version, o Options, sched EpisodeSchedule) (CampaignResult, erro
 		}
 		res.Offered = ep.Offered
 	}
-
-	campMu.Lock()
-	campMemo[key] = res
-	campMu.Unlock()
 	return res, nil
 }
-
-var (
-	campMu   sync.Mutex
-	campMemo = map[string]CampaignResult{}
-)
 
 // FastSchedule shortens an episode for tests: the stage structure is
 // unchanged, only observation windows shrink.

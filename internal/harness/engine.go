@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"press/internal/faults"
+)
+
+// This file is the parallel experiment engine: a worker pool that bounds
+// how many simulator instances run at once, plus episode-granularity
+// memoization with singleflight semantics.
+//
+// Every episode is a pure function of (version, options, fault,
+// component, schedule): each runs on its own sim.Sim with its own derived
+// random streams, so executing episodes concurrently cannot perturb their
+// results — the same key yields a bit-identical template whether the
+// episode runs serially, on the pool, or is replayed from the memo.
+// Singleflight matters because figures, tables, benches and tests share
+// episodes: when two campaigns race to the same (version, fault) episode,
+// one simulates and the rest wait for its result instead of duplicating
+// minutes of simulated time.
+
+// pool is a resizable counting semaphore bounding concurrent simulator
+// runs. Orchestration code (campaign fan-out, figure prewarms) never
+// holds a slot; only code that is about to spin a simulator does, so
+// nesting campaigns inside figures cannot deadlock the pool.
+var pool = struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	held int
+}{cap: runtime.GOMAXPROCS(0)}
+
+func init() { pool.cond = sync.NewCond(&pool.mu) }
+
+// SetWorkers bounds the number of concurrently running simulators and
+// returns the previous bound. n < 1 means one (fully serial execution).
+// The default is GOMAXPROCS.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	pool.mu.Lock()
+	prev := pool.cap
+	pool.cap = n
+	pool.cond.Broadcast()
+	pool.mu.Unlock()
+	return prev
+}
+
+// Workers returns the current worker-pool bound.
+func Workers() int {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	return pool.cap
+}
+
+func acquireSlot() {
+	pool.mu.Lock()
+	for pool.held >= pool.cap {
+		pool.cond.Wait()
+	}
+	pool.held++
+	pool.mu.Unlock()
+}
+
+func releaseSlot() {
+	pool.mu.Lock()
+	pool.held--
+	pool.cond.Broadcast()
+	pool.mu.Unlock()
+}
+
+// episodeKey identifies one memoizable episode. Options and
+// EpisodeSchedule are flat value structs, so %+v is a faithful key.
+func episodeKey(v Version, o Options, f faults.Type, comp int, sched EpisodeSchedule) string {
+	return fmt.Sprintf("%s|%+v|%v|%d|%+v", v, o, f, comp, sched)
+}
+
+// epEntry is one singleflight memo slot: the first requester computes and
+// closes done; everyone else blocks on done and shares the result. The
+// shared Episode carries pointers (Series, Log) that are immutable once
+// the run completes, so sharing is safe.
+type epEntry struct {
+	done chan struct{}
+	ep   Episode
+	err  error
+}
+
+var (
+	memoMu   sync.Mutex
+	epMemo   = map[string]*epEntry{}
+	campMu   sync.Mutex
+	campMemo = map[string]*campEntry{}
+)
+
+// ResetMemos drops every cached episode, campaign and saturation result.
+// In-flight computations finish against the old entries; only callers
+// arriving afterwards recompute. Benchmarks use this to measure real
+// simulation work instead of memo hits.
+func ResetMemos() {
+	memoMu.Lock()
+	epMemo = map[string]*epEntry{}
+	memoMu.Unlock()
+	campMu.Lock()
+	campMemo = map[string]*campEntry{}
+	campMu.Unlock()
+	satMu.Lock()
+	satMemo = map[string]*satEntry{}
+	satMu.Unlock()
+}
+
+// memoizedEpisode returns the episode for the key, computing it on the
+// worker pool exactly once per process.
+func memoizedEpisode(v Version, o Options, f faults.Type, comp int, sched EpisodeSchedule) (Episode, error) {
+	key := episodeKey(v, o, f, comp, sched)
+	memoMu.Lock()
+	if e, ok := epMemo[key]; ok {
+		memoMu.Unlock()
+		<-e.done
+		return e.ep, e.err
+	}
+	e := &epEntry{done: make(chan struct{})}
+	epMemo[key] = e
+	memoMu.Unlock()
+
+	acquireSlot()
+	e.ep, e.err = runEpisodeUncached(v, o, f, comp, sched)
+	releaseSlot()
+	close(e.done)
+	return e.ep, e.err
+}
+
+// episodesUncached reruns the given fault specs' episodes without
+// consulting or filling the memo, on up to `workers` concurrent
+// simulators (independent of the global pool). It exists for the
+// determinism regression test and the serial-vs-pooled benchmark; real
+// callers go through RunEpisode/Campaign and the shared pool.
+func episodesUncached(v Version, o Options, specs []faults.Spec, sched EpisodeSchedule, workers int) ([]Episode, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	eps := make([]Episode, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		i, spec := i, spec
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			eps[i], errs[i] = runEpisodeUncached(v, o, spec.Type, DefaultComponent(spec.Type), sched)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return eps, err
+		}
+	}
+	return eps, nil
+}
+
+// campaignJob names one (version, options) campaign for prewarming.
+type campaignJob struct {
+	v Version
+	o Options
+}
+
+// prewarmJobs runs several campaigns concurrently (each campaign in turn
+// fans its episodes out on the pool) and returns the first error. Figure
+// generators call this before their serial assembly passes so that every
+// subsequent Campaign call is a memo hit.
+func prewarmJobs(sched EpisodeSchedule, jobs []campaignJob) error {
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = Campaign(j.v, j.o, sched)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prewarmCampaigns is prewarmJobs for several versions sharing one
+// Options.
+func prewarmCampaigns(o Options, sched EpisodeSchedule, versions ...Version) error {
+	jobs := make([]campaignJob, len(versions))
+	for i, v := range versions {
+		jobs[i] = campaignJob{v: v, o: o}
+	}
+	return prewarmJobs(sched, jobs)
+}

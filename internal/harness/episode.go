@@ -86,7 +86,19 @@ func faultNode(f faults.Type, comp int) int {
 // to 90% load, inject a single fault, watch detection and recovery, reset
 // via the operator if the system cannot reintegrate itself, and fit the
 // 7-stage template.
+//
+// Episodes are memoized with singleflight semantics and executed on the
+// worker pool (see engine.go): an episode is a pure function of its
+// parameters, so each distinct one simulates at most once per process
+// however many campaigns, figures and tests request it.
 func RunEpisode(v Version, o Options, f faults.Type, comp int, sched EpisodeSchedule) (Episode, error) {
+	return memoizedEpisode(v, o.withDefaults(), f, comp, sched.withDefaults())
+}
+
+// runEpisodeUncached is the actual measurement; RunEpisode wraps it with
+// the memo and the pool. It builds a private sim.Sim, so concurrent
+// invocations cannot interact.
+func runEpisodeUncached(v Version, o Options, f faults.Type, comp int, sched EpisodeSchedule) (Episode, error) {
 	o = o.withDefaults()
 	sched = sched.withDefaults()
 	c := Build(v, o)

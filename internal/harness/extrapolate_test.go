@@ -44,7 +44,9 @@ func stubSaturations(t *testing.T, o Options, perNode float64) {
 	for _, v := range []Version{VCOOP, VFEX, VMEM, VQMON, VMQ, VFME, VSFME, VCMON, VINDEP, VFEXINDEP} {
 		tr := versionTraits(v)
 		key := keyForTraits(tr, o)
-		satMemo[key] = perNode * float64(serverCount(v, o))
+		e := &satEntry{done: make(chan struct{}), val: perNode * float64(serverCount(v, o))}
+		close(e.done)
+		satMemo[key] = e
 	}
 }
 

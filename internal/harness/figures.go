@@ -80,6 +80,9 @@ func (fg *Figures) Figure1a() (Table, error) {
 		Title:  "Unavailability and performance: independent vs cooperative",
 		Header: []string{"version", "throughput(req/s)", "unavailability", "availability"},
 	}
+	if err := prewarmCampaigns(fg.Opts, fg.Sched, VINDEP, VFEXINDEP, VCOOP); err != nil {
+		return t, err
+	}
 	for _, v := range []Version{VINDEP, VFEXINDEP, VCOOP} {
 		r, err := fg.measured(v, fg.Opts)
 		if err != nil {
@@ -263,11 +266,14 @@ func (fg *Figures) Figure7() (Table, error) {
 		Name:  "figure7",
 		Title: "Unavailability by component: modeled-from-COOP vs measured",
 	}
+	versions := []Version{VCOOP, VFEX, VMEM, VQMON, VMQ, VFME}
+	if err := prewarmCampaigns(fg.Opts, fg.Sched, versions...); err != nil {
+		return t, err
+	}
 	coop, err := fg.coop()
 	if err != nil {
 		return t, err
 	}
-	versions := []Version{VCOOP, VFEX, VMEM, VQMON, VMQ, VFME}
 	kinds := faultKinds(true)
 	t.Header = append([]string{"version", "bar", "total"}, kinds...)
 	for _, v := range versions {
@@ -333,6 +339,9 @@ func (fg *Figures) Figure8() (Table, error) {
 	add := func(name string, u float64) {
 		t.Rows = append(t.Rows, []string{name, pct(u), nines(u)})
 	}
+	if err := prewarmCampaigns(fg.Opts, fg.Sched, VFME, VSFME, VCMON); err != nil {
+		return t, err
+	}
 	fme, err := fg.measured(VFME, fg.Opts)
 	if err != nil {
 		return t, err
@@ -378,6 +387,16 @@ func (fg *Figures) Figure9a() (Table, error) {
 		Name:   "figure9a",
 		Title:  "Scaling FME to 8 nodes: scaled model vs direct measurement",
 		Header: []string{"configuration", "unavailability"},
+	}
+	jobs := []campaignJob{{v: VFME, o: fg.Opts}}
+	for _, mem := range []int64{fg.Opts.CacheBytes / 2, fg.Opts.CacheBytes} {
+		o8 := fg.Opts
+		o8.Nodes = 8
+		o8.CacheBytes = mem
+		jobs = append(jobs, campaignJob{v: VFME, o: o8})
+	}
+	if err := prewarmJobs(fg.Sched, jobs); err != nil {
+		return t, err
 	}
 	camp4, err := Campaign(VFME, fg.Opts, fg.Sched)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 // costs only the takeover window (a few pair heartbeats) instead of the
 // whole repair time.
 func TestRedundantFETakeover(t *testing.T) {
+	t.Parallel()
 	o := FastOptions(1)
 	o.RedundantFE = true
 	ep, err := RunEpisode(VFEX, o, faults.FrontendFailure, 0, FastSchedule())
@@ -34,6 +35,7 @@ func TestRedundantFETakeover(t *testing.T) {
 
 // TestRedundantFEvsSingle compares the FE-failure episode loss.
 func TestRedundantFEvsSingle(t *testing.T) {
+	t.Parallel()
 	lost := func(redundant bool) float64 {
 		o := FastOptions(1)
 		o.RedundantFE = redundant
@@ -58,6 +60,7 @@ func TestRedundantFEvsSingle(t *testing.T) {
 // TestRedundantFEIdleIsHarmless: with no faults the pair must behave like
 // a single front-end.
 func TestRedundantFEIdleIsHarmless(t *testing.T) {
+	t.Parallel()
 	o := FastOptions(1)
 	o.RedundantFE = true
 	c := Build(VFEX, o)

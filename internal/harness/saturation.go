@@ -8,8 +8,10 @@ import (
 
 // Saturation measures a version's maximum sustained throughput (req/s) by
 // driving it far past capacity and measuring what it serves. Results are
-// memoized per (version, topology, cache, trace) — the simulator is
-// deterministic, so one measurement is definitive.
+// memoized per (version, topology, cache, trace) with singleflight
+// semantics — the simulator is deterministic, so one measurement is
+// definitive, and concurrent requests for the same topology (e.g. a
+// campaign's episodes fanning out in parallel) share one probe.
 //
 // The paper loads each configuration at 90% of its 4-node saturation
 // (§5); Build uses this measurement to resolve Options.Rate == 0.
@@ -20,10 +22,13 @@ func Saturation(v Version, o Options) float64 {
 	// FE-X, MEM, MQ and FME share one probe.
 	key := keyForTraits(versionTraits(v), o)
 	satMu.Lock()
-	if val, ok := satMemo[key]; ok {
+	if e, ok := satMemo[key]; ok {
 		satMu.Unlock()
-		return val
+		<-e.done
+		return e.val
 	}
+	e := &satEntry{done: make(chan struct{})}
+	satMemo[key] = e
 	satMu.Unlock()
 
 	run := o
@@ -37,17 +42,20 @@ func Saturation(v Version, o Options) float64 {
 	c := Build(v, run)
 	c.Gen.Start()
 	c.Sim.RunFor(run.Warmup + 180*time.Second)
-	sat := c.Rec.MeanThroughput(run.Warmup+30*time.Second, c.Sim.Now())
+	e.val = c.Rec.MeanThroughput(run.Warmup+30*time.Second, c.Sim.Now())
+	close(e.done)
+	return e.val
+}
 
-	satMu.Lock()
-	satMemo[key] = sat
-	satMu.Unlock()
-	return sat
+// satEntry is a singleflight memo slot for one saturation probe.
+type satEntry struct {
+	done chan struct{}
+	val  float64
 }
 
 var (
 	satMu   sync.Mutex
-	satMemo = map[string]float64{}
+	satMemo = map[string]*satEntry{}
 )
 
 // keyForTraits derives the saturation memo key from the capacity-relevant

@@ -14,6 +14,7 @@ func TestPaperHeadlineShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full campaigns")
 	}
+	t.Parallel()
 	o := FastOptions(1)
 	sched := FastSchedule()
 	env := avail.DefaultEnv()

@@ -16,9 +16,11 @@ func TestRandomFaultSequences(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress sequences")
 	}
+	t.Parallel()
 	for _, seed := range []int64{1, 2, 3} {
 		seed := seed
 		t.Run(time.Duration(seed).String(), func(t *testing.T) {
+			t.Parallel()
 			o := FastOptions(seed)
 			o.Rate = 100 // fixed: saturation probing isn't the point here
 			c := Build(VFME, o)

@@ -161,3 +161,17 @@ type StochasticResult = harness.StochasticResult
 func RunStochastic(v Version, o Options, s EpisodeSchedule, cfg StochasticConfig) (StochasticResult, error) {
 	return harness.StochasticRun(v, o, s, cfg)
 }
+
+// SetWorkers bounds how many simulators the experiment engine runs
+// concurrently (default GOMAXPROCS; 1 forces fully serial execution).
+// It returns the previous bound. Episodes are deterministic functions of
+// their parameters, so the bound affects wall-clock only, never results.
+func SetWorkers(n int) int { return harness.SetWorkers(n) }
+
+// Workers returns the engine's current concurrency bound.
+func Workers() int { return harness.Workers() }
+
+// ResetCaches drops every memoized episode, campaign and saturation
+// result. Results are deterministic, so this is never needed for
+// correctness; benchmarks use it to measure real simulation work.
+func ResetCaches() { harness.ResetMemos() }
