@@ -1,0 +1,77 @@
+// Command availlint runs the repo's determinism & concurrency analyzer
+// suite (internal/lint) over the given packages — a multichecker for the
+// invariants every reproduced number depends on: sim-clock-only time
+// (wallclock), seeded-RNG discipline (globalrand), ordered map iteration
+// (maporder) and pool-mediated goroutine spawning (simgoroutine).
+//
+// Usage:
+//
+//	go run ./cmd/availlint ./...
+//	go run ./cmd/availlint -analyzers maporder,wallclock ./internal/harness
+//	go run ./cmd/availlint -vet ./...   # also run `go vet` on the patterns
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Suppress a
+// finding with an `//availlint:allow <analyzer> <reason>` annotation on
+// or above the offending line; internal/clock, internal/livenet, cmd/
+// and examples/ are package-allowlisted for the SimOnly analyzers (see
+// lint.DefaultConfig).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"press/internal/lint"
+)
+
+func main() {
+	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	vet := flag.Bool("vet", false, "additionally run `go vet` on the same patterns")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	sel, err := lint.ByName(*analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "availlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "availlint:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, sel, lint.DefaultConfig())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+
+	failed := len(diags) > 0
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("availlint: %d packages clean\n", len(pkgs))
+}

@@ -32,9 +32,11 @@ func main() {
 	rate := flag.Float64("rate", 20, "client requests per second")
 	duration := flag.Duration("duration", 30*time.Second, "total run time")
 	kill := flag.Int("kill", 1, "node whose PRESS process is killed mid-run (-1: none)")
+	seed := flag.Int64("seed", 1, "world seed (fixed by default so runs are reproducible)")
 	flag.Parse()
 
-	w := livenet.NewWorld(time.Now().UnixNano())
+	fmt.Printf("pressd: seed %d\n", *seed)
+	w := livenet.NewWorld(*seed)
 	cat := trace.NewCatalog(500, 27*1024, 0.8)
 
 	var ids []cnet.NodeID

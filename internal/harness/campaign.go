@@ -79,7 +79,10 @@ func runCampaign(v Version, o Options, sched EpisodeSchedule) (CampaignResult, e
 	for i, spec := range specs {
 		i, spec := i, spec
 		wg.Add(1)
-		go func() {
+		// Orchestration-only goroutine: each immediately blocks inside
+		// RunEpisode on the engine's worker-pool slot, so simulator
+		// parallelism stays bounded by SetWorkers.
+		go func() { //availlint:allow simgoroutine bounded by the engine worker pool
 			defer wg.Done()
 			eps[i], errs[i] = RunEpisode(v, o, spec.Type, DefaultComponent(spec.Type), sched)
 		}()

@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 	"time"
 
+	"press/internal/avail"
 	"press/internal/faults"
 )
 
@@ -50,6 +53,73 @@ func TestParallelDeterminism(t *testing.T) {
 			t.Errorf("%v: normal/offered differ: serial (%v, %v) pooled (%v, %v)",
 				spec.Type, serial[i].Normal, serial[i].Offered, pooled[i].Normal, pooled[i].Offered)
 		}
+	}
+}
+
+// serializeCampaign renders every number a campaign produces — loads,
+// templates, stage markers, throughput series, event logs — into one
+// deterministic byte stream for replay comparison.
+func serializeCampaign(r CampaignResult) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "campaign %s normal=%v offered=%v\n", r.Version, r.Normal, r.Offered)
+	for i, l := range r.Loads {
+		fmt.Fprintf(&b, "load %d %+v\n", i, l)
+	}
+	for i, ep := range r.Eps {
+		fmt.Fprintf(&b, "episode %d %s comp=%d markers=%+v tpl=%+v normal=%v offered=%v\n",
+			i, ep.Fault, ep.Component, ep.Markers, ep.Tpl, ep.Normal, ep.Offered)
+		fmt.Fprintf(&b, "series %v\n", ep.Series.Buckets())
+		for _, e := range ep.Log.All() {
+			fmt.Fprintf(&b, "event %s\n", e)
+		}
+	}
+	return b.Bytes()
+}
+
+// TestCampaignReplayByteIdentical is the whole-pipeline determinism
+// regression the availlint suite exists to protect: the same campaign,
+// simulated twice (memo bypassed, 4-way pool active both times), must
+// serialize to byte-identical output, events and all. A single unordered
+// map range or stray RNG draw anywhere in the pipeline flips this test.
+func TestCampaignReplayByteIdentical(t *testing.T) {
+	o := FastOptions(1)
+	sched := FastSchedule()
+	specs := faults.Table1(serverCount(VCOOP, o.withDefaults()), 2, versionTraits(VCOOP).fe)
+	if testing.Short() {
+		specs = specs[:3] // keep the -short tier under a minute
+	}
+	Saturation(VCOOP, o) // resolve the shared load probe outside the timed passes
+	runOnce := func() []byte {
+		eps, err := episodesUncached(VCOOP, o, specs, sched, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		camp := CampaignResult{Version: VCOOP, Opts: o}
+		for i, ep := range eps {
+			camp.Eps = append(camp.Eps, ep)
+			camp.Loads = append(camp.Loads, avail.FaultLoad{Spec: specs[i], Tpl: ep.Tpl})
+			if ep.Normal > camp.Normal {
+				camp.Normal = ep.Normal
+			}
+			camp.Offered = ep.Offered
+		}
+		return serializeCampaign(camp)
+	}
+	first := runOnce()
+	second := runOnce()
+	if !bytes.Equal(first, second) {
+		a, b := string(first), string(second)
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				lo := max(0, i-120)
+				t.Fatalf("replay diverges at byte %d:\nfirst:  ...%s\nsecond: ...%s",
+					i, a[lo:min(len(a), i+120)], b[lo:min(len(b), i+120)])
+			}
+		}
+		t.Fatalf("replay output lengths differ: %d vs %d bytes", len(first), len(second))
+	}
+	if len(first) == 0 {
+		t.Fatal("serialized campaign is empty")
 	}
 }
 

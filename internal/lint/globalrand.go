@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Globalrand forbids the process-global math/rand generator in
+// simulation-facing packages, and time-seeded sources everywhere the
+// analyzer runs. Randomness must flow from a *rand.Rand explicitly
+// threaded from the experiment seed (sim.Sim derives per-component
+// streams); rand.Intn et al. draw from a shared generator whose state
+// depends on every other goroutine that touched it, which breaks both
+// replay determinism and the serial-vs-pooled bit-identity the engine
+// asserts. Methods on a threaded *rand.Rand are fine; so are seeded
+// constructors like rand.New(rand.NewSource(seed)).
+var Globalrand = &Analyzer{
+	Name:    "globalrand",
+	Doc:     "forbid global math/rand functions and time-seeded sources in simulation-facing packages",
+	SimOnly: true,
+	Run:     runGlobalrand,
+}
+
+// globalRandFuncs are the package-level functions that consume or mutate
+// the global source. Constructors (New, NewSource, NewZipf) are allowed.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func isRandPkg(path string) bool { return path == "math/rand" || path == "math/rand/v2" }
+
+func runGlobalrand(pass *Pass) {
+	for id, obj := range pass.Info.Uses { //availlint:allow maporder diagnostics are sorted before emission
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+			continue
+		}
+		// Methods on *rand.Rand have a receiver; only package-level
+		// functions draw from the global source.
+		if fn.Type().(*types.Signature).Recv() != nil {
+			continue
+		}
+		if globalRandFuncs[fn.Name()] {
+			pass.Reportf(id.Pos(),
+				"rand.%s draws from the process-global RNG; thread a *rand.Rand derived from the experiment seed instead",
+				fn.Name())
+		}
+	}
+
+	// Flag time-seeded sources: rand.New / rand.NewSource whose argument
+	// subtree reaches the wall clock (e.g. rand.NewSource(time.Now().UnixNano())).
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || !isRandPkg(fn.Pkg().Path()) {
+				return true
+			}
+			if fn.Name() != "New" && fn.Name() != "NewSource" && fn.Name() != "NewPCG" && fn.Name() != "NewChaCha8" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id := findTimeUse(pass, arg); id != nil {
+					pass.Reportf(id.Pos(),
+						"rand.%s seeded from the wall clock is unreproducible; seed from the experiment seed (or a -seed flag) instead",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call's callee to a *types.Func with a package,
+// or nil if it is not a resolvable function call.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	return fn
+}
+
+// findTimeUse returns an identifier within expr that resolves to a
+// package-level function of package time, or nil.
+func findTimeUse(pass *Pass, expr ast.Expr) *ast.Ident {
+	var found *ast.Ident
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found != nil {
+			return found == nil
+		}
+		if fn, ok := pass.Info.Uses[id].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			found = id
+			return false
+		}
+		return true
+	})
+	return found
+}

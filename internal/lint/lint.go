@@ -1,0 +1,235 @@
+// Package lint is availlint: a suite of static analyzers that enforce
+// the determinism and concurrency invariants the experiment harness
+// depends on. Every reproduced number in this repo assumes an episode is
+// a pure function of (version, options, fault, schedule, seed); these
+// analyzers turn the conventions that make that true — sim-clock-only
+// time, explicitly threaded RNGs, ordered map iteration, pool-mediated
+// goroutine spawning — into mechanically checked properties.
+//
+// The suite is self-contained on the standard library's go/ast and
+// go/types (this container has no network and no golang.org/x/tools in
+// the module cache, so the usual go/analysis + analysistest stack is
+// unavailable). The Analyzer/Pass shapes below deliberately mirror
+// golang.org/x/tools/go/analysis so the analyzers can migrate to the
+// real framework verbatim once the dependency is allowed.
+//
+// Suppressing a finding:
+//
+//   - package allowlist: packages whose import path matches an entry in
+//     Config.AllowPackages are exempt from SimOnly analyzers (they host
+//     wall-clock or live-network code on purpose: internal/clock,
+//     internal/livenet, cmd/, examples/).
+//   - line annotation: a comment containing "availlint:allow <names>"
+//     suppresses the named analyzers on its own line and the line below,
+//     e.g. //availlint:allow simgoroutine worker pool spawn.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects the package in pass and
+// reports findings through pass.Reportf; suppression (annotations and
+// the package allowlist) is handled by the framework, not the analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// SimOnly analyzers apply only to simulation-facing packages: they
+	// skip packages matched by Config.AllowPackages. Analyzers with
+	// SimOnly unset run on every package (annotations still work).
+	SimOnly bool
+	Run     func(*Pass)
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Config selects which packages count as simulation-facing.
+type Config struct {
+	// AllowPackages lists import-path prefixes exempt from SimOnly
+	// analyzers. An entry ending in "/" matches any package under it;
+	// otherwise the path must match exactly or be a subdirectory.
+	AllowPackages []string
+}
+
+// DefaultConfig is the repo's enforcement policy: everything in the
+// module is simulation-facing except the packages that exist to touch
+// wall-clock time and real sockets, the command/example entry points,
+// and the lint tooling itself.
+func DefaultConfig() Config {
+	return Config{AllowPackages: []string{
+		"press/cmd/",
+		"press/examples/",
+		"press/internal/clock",
+		"press/internal/livenet",
+		"press/internal/lint",
+	}}
+}
+
+// Allowed reports whether pkgPath is exempt from SimOnly analyzers.
+func (c Config) Allowed(pkgPath string) bool {
+	for _, p := range c.AllowPackages {
+		if strings.HasSuffix(p, "/") {
+			if strings.HasPrefix(pkgPath, p) {
+				return true
+			}
+			continue
+		}
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	PkgPath  string
+
+	allow map[string]map[int][]string // filename -> line -> analyzer names allowed there
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an "availlint:allow" annotation
+// on that line (or the line above) names this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) allowedAt(pos token.Position) bool {
+	lines := p.allow[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allowRe matches the annotation anywhere inside a comment's text, so
+// both "//availlint:allow x" and "// availlint:allow x reason" work.
+var allowRe = regexp.MustCompile(`availlint:allow\s+([a-z, ]+)`)
+
+// buildAllowMap indexes every availlint:allow annotation in the package
+// by file and line. The named analyzers are suppressed on the
+// annotation's line and the line immediately below it, so annotations
+// can sit at the end of the offending line or on their own line above.
+func buildAllowMap(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	allow := map[string]map[int][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if allow[pos.Filename] == nil {
+					allow[pos.Filename] = map[int][]string{}
+				}
+				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' }) {
+					allow[pos.Filename][pos.Line] = append(allow[pos.Filename][pos.Line], name)
+				}
+			}
+		}
+	}
+	return allow
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, Globalrand, Maporder, Simgoroutine}
+}
+
+// ByName resolves a comma-separated analyzer selection ("" = all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var sel []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have wallclock, globalrand, maporder, simgoroutine)", n)
+		}
+		sel = append(sel, a)
+	}
+	return sel, nil
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics sorted by position (then analyzer, then message), so the
+// output is deterministic regardless of analyzer iteration internals.
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := buildAllowMap(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if a.SimOnly && cfg.Allowed(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.PkgPath,
+				allow:    allow,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

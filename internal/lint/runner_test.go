@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// This file is an analysistest-style golden runner: fixtures under
+// testdata/src/<analyzer>/<pkg> carry `// want "regexp"` comments on the
+// lines where a diagnostic is expected, and the runner asserts an exact
+// match between expected and reported diagnostics — unexpected findings
+// and unmatched expectations both fail.
+
+// testConfig classifies fixture packages: each analyzer's ".../allowed"
+// subpackage is exempt from SimOnly analyzers, and "cmd/" exercises the
+// trailing-slash (whole subtree) form of the real policy.
+func testConfig() Config {
+	return Config{AllowPackages: []string{
+		"wallclock/allowed",
+		"globalrand/allowed",
+		"simgoroutine/allowed",
+		"cmd/",
+	}}
+}
+
+// runFixture loads testdata/src/<rel> as package path <rel> and runs the
+// analyzer over it, asserting the diagnostics match the want comments.
+func runFixture(t *testing.T, a *Analyzer, rel string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", rel)
+	pkg, err := LoadFixture(".", dir, rel)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{a}, testConfig())
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]Diagnostic{}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		got[k] = append(got[k], d)
+	}
+
+	for _, name := range fixtureFiles(t, dir) {
+		path := filepath.Join(dir, name)
+		for line, wants := range wantComments(t, path) {
+			k := key{path, line}
+			ds := got[k]
+			delete(got, k)
+			if len(ds) != len(wants) {
+				t.Errorf("%s:%d: got %d diagnostics, want %d: %v", path, line, len(ds), len(wants), ds)
+				continue
+			}
+			for _, w := range wants {
+				re := regexp.MustCompile(w)
+				matched := false
+				for _, d := range ds {
+					if re.MatchString(d.Message) {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("%s:%d: no diagnostic matching %q in %v", path, line, w, ds)
+				}
+			}
+		}
+	}
+	for k, ds := range got { //availlint:allow maporder test-failure reporting only
+		for _, d := range ds {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, d.Message)
+		}
+	}
+}
+
+func fixtureFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// wantRe matches `// want "..." "..."` comments; the quoted strings are
+// Go string literals holding regexps.
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantArgRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+)
+
+// wantComments returns, per line, the expected-diagnostic regexps.
+func wantComments(t *testing.T, path string) map[int][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	wants := map[int][]string{}
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		m := wantRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		args := wantArgRe.FindAllString(m[1], -1)
+		if len(args) == 0 {
+			t.Fatalf("%s:%d: want comment with no quoted regexp", path, line)
+		}
+		for _, a := range args {
+			s, err := strconv.Unquote(a)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want literal %s: %v", path, line, a, err)
+			}
+			wants[line] = append(wants[line], s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestFixtureTreeCovered keeps the fixture tree and the test functions in
+// sync: every directory under testdata/src must be exercised by some
+// runFixture call (tracked via coveredFixtures).
+var coveredFixtures = map[string]bool{}
+
+func cover(rel string) string {
+	coveredFixtures[rel] = true
+	return rel
+}
+
+func TestZZFixtureTreeCovered(t *testing.T) {
+	// Runs last (alphabetical order within the package's sequential tests).
+	root := filepath.Join("testdata", "src")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".go" {
+			return err
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if !coveredFixtures[rel] {
+			return fmt.Errorf("fixture package %s is not exercised by any test", rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

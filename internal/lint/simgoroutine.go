@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Simgoroutine flags bare `go` statements in simulation-facing packages.
+// Inside the simulated world, concurrency is modeled by the sim event
+// queue (everything runs on one goroutine, in deterministic virtual-time
+// order); outside it, the harness bounds real parallelism with its
+// worker pool. A stray goroutine bypasses both: it races the event loop,
+// perturbs RNG draw order, and can oversubscribe the machine the
+// benchmarks are calibrated for. The engine's own pool spawns and other
+// audited launch sites carry //availlint:allow simgoroutine annotations.
+var Simgoroutine = &Analyzer{
+	Name:    "simgoroutine",
+	Doc:     "flag bare go statements that bypass the worker pool or sim event queue",
+	SimOnly: true,
+	Run:     runSimgoroutine,
+}
+
+func runSimgoroutine(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"bare go statement in simulation package %s: run work through the harness worker pool or the sim event queue (annotate audited launch sites with //availlint:allow simgoroutine)",
+					pass.PkgPath)
+			}
+			return true
+		})
+	}
+}

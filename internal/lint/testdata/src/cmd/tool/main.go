@@ -1,0 +1,14 @@
+// Package main exercises the trailing-slash allowlist form: everything
+// under cmd/ is exempt from the SimOnly analyzers, mirroring the real
+// repo policy for command entry points.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,7 @@
+// Package allowed is a true-negative globalrand fixture: allowlisted
+// packages (cmd/, examples/, livenet) may use the global generator.
+package allowed
+
+import "math/rand"
+
+func Roll() int { return rand.Intn(6) }

@@ -1,0 +1,43 @@
+// Package sim is a globalrand fixture: global math/rand draws and
+// time-seeded sources are flagged; explicitly threaded generators and
+// fixed-seed construction are not.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws() {
+	_ = rand.Intn(10)      // want `rand.Intn draws from the process-global RNG`
+	_ = rand.Float64()     // want `rand.Float64 draws from the process-global RNG`
+	_ = rand.Int63n(100)   // want `rand.Int63n draws from the process-global RNG`
+	_ = rand.Perm(5)       // want `rand.Perm draws from the process-global RNG`
+	rand.Shuffle(3, swap)  // want `rand.Shuffle draws from the process-global RNG`
+	rand.Seed(42)          // want `rand.Seed draws from the process-global RNG`
+	_, _ = rand.Read(nil)  // want `rand.Read draws from the process-global RNG`
+	_ = rand.NormFloat64() // want `rand.NormFloat64 draws from the process-global RNG`
+}
+
+func swap(i, j int) {}
+
+func timeSeeded() *rand.Rand {
+	src := rand.NewSource(time.Now().UnixNano()) // want `rand.NewSource seeded from the wall clock`
+	return rand.New(src)
+}
+
+// Threaded generators are the sanctioned pattern: every draw comes from
+// a *rand.Rand derived from the experiment seed.
+func threaded(rng *rand.Rand) float64 {
+	rng.Shuffle(3, swap)
+	return rng.Float64() + float64(rng.Intn(10))
+}
+
+func fixedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func annotated() int {
+	//availlint:allow globalrand fixture demonstrating the escape hatch
+	return rand.Intn(10)
+}

@@ -1,0 +1,25 @@
+// Package clean is a pure true-negative maporder fixture: maporder runs
+// on every package (no allowlist), so a disciplined package must come
+// back with zero findings.
+package clean
+
+import "sort"
+
+func Keys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func Max(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

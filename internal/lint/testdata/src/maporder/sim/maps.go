@@ -1,0 +1,127 @@
+// Package sim is a maporder fixture: order-sensitive map-range bodies
+// are flagged; aggregations and the collect-then-sort idiom are not.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+type holder struct {
+	sorted []string
+}
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys in iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSortSlice(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func (h *holder) fieldThenSort(m map[string]bool) {
+	for k := range m {
+		h.sorted = append(h.sorted, k)
+	}
+	sort.Strings(h.sorted)
+}
+
+func (h *holder) fieldUnsorted(m map[string]bool) {
+	for k := range m { // want `appends to sorted in iteration order`
+		h.sorted = append(h.sorted, k)
+	}
+}
+
+func printsInside(m map[string]int) {
+	for k, v := range m { // want `writes output via fmt.Println`
+		fmt.Println(k, v)
+	}
+}
+
+func buildsString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `writes output via WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func drawsRandomness(m map[string]int, rng *rand.Rand) int {
+	total := 0
+	for range m { // want `consumes randomness`
+		total += rng.Intn(10)
+	}
+	return total
+}
+
+func sendsOnChannel(m map[string]int, ch chan string) {
+	for k := range m { // want `sends on a channel`
+		ch <- k
+	}
+}
+
+// Aggregations are order-insensitive: no finding.
+func sums(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Writing into another map commutes: no finding.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// A slice created per iteration does not leak iteration order.
+func perIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Ranging a slice is always ordered: append freely.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func annotated(m map[string]int) []string {
+	var keys []string
+	for k := range m { //availlint:allow maporder consumer sorts downstream
+		keys = append(keys, k)
+	}
+	return keys
+}

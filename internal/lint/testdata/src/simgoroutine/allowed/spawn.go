@@ -1,0 +1,7 @@
+// Package allowed is a true-negative simgoroutine fixture: allowlisted
+// packages (cmd/, examples/, livenet) own their goroutines.
+package allowed
+
+func Background(work func()) {
+	go work()
+}

@@ -1,0 +1,31 @@
+// Package sim is a simgoroutine fixture: bare go statements in
+// simulation-facing packages are flagged unless annotated as audited.
+package sim
+
+import "sync"
+
+func spawns(work func()) {
+	go work() // want `bare go statement in simulation package`
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `bare go statement in simulation package`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func audited(work func()) {
+	done := make(chan struct{})
+	go func() { //availlint:allow simgoroutine audited launch site
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// Deferred and synchronous calls are not goroutines: no findings.
+func synchronous(work func()) {
+	defer work()
+	work()
+}

@@ -1,0 +1,11 @@
+// Package allowed is a true-negative wallclock fixture: its package path
+// is on the allowlist (like internal/clock and internal/livenet), so
+// wall-clock use is not flagged.
+package allowed
+
+import "time"
+
+func RealNow() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,43 @@
+// Package sim is a wallclock fixture: a simulation-facing package that
+// touches the real clock in every forbidden way, plus the allowed uses.
+package sim
+
+import "time"
+
+func timestamps() time.Time {
+	t := time.Now() // want `time.Now reads or waits on the wall clock`
+	return t
+}
+
+func waits(ch chan int) {
+	time.Sleep(time.Second) // want `time.Sleep reads or waits on the wall clock`
+	select {
+	case <-time.After(time.Second): // want `time.After reads or waits on the wall clock`
+	case <-ch:
+	}
+	time.AfterFunc(time.Second, func() {}) // want `time.AfterFunc reads or waits on the wall clock`
+	<-time.Tick(time.Second)               // want `time.Tick reads or waits on the wall clock`
+	_ = time.NewTicker(time.Second)        // want `time.NewTicker reads or waits on the wall clock`
+	_ = time.NewTimer(time.Second)         // want `time.NewTimer reads or waits on the wall clock`
+}
+
+func elapsed(epoch time.Time) (time.Duration, time.Duration) {
+	a := time.Since(epoch) // want `time.Since reads or waits on the wall clock`
+	b := time.Until(epoch) // want `time.Until reads or waits on the wall clock`
+	return a, b
+}
+
+// Pure time values and arithmetic are fine: no wall clock is observed.
+func pure() time.Duration {
+	d := 3 * time.Second
+	t := time.Date(2003, time.November, 15, 0, 0, 0, 0, time.UTC)
+	return d + t.Sub(t)
+}
+
+// Annotated exceptions are suppressed, either on the line or above it.
+func annotated() time.Time {
+	//availlint:allow wallclock calibration epoch, recorded once
+	epoch := time.Now()
+	later := time.Now() //availlint:allow wallclock same-line annotation form
+	return epoch.Add(later.Sub(epoch))
+}

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/types"
+)
+
+// Wallclock forbids reading or waiting on the machine's real clock in
+// simulation-facing packages. Episodes replay deterministically only if
+// every timestamp and every delay comes from the simulated clock
+// (internal/sim's event queue, surfaced as clock.Clock / cnet.Env);
+// a single time.Now or time.Sleep ties results to host scheduling.
+// time.Time and time.Duration values are fine — only the functions that
+// observe or wait on wall-clock time are flagged.
+var Wallclock = &Analyzer{
+	Name:    "wallclock",
+	Doc:     "forbid wall-clock time (time.Now, time.Sleep, ...) in simulation-facing packages",
+	SimOnly: true,
+	Run:     runWallclock,
+}
+
+// wallclockFuncs are the package-level time functions that observe or
+// block on real time. Constructors of pure values (time.Date,
+// time.ParseDuration, ...) are not listed.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Since":     true,
+	"Until":     true,
+}
+
+func runWallclock(pass *Pass) {
+	for id, obj := range pass.Info.Uses { //availlint:allow maporder diagnostics are sorted before emission
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			continue
+		}
+		if wallclockFuncs[fn.Name()] {
+			pass.Reportf(id.Pos(),
+				"time.%s reads or waits on the wall clock; simulation code must use the sim clock (clock.Clock / cnet.Env.Clock) so episodes replay deterministically",
+				fn.Name())
+		}
+	}
+}

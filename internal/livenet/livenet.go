@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -404,6 +405,9 @@ func (e *Env) Multicast(group, port string, m cnet.Message, size int) {
 		}
 	}
 	w.mu.Unlock()
+	// Fan out in node order, not map order, so the delivery sequence is
+	// reproducible across runs.
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	for _, id := range members {
 		e.Send(id, cnet.ClassIntra, port, m, size)
 	}
