@@ -5,6 +5,8 @@
 // Usage:
 //
 //	reproduce [-fig all|1a|1b|2|4|6|7|8|9a|9b|10|t1|t2] [-fast] [-seed N] [-o file] [-workers N]
+//	reproduce -chaos [-seeds N] [-version FME] [-shrink] [-repro-dir dir] [-fast]
+//	reproduce -chaos-replay file.json
 //
 // -fast runs the reduced-scale profile (quarter-size document set and
 // caches, shorter windows); the full profile is the paper-faithful one
@@ -12,6 +14,14 @@
 // harness worker pool (GOMAXPROCS simulators by default); -workers
 // bounds that, and -workers 1 forces serial execution — the results are
 // bit-identical either way.
+//
+// -chaos runs a multi-fault chaos campaign instead: seeds 1..N each draw
+// a deterministic fault schedule (overlapping faults, link flap, disk
+// stutter), play it against the chosen version, and check the cluster
+// invariant catalog. Violations are shrunk to minimal schedules and
+// written as runnable repro files; the exit status is non-zero if any
+// seed violates. -chaos-replay re-executes such a repro file and reports
+// whether the recorded violation still reproduces.
 package main
 
 import (
@@ -30,10 +40,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	out := flag.String("o", "", "also write output to this file")
 	workers := flag.Int("workers", 0, "max concurrent simulators (0 = GOMAXPROCS, 1 = serial)")
+	chaosMode := flag.Bool("chaos", false, "run a chaos campaign instead of figures")
+	seeds := flag.Int("seeds", 8, "chaos: number of campaign seeds (1..N)")
+	version := flag.String("version", string(press.FME), "chaos: version to bombard")
+	shrink := flag.Bool("shrink", true, "chaos: shrink violating schedules before writing repros")
+	reproDir := flag.String("repro-dir", ".", "chaos: directory for violation repro files")
+	replay := flag.String("chaos-replay", "", "replay a chaos repro file and exit")
 	flag.Parse()
 
 	if *workers > 0 {
 		press.SetWorkers(*workers)
+	}
+
+	if *replay != "" {
+		os.Exit(replayRepro(*replay))
+	}
+	if *chaosMode {
+		os.Exit(runChaosCampaign(press.Version(*version), *seeds, *fast, *seed, *shrink, *reproDir))
 	}
 
 	var o press.Options
@@ -104,4 +127,88 @@ func main() {
 		emit(tab.String())
 		emit(fmt.Sprintf("(generated in %.1fs)\n\n", time.Since(start).Seconds()))
 	}
+}
+
+// runChaosCampaign executes the -chaos mode and returns the exit code:
+// 0 when every seed satisfies the invariant catalog, 1 otherwise (with a
+// repro file written per violating seed).
+func runChaosCampaign(v press.Version, nSeeds int, fast bool, seed int64, shrink bool, reproDir string) int {
+	var o press.Options
+	if fast {
+		o = press.FastOptions(seed)
+	} else {
+		o = press.Options{Seed: seed}
+	}
+	start := time.Now()
+	sum := press.RunChaosCampaign(v, o, press.ChaosCampaignConfig{
+		Seeds:  press.ChaosSeeds(nSeeds),
+		Shrink: shrink,
+	})
+	fmt.Printf("%s(campaign took %.1fs)\n", sum, time.Since(start).Seconds())
+
+	code := 0
+	for _, oc := range sum.Outcomes {
+		if !oc.Violated() {
+			continue
+		}
+		code = 1
+		if oc.Err != nil {
+			continue // already reported in the summary
+		}
+		sched, viol := oc.Schedule, oc.Violations[0]
+		if len(oc.Minimal) > 0 {
+			sched, viol = oc.Minimal, oc.MinimalViol
+		}
+		rep := press.NewChaosRepro(v, oc.Options, press.ChaosRunConfig{}, sched, viol)
+		data, err := rep.Marshal()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		name := fmt.Sprintf("%s/chaos-repro-%s-seed%d-%s.json", reproDir, v, oc.Seed, rep.Hash)
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		fmt.Printf("wrote %s (%s)\n", name, viol)
+	}
+	return code
+}
+
+// replayRepro executes the -chaos-replay mode: 0 when the recorded
+// violation reproduces, 2 when the run is now clean (the repro went
+// stale), 1 on errors.
+func replayRepro(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rep, err := press.LoadChaosRepro(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("replaying %s on %s: %d-entry schedule (hash %s), recorded violation %q\n",
+		path, rep.Version, len(rep.Schedule), rep.Hash, rep.Violated)
+	fmt.Print(rep.Schedule)
+	res, viols, err := rep.Replay(press.ChaosInvariants())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("availability=%.5f floor=%.5f reintegrated=%v resets=%d\n",
+		res.Availability, res.Floor, res.Reintegrated, res.Resets)
+	for _, viol := range viols {
+		fmt.Printf("violated %s\n", viol)
+		if viol.Invariant == rep.Violated {
+			fmt.Println("recorded violation REPRODUCED")
+			return 0
+		}
+	}
+	if rep.Violated == "" {
+		return 0
+	}
+	fmt.Printf("recorded violation %q did NOT reproduce (%d other violations)\n", rep.Violated, len(viols))
+	return 2
 }

@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"press/internal/harness"
+)
+
+// CampaignConfig drives a multi-seed chaos campaign.
+type CampaignConfig struct {
+	Seeds      []int64 // one run per seed; order is the report order
+	Gen        GenConfig
+	Run        RunConfig
+	Invariants []Invariant // nil means DefaultInvariants()
+	Shrink     bool        // minimize each violating schedule
+}
+
+// Seeds returns 1..n, the fixed seed set `cmd/reproduce -chaos -seeds n`
+// and the CI smoke job use.
+func Seeds(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return out
+}
+
+// SeedOutcome is one seed's campaign verdict. Options is the fully
+// resolved option set the run used (offered load included), so a repro
+// built from it replays the identical simulation.
+type SeedOutcome struct {
+	Seed       int64
+	Options    harness.Options
+	Schedule   Schedule
+	Result     Result
+	Violations []Violation
+	Err        error
+
+	// Filled when the campaign shrinks a violation.
+	Minimal     Schedule
+	MinimalViol Violation
+	Stats       ShrinkStats
+}
+
+// Violated reports whether the seed broke any invariant (or failed to run).
+func (s SeedOutcome) Violated() bool { return s.Err != nil || len(s.Violations) > 0 }
+
+// CampaignSummary aggregates a campaign.
+type CampaignSummary struct {
+	Version  harness.Version
+	Outcomes []SeedOutcome
+}
+
+// Violations counts the seeds that broke an invariant.
+func (c CampaignSummary) Violations() int {
+	n := 0
+	for _, o := range c.Outcomes {
+		if o.Violated() {
+			n++
+		}
+	}
+	return n
+}
+
+func (c CampaignSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos campaign %s: %d seeds, %d violating\n", c.Version, len(c.Outcomes), c.Violations())
+	for _, o := range c.Outcomes {
+		fmt.Fprintf(&b, "  seed %-3d %d faults (%d overlapping pairs, %d skipped) avail=%.5f floor=%.5f resets=%d",
+			o.Seed, len(o.Schedule), o.Schedule.Overlaps(), len(o.Result.Skipped),
+			o.Result.Availability, o.Result.Floor, o.Result.Resets)
+		switch {
+		case o.Err != nil:
+			fmt.Fprintf(&b, "  ERROR: %v", o.Err)
+		case len(o.Violations) > 0:
+			fmt.Fprintf(&b, "  VIOLATED %v", o.Violations)
+			if len(o.Minimal) > 0 {
+				fmt.Fprintf(&b, " (shrunk %d->%d entries in %d replays)",
+					len(o.Schedule), len(o.Minimal), o.Stats.Runs)
+			}
+		default:
+			b.WriteString("  ok")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RunCampaign generates and runs one schedule per seed, checks the
+// invariant catalog against each, and (optionally) shrinks violations.
+// Seeds fan out concurrently; each run still takes a harness worker-pool
+// slot, so the machine never oversubscribes. Results are assembled in
+// seed order and every run is a pure function of its seed, so the whole
+// campaign replays bit-identically.
+func RunCampaign(v harness.Version, o harness.Options, cfg CampaignConfig) CampaignSummary {
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = Seeds(4)
+	}
+	invs := cfg.Invariants
+	if invs == nil {
+		invs = DefaultInvariants()
+	}
+	// Resolve the 90%-of-saturation load once, from a fixed-seed probe,
+	// so every seed shares it (per-seed Options otherwise differ only in
+	// Seed, and saturation does not depend on it).
+	if o.Rate <= 0 {
+		base := o
+		base.Seed = 1
+		o.Rate = 0.9 * harness.Saturation(v, base)
+	}
+
+	sum := CampaignSummary{Version: v, Outcomes: make([]SeedOutcome, len(cfg.Seeds))}
+	var wg sync.WaitGroup
+	for i, seed := range cfg.Seeds {
+		i, seed := i, seed
+		wg.Add(1)
+		// Orchestration-only: Run/Shrink take pool slots; the launcher
+		// goroutine itself never simulates.
+		go func() { //availlint:allow simgoroutine bounded by the harness worker pool
+			defer wg.Done()
+			oc := &sum.Outcomes[i]
+			oc.Seed = seed
+			opts := o
+			opts.Seed = seed
+			oc.Options = opts
+			oc.Schedule = Generate(seed, v, opts, cfg.Gen)
+			oc.Result, oc.Err = Run(v, opts, oc.Schedule, cfg.Run)
+			if oc.Err != nil {
+				return
+			}
+			oc.Violations = Check(&oc.Result, invs)
+			if len(oc.Violations) > 0 && cfg.Shrink {
+				min, viol, stats, err := Shrink(v, opts, cfg.Run, oc.Schedule, invs)
+				if err == nil {
+					oc.Minimal, oc.MinimalViol, oc.Stats = min, viol, stats
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return sum
+}

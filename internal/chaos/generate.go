@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"press/internal/faults"
+	"press/internal/harness"
+)
+
+// GenConfig shapes the schedule generator. Zero fields take defaults.
+type GenConfig struct {
+	// Horizon is the injection window: every entry starts inside it.
+	Horizon time.Duration // default 4m
+	// Accel divides every Table 1 MTTF so compound faults actually occur
+	// inside the horizon (same acceleration idea as the stochastic
+	// validator, cranked higher to force overlap).
+	Accel float64 // default 6000
+	// MinFaults retries generation (doubling Accel, fresh stream) until
+	// the schedule has at least this many entries; MaxFaults keeps the
+	// earliest ones when a draw produces more.
+	MinFaults int // default 3
+	MaxFaults int // default 10
+	// FlapFraction of flap-capable draws (link, disk) become
+	// intermittent variants.
+	FlapFraction float64 // default 0.3
+	// MinActive/MaxActive bound each fault's active span (Table 1 MTTRs
+	// are minutes-to-hours; chaos compresses them so repair and
+	// reconvergence both happen on screen).
+	MinActive time.Duration // default 25s
+	MaxActive time.Duration // default 75s
+}
+
+func (g GenConfig) withDefaults() GenConfig {
+	if g.Horizon <= 0 {
+		g.Horizon = 4 * time.Minute
+	}
+	if g.Accel <= 0 {
+		g.Accel = 6000
+	}
+	if g.MinFaults <= 0 {
+		g.MinFaults = 3
+	}
+	if g.MaxFaults <= 0 {
+		g.MaxFaults = 10
+	}
+	if g.FlapFraction <= 0 {
+		g.FlapFraction = 0.3
+	}
+	if g.MinActive <= 0 {
+		g.MinActive = 25 * time.Second
+	}
+	if g.MaxActive < g.MinActive {
+		g.MaxActive = 75 * time.Second
+		if g.MaxActive < g.MinActive {
+			g.MaxActive = g.MinActive
+		}
+	}
+	return g
+}
+
+// flapCapable marks the fault classes with a physical intermittent
+// variant: link flap and disk stutter (SCSI timeouts that come and go).
+func flapCapable(t faults.Type) bool {
+	return t == faults.LinkDown || t == faults.SCSITimeout
+}
+
+// genRand derives the generator's random stream from (seed, try) alone —
+// never from global state — so Generate is a pure function.
+func genRand(seed int64, try int) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "chaos/generate|%d|%d", seed, try)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Generate draws a seeded fault schedule for the version's cluster
+// shape: each Table 1 (class, component) slot produces Poisson arrivals
+// at its accelerated rate, each arrival active for a uniform span, with
+// flap-capable classes sometimes drawn as intermittent variants. The
+// same (seed, v, o, cfg) always yields the same schedule.
+func Generate(seed int64, v harness.Version, o harness.Options, cfg GenConfig) Schedule {
+	cfg = cfg.withDefaults()
+	specs := faults.Table1(harness.ServerCount(v, o), 2, v.HasFrontend())
+
+	accel := cfg.Accel
+	var sched Schedule
+	for try := 0; try < 8; try++ {
+		rng := genRand(seed, try)
+		sched = sched[:0]
+		for _, sp := range specs {
+			mean := float64(sp.MTTF) / accel
+			for comp := 0; comp < sp.Components; comp++ {
+				// Poisson arrivals on this slot; same-slot entries may not
+				// overlap, so each arrival starts after the previous repair.
+				at := time.Duration(rng.ExpFloat64() * mean)
+				for at < cfg.Horizon {
+					span := cfg.MinActive +
+						time.Duration(rng.Int63n(int64(cfg.MaxActive-cfg.MinActive)+1))
+					e := Entry{
+						At:        at.Round(time.Second),
+						Fault:     sp.Type,
+						Component: comp,
+						Duration:  span.Round(time.Second),
+					}
+					if flapCapable(sp.Type) && rng.Float64() < cfg.FlapFraction {
+						e.FlapOn = time.Duration(3+rng.Intn(6)) * time.Second
+						e.FlapOff = time.Duration(2+rng.Intn(4)) * time.Second
+					}
+					sched = append(sched, e)
+					at = e.End() + time.Second + time.Duration(rng.ExpFloat64()*mean)
+				}
+			}
+		}
+		if len(sched) >= cfg.MinFaults {
+			break
+		}
+		accel *= 2 // sparse draw: crank the fault load and redraw
+	}
+
+	sched = sched.Canonical()
+	if len(sched) > cfg.MaxFaults {
+		sched = sched[:cfg.MaxFaults]
+	}
+	return sched
+}

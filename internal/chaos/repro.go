@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"press/internal/faults"
+	"press/internal/harness"
+)
+
+// Repro is a runnable reproduction of an invariant violation: everything
+// needed to replay the exact failing simulation — version, options, run
+// config, and the (shrunken) schedule — plus what it violated. Repro
+// files are JSON; `cmd/reproduce -chaos-replay file` replays them.
+type Repro struct {
+	Version  harness.Version `json:"version"`
+	Options  harness.Options `json:"options"`
+	Run      RunConfig       `json:"run"`
+	Schedule Schedule        `json:"schedule"`
+	Violated string          `json:"violated"`
+	Detail   string          `json:"detail"`
+	Hash     string          `json:"hash"` // schedule digest, for naming and sanity
+}
+
+// NewRepro packages a violation into a replayable file body.
+func NewRepro(v harness.Version, o harness.Options, rc RunConfig, sched Schedule, viol Violation) Repro {
+	sched = sched.Canonical()
+	return Repro{
+		Version:  v,
+		Options:  o,
+		Run:      rc,
+		Schedule: sched,
+		Violated: viol.Invariant,
+		Detail:   viol.Detail,
+		Hash:     fmt.Sprintf("%016x", sched.Hash()),
+	}
+}
+
+// Marshal renders the repro as indented JSON (the on-disk format).
+func (r Repro) Marshal() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// LoadRepro parses a repro file body and validates its schedule.
+func LoadRepro(data []byte) (Repro, error) {
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("chaos: bad repro file: %w", err)
+	}
+	if err := r.Schedule.Validate(); err != nil {
+		return r, err
+	}
+	if want := fmt.Sprintf("%016x", r.Schedule.Hash()); r.Hash != "" && r.Hash != want {
+		return r, fmt.Errorf("chaos: repro hash %s does not match schedule (%s): file edited? update or drop the hash field", r.Hash, want)
+	}
+	return r, nil
+}
+
+// Replay re-executes the repro (memo bypassed: a repro exists to
+// re-observe the violation, not to read a cache) and re-checks the
+// given invariants.
+func (r Repro) Replay(invs []Invariant) (Result, []Violation, error) {
+	res, err := RunUncached(r.Version, r.Options, r.Schedule, r.Run)
+	if err != nil {
+		return res, nil, err
+	}
+	return res, Check(&res, invs), nil
+}
+
+// entryJSON is Entry's wire form: durations as strings ("1m30s"), fault
+// classes by name, so repro files are hand-editable.
+type entryJSON struct {
+	At        string `json:"at"`
+	Fault     string `json:"fault"`
+	Component int    `json:"component"`
+	Duration  string `json:"duration"`
+	FlapOn    string `json:"flap_on,omitempty"`
+	FlapOff   string `json:"flap_off,omitempty"`
+}
+
+// MarshalJSON renders the entry in its human-editable wire form.
+func (e Entry) MarshalJSON() ([]byte, error) {
+	j := entryJSON{
+		At:        e.At.String(),
+		Fault:     e.Fault.String(),
+		Component: e.Component,
+		Duration:  e.Duration.String(),
+	}
+	if e.Flapping() {
+		j.FlapOn = e.FlapOn.String()
+		j.FlapOff = e.FlapOff.String()
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON parses the wire form back.
+func (e *Entry) UnmarshalJSON(data []byte) error {
+	var j entryJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	parse := func(s string) (time.Duration, error) {
+		if s == "" {
+			return 0, nil
+		}
+		return time.ParseDuration(s)
+	}
+	var err error
+	if e.At, err = parse(j.At); err != nil {
+		return fmt.Errorf("chaos: entry at: %w", err)
+	}
+	if e.Fault, err = faults.ParseType(j.Fault); err != nil {
+		return err
+	}
+	e.Component = j.Component
+	if e.Duration, err = parse(j.Duration); err != nil {
+		return fmt.Errorf("chaos: entry duration: %w", err)
+	}
+	if e.FlapOn, err = parse(j.FlapOn); err != nil {
+		return fmt.Errorf("chaos: entry flap_on: %w", err)
+	}
+	if e.FlapOff, err = parse(j.FlapOff); err != nil {
+		return fmt.Errorf("chaos: entry flap_off: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,363 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/faults"
+	"press/internal/harness"
+	"press/internal/metrics"
+)
+
+// RunConfig shapes one chaos run around its schedule. Zero fields take
+// defaults.
+type RunConfig struct {
+	// Settle: post-warmup quiet span before the schedule's t=0.
+	Settle time.Duration // default 30s
+	// DrainGrace: quiet span after the last repair before the runner
+	// starts judging recovery.
+	DrainGrace time.Duration // default 90s
+	// ResetLimit bounds the wait for reintegration after each operator
+	// reset; the runner allows up to two reset rounds (a compound fault
+	// can legitimately need more than one, e.g. a node booting after the
+	// first reset still has a wedged process).
+	ResetLimit time.Duration // default 120s
+	// FinalObserve: measured quiet span after the recovery verdict.
+	FinalObserve time.Duration // default 30s
+	// RecoveryGrace extends each fault's window in the analytic
+	// availability floor: a fault's damage may outlive its repair by up
+	// to detection + rejoin + warmup.
+	RecoveryGrace time.Duration // default 4m
+	// FloorMargin is slack subtracted from the analytic floor (the floor
+	// assumes total blackout during fault windows plus this margin for
+	// compound-fault interaction).
+	FloorMargin float64 // default 0.03
+}
+
+func (r RunConfig) withDefaults() RunConfig {
+	if r.Settle <= 0 {
+		r.Settle = 30 * time.Second
+	}
+	if r.DrainGrace <= 0 {
+		r.DrainGrace = 90 * time.Second
+	}
+	if r.ResetLimit <= 0 {
+		r.ResetLimit = 120 * time.Second
+	}
+	if r.FinalObserve <= 0 {
+		r.FinalObserve = 30 * time.Second
+	}
+	if r.RecoveryGrace <= 0 {
+		r.RecoveryGrace = 4 * time.Minute
+	}
+	if r.FloorMargin <= 0 {
+		r.FloorMargin = 0.03
+	}
+	return r
+}
+
+// Violation is one failed invariant.
+type Violation struct {
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Result is everything one chaos run measured; the invariant catalog
+// judges it after the fact.
+type Result struct {
+	Version  harness.Version
+	Schedule Schedule
+	Start    time.Duration // schedule t=0 on the sim clock
+	End      time.Duration // measurement window end (load generator stop)
+
+	Offered   uint64
+	Succeeded uint64
+	Failed    uint64
+
+	Availability float64 // measured over [Start, End]
+	Floor        float64 // analytic schedule-derived lower bound
+
+	Reintegrated bool
+	Resets       int
+	Skipped      []string // schedule entries not injected, with reasons
+
+	Nodes        int   // server machines built
+	LiveNodes    int   // machines up at the end
+	ViewSizes    []int // per-node cooperation view sizes at the end
+	SendQueueMax int   // largest peer send queue at the end
+	ActiveFaults int   // injector slots still active at the end (want 0)
+
+	FMEMisses  []string // hangs FME should have converted but did not
+	FMEActions int
+
+	Log    *metrics.Log
+	Series *metrics.Series // successful completions per second
+}
+
+// Serialize renders every number the run produced — counters, verdicts,
+// throughput series, the full event log — into one deterministic byte
+// stream. The replay acceptance test runs the same schedule twice and
+// requires bytes.Equal.
+func (r Result) Serialize() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "chaos %s hash=%016x start=%s end=%s\n", r.Version, r.Schedule.Hash(), r.Start, r.End)
+	b.WriteString(r.Schedule.String())
+	fmt.Fprintf(&b, "offered=%d succeeded=%d failed=%d\n", r.Offered, r.Succeeded, r.Failed)
+	fmt.Fprintf(&b, "availability=%.9f floor=%.9f\n", r.Availability, r.Floor)
+	fmt.Fprintf(&b, "reintegrated=%v resets=%d skipped=%v\n", r.Reintegrated, r.Resets, r.Skipped)
+	fmt.Fprintf(&b, "nodes=%d live=%d views=%v sendq=%d activefaults=%d\n",
+		r.Nodes, r.LiveNodes, r.ViewSizes, r.SendQueueMax, r.ActiveFaults)
+	fmt.Fprintf(&b, "fme actions=%d misses=%v\n", r.FMEActions, r.FMEMisses)
+	fmt.Fprintf(&b, "series %v\n", r.Series.Buckets())
+	for _, e := range r.Log.All() {
+		fmt.Fprintf(&b, "event %s\n", e)
+	}
+	return b.Bytes()
+}
+
+// RunUncached executes one chaos run: build the version, warm it up,
+// play the schedule against the injector, wait for the dust to settle
+// (operator resets allowed, as in the paper's stage E), and snapshot
+// every probe the invariants need. It builds a private sim.Sim, so
+// concurrent runs cannot interact; the same inputs always produce a
+// bit-identical Result.
+func RunUncached(v harness.Version, o harness.Options, sched Schedule, rc RunConfig) (Result, error) {
+	rc = rc.withDefaults()
+	sched = sched.Canonical()
+	res := Result{Version: v, Schedule: sched}
+	if err := sched.Validate(); err != nil {
+		return res, err
+	}
+
+	c := harness.Build(v, o)
+	res.Log = c.Log
+	res.Nodes = len(c.Machines)
+
+	c.Gen.Start()
+	c.Sim.RunFor(c.Opts.Warmup + rc.Settle)
+	t0 := c.Sim.Now()
+	res.Start = t0
+
+	// Arm the whole schedule up front; the injector enforces slot
+	// conflicts, TargetHealthy skips arrivals whose target an earlier
+	// fault already took out (a crashed node cannot also lose its link).
+	actives := make([]*faults.Active, len(sched))
+	for i := range sched {
+		i, e := i, sched[i]
+		c.Sim.At(t0+e.At, func() {
+			if !c.Injector.Applicable(e.Fault) || !harness.TargetHealthy(c, e.Fault, e.Component) {
+				res.Skipped = append(res.Skipped, fmt.Sprintf("%s: target unavailable", e))
+				return
+			}
+			var a *faults.Active
+			var err error
+			if e.Flapping() {
+				a, err = c.Injector.InjectFlap(e.Fault, e.Component, faults.Flap{On: e.FlapOn, Off: e.FlapOff})
+			} else {
+				a, err = c.Injector.Inject(e.Fault, e.Component)
+			}
+			if err != nil {
+				res.Skipped = append(res.Skipped, fmt.Sprintf("%s: %v", e, err))
+				return
+			}
+			actives[i] = a
+		})
+		c.Sim.At(t0+e.End(), func() {
+			if actives[i] != nil {
+				_ = actives[i].Repair()
+				actives[i] = nil
+			}
+		})
+	}
+
+	c.Sim.RunUntil(t0 + sched.Horizon() + rc.DrainGrace)
+
+	// Recovery: self-reintegration first, then up to two operator
+	// rounds (§3's reset, compounded faults may need a second).
+	for round := 0; round < 2 && !c.Reintegrated(); round++ {
+		res.Resets++
+		c.OperatorReset()
+		deadline := c.Sim.Now() + rc.ResetLimit
+		for c.Sim.Now() < deadline && !c.Reintegrated() {
+			c.Sim.RunFor(2 * time.Second)
+		}
+	}
+	res.Reintegrated = c.Reintegrated()
+
+	c.Sim.RunFor(rc.FinalObserve)
+	res.End = c.Sim.Now()
+	c.Gen.Stop()
+	// Let in-flight requests reach their 2s-connect/6s-complete verdicts
+	// so the conservation counters balance.
+	c.Sim.RunFor(10 * time.Second)
+
+	res.Offered = c.Rec.Offered
+	res.Succeeded = c.Rec.Succeeded
+	res.Failed = c.Rec.Failed
+	res.Availability = c.Rec.Availability(res.Start, res.End)
+	res.Floor = analyticFloor(sched, res.End-res.Start, rc)
+	res.Series = c.Rec.Throughput
+
+	for i, m := range c.Machines {
+		if m.Up() {
+			res.LiveNodes++
+		}
+		if c.Version.Cooperative() {
+			views := 0
+			if srv := c.Server(i); srv != nil {
+				views = len(srv.View())
+			}
+			res.ViewSizes = append(res.ViewSizes, views)
+		}
+		if srv := c.Server(i); srv != nil {
+			for j := range c.Machines {
+				if i == j {
+					continue
+				}
+				if q := srv.SendQueueLen(cnet.NodeID(j)); q > res.SendQueueMax {
+					res.SendQueueMax = q
+				}
+			}
+		}
+	}
+	res.ActiveFaults = c.Injector.ActiveCount()
+	res.FMEActions = c.Log.Count(metrics.EvFMEAction, t0, res.End)
+	res.FMEMisses = fmeMisses(c, sched, t0)
+	return res, nil
+}
+
+// fmeMisses checks the FME bound: on FME-bearing versions, a steady
+// application hang that lasts at least the enforcement bound — and does
+// not overlap any other scheduled fault that could mask or pre-empt the
+// probe — must draw an FME action on that node within the bound. The
+// bound is two missed probe strikes plus the restart grace (fme.Config
+// Consecutive=2 at the heartbeat cadence) with one period of slack.
+func fmeMisses(c *harness.Cluster, sched Schedule, t0 time.Duration) []string {
+	if !c.Version.HasFME() {
+		return nil
+	}
+	bound := 4*c.Opts.HeartbeatPeriod + 5*time.Second
+	var misses []string
+	for i, e := range sched {
+		if e.Fault != faults.AppHang || e.Flapping() || e.Duration < bound {
+			continue
+		}
+		solo := true
+		for j, f := range sched {
+			if i != j && e.At < f.End() && f.At < e.End() {
+				solo = false
+				break
+			}
+		}
+		if !solo {
+			continue
+		}
+		winFrom, winTo := t0+e.At, t0+e.At+bound
+		_, ok := c.Log.FirstMatch(winFrom, func(ev metrics.Event) bool {
+			return ev.Kind == metrics.EvFMEAction && ev.Node == e.Component && ev.At <= winTo
+		})
+		if !ok {
+			misses = append(misses, fmt.Sprintf("%s: no fme.action on node %d within %s", e, e.Component, bound))
+		}
+	}
+	return misses
+}
+
+// analyticFloor derives the single-fault-model availability lower bound
+// for this schedule: assume total request blackout for every fault's
+// active window extended by the recovery grace (the worst any single
+// Table 1 fault does in the phase-1 campaigns is lose the whole service
+// until reintegration), overlap-merged so compound faults are not
+// double-counted, minus the configured margin.
+func analyticFloor(sched Schedule, window time.Duration, rc RunConfig) float64 {
+	if window <= 0 {
+		return 0
+	}
+	type span struct{ from, to time.Duration }
+	var spans []span
+	for _, e := range sched {
+		from, to := e.At, e.End()+rc.RecoveryGrace
+		if from < 0 {
+			from = 0
+		}
+		if to > window {
+			to = window
+		}
+		if to > from {
+			spans = append(spans, span{from, to})
+		}
+	}
+	// Entries arrive canonically sorted by At, so the union is one pass.
+	var down time.Duration
+	started := false
+	var cur span
+	for _, s := range spans {
+		if !started || s.from > cur.to {
+			if started {
+				down += cur.to - cur.from
+			}
+			cur, started = s, true
+			continue
+		}
+		if s.to > cur.to {
+			cur.to = s.to
+		}
+	}
+	if started {
+		down += cur.to - cur.from
+	}
+	floor := 1 - down.Seconds()/window.Seconds() - rc.FloorMargin
+	if floor < 0 {
+		floor = 0
+	}
+	return floor
+}
+
+// runEntry is one singleflight memo slot for chaos runs.
+type runEntry struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+var (
+	runMu   sync.Mutex
+	runMemo = map[string]*runEntry{}
+)
+
+// ResetMemo drops every cached chaos run.
+func ResetMemo() {
+	runMu.Lock()
+	runMemo = map[string]*runEntry{}
+	runMu.Unlock()
+}
+
+// Run is the memoized RunUncached: keyed on (version, options, run
+// config, schedule hash) and executed on the harness worker pool. The
+// schedule hash in the key — a dimension no single-fault episode key has
+// — plus the package-private memo map is what guarantees chaos runs can
+// never collide with or poison the harness episode/campaign caches.
+func Run(v harness.Version, o harness.Options, sched Schedule, rc RunConfig) (Result, error) {
+	sched = sched.Canonical()
+	key := fmt.Sprintf("%s|%+v|%+v|%016x", v, o, rc.withDefaults(), sched.Hash())
+	runMu.Lock()
+	if e, ok := runMemo[key]; ok {
+		runMu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &runEntry{done: make(chan struct{})}
+	runMemo[key] = e
+	runMu.Unlock()
+
+	harness.RunOnPool(func() {
+		e.res, e.err = RunUncached(v, o, sched, rc)
+	})
+	close(e.done)
+	return e.res, e.err
+}

@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"press/internal/harness"
+)
+
+// ShrinkStats reports what the shrinker did.
+type ShrinkStats struct {
+	Runs      int // replays executed (memo hits included)
+	Removed   int // entries deleted
+	Shortened int // durations halved
+	Deflapped int // flap variants reduced to steady faults
+}
+
+// minSpan is the shortest duration the shrinker reduces to; below this
+// most faults stop mattering at all and the search just burns replays.
+const minSpan = 10 * time.Second
+
+// Shrink minimizes a schedule that violates an invariant: starting from
+// a failing schedule, it greedily (1) deletes entries, (2) halves
+// durations, and (3) strips flapping down to steady faults — keeping
+// each mutation only if the *same* invariant still fails on replay — and
+// loops to a fixpoint. Because every replay is deterministic, the
+// returned minimal schedule reproduces the violation on every future
+// replay; it is what goes into the repro file.
+//
+// Replays go through the memoized Run, so revisited sub-schedules are
+// free and the worst case is O(entries²) simulations.
+func Shrink(v harness.Version, o harness.Options, rc RunConfig, sched Schedule, invs []Invariant) (Schedule, Violation, ShrinkStats, error) {
+	var stats ShrinkStats
+
+	// Establish the target: the first invariant the full schedule breaks.
+	target, err := firstViolation(v, o, rc, sched, invs, &stats)
+	if err != nil {
+		return sched, Violation{}, stats, err
+	}
+	if target.Invariant == "" {
+		return sched, Violation{}, stats, fmt.Errorf("chaos: schedule does not violate any given invariant; nothing to shrink")
+	}
+
+	// stillFails replays a candidate and keeps it only if the same
+	// invariant still fails: shrinking must not wander to a different
+	// bug (other invariants failing alongside is fine).
+	stillFails := func(s Schedule) (bool, error) {
+		viols, err := violations(v, o, rc, s, invs, &stats)
+		if err != nil {
+			return false, err
+		}
+		for _, viol := range viols {
+			if viol.Invariant == target.Invariant {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	cur := sched.Canonical()
+	for changed := true; changed; {
+		changed = false
+
+		// Pass 1: delete entries (latest first, so indices stay valid and
+		// late "aftershock" entries go before the early root cause).
+		for i := len(cur) - 1; i >= 0; i-- {
+			cand := make(Schedule, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			ok, err := stillFails(cand)
+			if err != nil {
+				return cur, target, stats, err
+			}
+			if ok {
+				cur = cand
+				stats.Removed++
+				changed = true
+			}
+		}
+
+		// Pass 2: halve durations down to minSpan.
+		for i := range cur {
+			if cur[i].Duration <= minSpan {
+				continue
+			}
+			cand := make(Schedule, len(cur))
+			copy(cand, cur)
+			half := (cand[i].Duration / 2).Round(time.Second)
+			if half < minSpan {
+				half = minSpan
+			}
+			cand[i].Duration = half
+			ok, err := stillFails(cand)
+			if err != nil {
+				return cur, target, stats, err
+			}
+			if ok {
+				cur = cand
+				stats.Shortened++
+				changed = true
+			}
+		}
+
+		// Pass 3: steady beats intermittent for a minimal repro.
+		for i := range cur {
+			if !cur[i].Flapping() {
+				continue
+			}
+			cand := make(Schedule, len(cur))
+			copy(cand, cur)
+			cand[i].FlapOn, cand[i].FlapOff = 0, 0
+			ok, err := stillFails(cand)
+			if err != nil {
+				return cur, target, stats, err
+			}
+			if ok {
+				cur = cand
+				stats.Deflapped++
+				changed = true
+			}
+		}
+	}
+
+	// Re-derive the final violation from the minimal schedule so the
+	// repro file's detail matches what replaying it will print.
+	finals, err := violations(v, o, rc, cur, invs, &stats)
+	if err != nil {
+		return cur, target, stats, err
+	}
+	for _, viol := range finals {
+		if viol.Invariant == target.Invariant {
+			return cur, viol, stats, nil
+		}
+	}
+	return cur, target, stats, fmt.Errorf("chaos: shrunken schedule no longer violates %q", target.Invariant)
+}
+
+// firstViolation replays (memoized) and returns the first violation in
+// invariant-catalog order (zero Violation when the run is clean).
+func firstViolation(v harness.Version, o harness.Options, rc RunConfig, sched Schedule, invs []Invariant, stats *ShrinkStats) (Violation, error) {
+	viols, err := violations(v, o, rc, sched, invs, stats)
+	if err != nil || len(viols) == 0 {
+		return Violation{}, err
+	}
+	return viols[0], nil
+}
+
+// violations replays (memoized) and checks the catalog.
+func violations(v harness.Version, o harness.Options, rc RunConfig, sched Schedule, invs []Invariant, stats *ShrinkStats) ([]Violation, error) {
+	stats.Runs++
+	r, err := Run(v, o, sched, rc)
+	if err != nil {
+		return nil, err
+	}
+	return Check(&r, invs), nil
+}

@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"press/internal/faults"
+	"press/internal/harness"
+)
+
+// TestShrinkerMinimizes seeds an invariant violation — a switch outage
+// buried in a schedule with two harmless app crashes — and requires the
+// shrinker to strip the noise: the minimal schedule must still violate
+// the same invariant on a from-scratch replay (acceptance criterion) and
+// must be 1-minimal (deleting any remaining entry makes the violation
+// disappear).
+func TestShrinkerMinimizes(t *testing.T) {
+	o := fastOpts(1)
+	rc := fastRun()
+	sched := Schedule{
+		{At: 5 * time.Second, Fault: faults.AppCrash, Component: 1, Duration: 15 * time.Second},
+		{At: 20 * time.Second, Fault: faults.SwitchDown, Component: 0, Duration: 50 * time.Second},
+		{At: 80 * time.Second, Fault: faults.AppCrash, Component: 2, Duration: 15 * time.Second},
+	}
+	invs := []Invariant{AvailabilityAtLeast(0.95)}
+
+	min, viol, stats, err := Shrink(harness.VMQ, o, rc, sched, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("shrunk %d -> %d entries in %d replays (%d removed, %d shortened, %d deflapped): %s",
+		len(sched), len(min), stats.Runs, stats.Removed, stats.Shortened, stats.Deflapped, viol)
+
+	if viol.Invariant != "availability-at-least" {
+		t.Fatalf("final violation is %v, want availability-at-least", viol)
+	}
+	if len(min) != 1 || min[0].Fault != faults.SwitchDown {
+		t.Fatalf("minimal schedule should be the switch outage alone, got:\n%s", min)
+	}
+	if stats.Removed != 2 {
+		t.Fatalf("Removed = %d, want 2 (both app crashes)", stats.Removed)
+	}
+
+	// Acceptance: the minimal schedule reproduces on a fresh, uncached
+	// replay — exactly what its repro file will do.
+	rep := NewRepro(harness.VMQ, o, rc, min, viol)
+	res, viols, err := rep.Replay(invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range viols {
+		if v.Invariant == viol.Invariant {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("minimal schedule did not reproduce %q on replay (availability %.5f): %v",
+			viol.Invariant, res.Availability, viols)
+	}
+
+	// 1-minimality: every surviving entry is necessary.
+	for i := range min {
+		cand := make(Schedule, 0, len(min)-1)
+		cand = append(cand, min[:i]...)
+		cand = append(cand, min[i+1:]...)
+		r, err := Run(harness.VMQ, o, cand, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs := Check(&r, invs); len(vs) != 0 {
+			t.Fatalf("entry %d (%s) is removable: %v — schedule not minimal", i, min[i], vs)
+		}
+	}
+}

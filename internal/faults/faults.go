@@ -5,12 +5,21 @@
 //
 // The package has two halves: the fault catalog (Table 1's fault types
 // with their MTTFs, MTTRs and component counts, which parameterize the
-// phase-2 availability model) and the Injector (which applies a single
-// fault instance to the running simulation for phase-1 measurements).
+// phase-2 availability model) and the Injector, which applies fault
+// instances to the running simulation. The injector supports the chaos
+// regime the paper's methodology brackets out: multiple simultaneously
+// active faults on distinct (type, component) slots, intermittent
+// (flapping) variants such as link flap and disk stutter, and partial
+// repair — each active fault repairs independently, so a node can get
+// its link back while its disk is still stuttering. Double-injecting an
+// already-active slot or repairing an inactive fault is a typed error
+// (*Error wrapping ErrActive / ErrNotActive), never silent overwrite.
 package faults
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"press/internal/machine"
@@ -53,6 +62,16 @@ func (t Type) String() string {
 		return fmt.Sprintf("fault(%d)", int(t))
 	}
 	return typeNames[t]
+}
+
+// ParseType inverts String for the chaos repro file format.
+func ParseType(s string) (Type, error) {
+	for i, n := range typeNames {
+		if n == s {
+			return Type(i), nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown fault type %q", s)
 }
 
 // AllTypes lists every fault class in Table 1 order.
@@ -117,11 +136,57 @@ type Targets struct {
 	AppProc  string             // server process name on each machine
 }
 
-// Injector applies and repairs single faults.
+// Sentinel causes for *Error, checkable with errors.Is.
+var (
+	// ErrActive: the (type, component) slot already carries an active
+	// fault; the caller tried to double-inject.
+	ErrActive = errors.New("fault already active")
+	// ErrNotActive: the fault was already repaired (or never injected).
+	ErrNotActive = errors.New("fault not active")
+)
+
+// Error is the injector's typed error: which operation failed on which
+// fault slot, and why (Unwrap yields ErrActive or ErrNotActive).
+type Error struct {
+	Op        string // "inject" or "repair"
+	Type      Type
+	Component int
+	Err       error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: %s %v/%d: %v", e.Op, e.Type, e.Component, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Flap describes an intermittent fault: the effect toggles between
+// active (On span) and repaired (Off span) until Repair ends it for
+// good. Link flap is Flap over LinkDown; disk stutter is Flap over
+// SCSITimeout; any class can flap.
+type Flap struct {
+	On  time.Duration
+	Off time.Duration
+}
+
+// Flapping reports whether the spec describes a real toggle.
+func (f Flap) Flapping() bool { return f.On > 0 && f.Off > 0 }
+
+// slot identifies one injectable (type, component) pair.
+type slot struct {
+	t Type
+	c int
+}
+
+// Injector applies and repairs faults. It tracks every active fault by
+// (type, component) slot: distinct slots overlap freely and repair
+// independently (partial repair); the same slot can hold only one
+// active fault at a time.
 type Injector struct {
-	sim *sim.Sim
-	log *metrics.Log
-	t   Targets
+	sim    *sim.Sim
+	log    *metrics.Log
+	t      Targets
+	active map[slot]*Active
 }
 
 // NewInjector builds an injector over the given targets.
@@ -129,26 +194,52 @@ func NewInjector(s *sim.Sim, log *metrics.Log, t Targets) *Injector {
 	if t.AppProc == "" {
 		t.AppProc = "press"
 	}
-	return &Injector{sim: s, log: log, t: t}
+	return &Injector{sim: s, log: log, t: t, active: make(map[slot]*Active)}
 }
 
 // Active is a fault in effect; Repair undoes it.
 type Active struct {
 	Type      Type
 	Component int
-	repair    func()
-	repaired  bool
-	in        *Injector
+	Flap      Flap // zero for a steady fault
+
+	in       *Injector
+	undo     func() // reverses the applied effect; nil while in a flap's off phase
+	timer    *sim.Event
+	repaired bool
 }
 
-// Repair undoes the fault (idempotent).
-func (a *Active) Repair() {
+// Flapping reports whether this fault is an intermittent variant.
+func (a *Active) Flapping() bool { return a.Flap.Flapping() }
+
+// Repair ends the fault: a steady fault's effect is reversed; a flapping
+// fault stops toggling (its effect reversed if currently applied). The
+// slot becomes free for re-injection. Repairing an already-repaired
+// fault is a typed error (*Error wrapping ErrNotActive).
+func (a *Active) Repair() error {
 	if a == nil || a.repaired {
-		return
+		var t Type
+		var c int
+		if a != nil {
+			t, c = a.Type, a.Component
+		}
+		return &Error{Op: "repair", Type: t, Component: c, Err: ErrNotActive}
 	}
 	a.repaired = true
-	a.repair()
-	a.in.emit(metrics.EvFaultRepair, a.Component, a.Type.String())
+	if a.timer != nil {
+		a.timer.Stop()
+		a.timer = nil
+	}
+	delete(a.in.active, slot{a.Type, a.Component})
+	if a.undo != nil {
+		a.unapply()
+	} else {
+		// A flap caught in its off phase: the effect is already off, but
+		// the fault as a whole ends here — record that for the log's
+		// inject/repair pairing.
+		a.in.emit(metrics.EvFaultRepair, a.Component, a.Type.String()+"/flap-idle")
+	}
+	return nil
 }
 
 func (in *Injector) emit(kind string, component int, detail string) {
@@ -157,26 +248,85 @@ func (in *Injector) emit(kind string, component int, detail string) {
 	}
 }
 
-// Inject applies one fault of class t to component index c (meaning
-// depends on the class: node index for node/app/link faults, disk index
-// for SCSI — node i's disks are 2i and 2i+1 — and ignored for switch and
-// front-end faults). It panics on out-of-range components: experiments
-// are misconfigured, not recoverable.
-func (in *Injector) Inject(t Type, c int) *Active {
-	a := &Active{Type: t, Component: c, in: in}
+// register claims the slot or returns the double-injection error.
+func (in *Injector) register(t Type, c int, f Flap) (*Active, error) {
+	k := slot{t, c}
+	if _, dup := in.active[k]; dup {
+		return nil, &Error{Op: "inject", Type: t, Component: c, Err: ErrActive}
+	}
+	a := &Active{Type: t, Component: c, Flap: f, in: in}
+	in.active[k] = a
+	return a, nil
+}
+
+// Inject applies one steady fault of class t to component index c
+// (meaning depends on the class: node index for node/app/link faults,
+// disk index for SCSI — node i's disks are 2i and 2i+1 — and ignored for
+// switch and front-end faults). Injecting a slot that already carries an
+// active fault returns a typed error (*Error wrapping ErrActive); faults
+// on distinct slots stack and repair independently. It panics on
+// out-of-range components: experiments are misconfigured, not
+// recoverable.
+func (in *Injector) Inject(t Type, c int) (*Active, error) {
+	a, err := in.register(t, c, Flap{})
+	if err != nil {
+		return nil, err
+	}
+	a.apply()
+	return a, nil
+}
+
+// InjectFlap applies an intermittent fault: the effect holds for f.On,
+// lifts for f.Off, and repeats until Repair. Slot conflict rules match
+// Inject. Both flap spans must be positive.
+func (in *Injector) InjectFlap(t Type, c int, f Flap) (*Active, error) {
+	if !f.Flapping() {
+		return nil, &Error{Op: "inject", Type: t, Component: c,
+			Err: fmt.Errorf("flap spans must be positive, got on=%v off=%v", f.On, f.Off)}
+	}
+	a, err := in.register(t, c, f)
+	if err != nil {
+		return nil, err
+	}
+	a.apply()
+	a.timer = in.sim.After(f.On, a.toggle)
+	return a, nil
+}
+
+// toggle is the flap driver: lift the effect after each on span, reapply
+// it after each off span.
+func (a *Active) toggle() {
+	if a.repaired {
+		return
+	}
+	if a.undo != nil {
+		a.unapply()
+		a.timer = a.in.sim.After(a.Flap.Off, a.toggle)
+	} else {
+		a.apply()
+		a.timer = a.in.sim.After(a.Flap.On, a.toggle)
+	}
+}
+
+// apply imposes the fault's effect and remembers how to reverse it. Each
+// application builds fresh closures, so a flap re-applied after the node
+// changed state underneath it (another fault's doing) acts on current
+// reality; the machine/process guards make redundant transitions no-ops.
+func (a *Active) apply() {
+	in, t, c := a.in, a.Type, a.Component
 	switch t {
 	case LinkDown:
 		ifc := in.t.Machines[c].Iface()
 		ifc.SetLink(false)
-		a.repair = func() { ifc.SetLink(true) }
+		a.undo = func() { ifc.SetLink(true) }
 	case SwitchDown:
 		in.t.Net.SetSwitch(false)
-		a.repair = func() { in.t.Net.SetSwitch(true) }
+		a.undo = func() { in.t.Net.SetSwitch(true) }
 	case SCSITimeout:
 		m := in.t.Machines[c/2]
 		d := m.Disks().Disks()[c%2]
 		d.SetFaulty(true)
-		a.repair = func() {
+		a.undo = func() {
 			d.SetFaulty(false)
 			// Repair crews boot the node back if it was taken offline
 			// (e.g. by FME's fault-model translation).
@@ -187,30 +337,71 @@ func (in *Injector) Inject(t Type, c int) *Active {
 	case NodeCrash:
 		m := in.t.Machines[c]
 		m.Crash()
-		a.repair = func() { m.Restart() }
+		a.undo = func() { m.Restart() }
 	case NodeFreeze:
 		m := in.t.Machines[c]
 		m.Freeze()
-		a.repair = func() { m.Unfreeze() }
+		a.undo = func() { m.Unfreeze() }
 	case AppCrash:
 		m := in.t.Machines[c]
 		m.KillProc(in.t.AppProc)
-		a.repair = func() { m.StartProc(in.t.AppProc) }
+		a.undo = func() { m.StartProc(in.t.AppProc) }
 	case AppHang:
 		p := in.t.Machines[c].Proc(in.t.AppProc)
 		p.Hang()
-		a.repair = func() { p.Unhang() }
+		a.undo = func() { p.Unhang() }
 	case FrontendFailure:
 		if in.t.Frontend == nil {
 			panic("faults: no front-end to fail")
 		}
 		in.t.Frontend.Crash()
-		a.repair = func() { in.t.Frontend.Restart() }
+		a.undo = func() { in.t.Frontend.Restart() }
 	default:
 		panic(fmt.Sprintf("faults: unknown type %v", t))
 	}
-	in.emit(metrics.EvFaultInject, c, t.String())
-	return a
+	in.emit(metrics.EvFaultInject, c, a.detail())
+}
+
+// unapply reverses the current application.
+func (a *Active) unapply() {
+	undo := a.undo
+	a.undo = nil
+	undo()
+	a.in.emit(metrics.EvFaultRepair, a.Component, a.detail())
+}
+
+func (a *Active) detail() string {
+	if a.Flapping() {
+		return a.Type.String() + "/flap"
+	}
+	return a.Type.String()
+}
+
+// ActiveFault names one currently-active fault slot.
+type ActiveFault struct {
+	Type      Type
+	Component int
+	Flapping  bool
+}
+
+// ActiveCount returns how many faults are currently active.
+func (in *Injector) ActiveCount() int { return len(in.active) }
+
+// ActiveFaults lists the active fault slots in deterministic (type,
+// component) order — the chaos invariant checks read it after a run to
+// assert the schedule fully quiesced.
+func (in *Injector) ActiveFaults() []ActiveFault {
+	out := make([]ActiveFault, 0, len(in.active))
+	for k := range in.active {
+		out = append(out, ActiveFault{Type: k.t, Component: k.c, Flapping: in.active[k].Flapping()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
 }
 
 // Applicable reports whether fault class t can be injected on these

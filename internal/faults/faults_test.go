@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -28,6 +29,23 @@ func testTargets(t *testing.T, n int) (*sim.Sim, *metrics.Log, Targets) {
 	fe.AddProc("frontend", func(env *machine.Env) {})
 	tg.Frontend = fe
 	return s, log, tg
+}
+
+// mustInject is the test-side shorthand for faults that cannot conflict.
+func mustInject(t *testing.T, in *Injector, ft Type, c int) *Active {
+	t.Helper()
+	a, err := in.Inject(ft, c)
+	if err != nil {
+		t.Fatalf("Inject(%v, %d): %v", ft, c, err)
+	}
+	return a
+}
+
+func mustRepair(t *testing.T, a *Active) {
+	t.Helper()
+	if err := a.Repair(); err != nil {
+		t.Fatalf("Repair(%v/%d): %v", a.Type, a.Component, err)
+	}
 }
 
 func TestTable1Shape(t *testing.T) {
@@ -87,97 +105,276 @@ func TestInjectRepairRoundTrips(t *testing.T) {
 	in := NewInjector(s, log, tg)
 
 	// Link
-	a := in.Inject(LinkDown, 1)
+	a := mustInject(t, in, LinkDown, 1)
 	if tg.Machines[1].Iface().LinkUp() {
 		t.Fatal("link still up")
 	}
-	a.Repair()
+	mustRepair(t, a)
 	if !tg.Machines[1].Iface().LinkUp() {
 		t.Fatal("link not repaired")
 	}
 
 	// Switch
-	a = in.Inject(SwitchDown, 0)
+	a = mustInject(t, in, SwitchDown, 0)
 	if tg.Net.SwitchUp() {
 		t.Fatal("switch still up")
 	}
-	a.Repair()
-	a.Repair() // idempotent
+	mustRepair(t, a)
 	if !tg.Net.SwitchUp() {
 		t.Fatal("switch not repaired")
 	}
 
 	// SCSI: disk 3 is node 1's second disk.
-	a = in.Inject(SCSITimeout, 3)
+	a = mustInject(t, in, SCSITimeout, 3)
 	if !tg.Machines[1].Disks().Disks()[1].Faulty() {
 		t.Fatal("disk not faulty")
 	}
-	a.Repair()
+	mustRepair(t, a)
 	if tg.Machines[1].Disks().AnyFaulty() {
 		t.Fatal("disk not repaired")
 	}
 
 	// Node crash
-	a = in.Inject(NodeCrash, 0)
+	a = mustInject(t, in, NodeCrash, 0)
 	if tg.Machines[0].Up() {
 		t.Fatal("machine still up")
 	}
-	a.Repair()
+	mustRepair(t, a)
 	if !tg.Machines[0].Up() {
 		t.Fatal("machine not restarted")
 	}
 
 	// Node freeze
-	a = in.Inject(NodeFreeze, 0)
+	a = mustInject(t, in, NodeFreeze, 0)
 	if tg.Machines[0].State() != simnet.NodeFrozen {
 		t.Fatal("machine not frozen")
 	}
-	a.Repair()
+	mustRepair(t, a)
 	if !tg.Machines[0].Up() {
 		t.Fatal("machine not thawed")
 	}
 
 	// App crash
-	a = in.Inject(AppCrash, 1)
+	a = mustInject(t, in, AppCrash, 1)
 	if tg.Machines[1].Proc("press").Alive() {
 		t.Fatal("app still alive")
 	}
-	a.Repair()
+	mustRepair(t, a)
 	if !tg.Machines[1].Proc("press").Alive() {
 		t.Fatal("app not restarted")
 	}
 
 	// App hang
-	a = in.Inject(AppHang, 1)
+	a = mustInject(t, in, AppHang, 1)
 	if !tg.Machines[1].Proc("press").Hung() {
 		t.Fatal("app not hung")
 	}
-	a.Repair()
+	mustRepair(t, a)
 	if tg.Machines[1].Proc("press").Hung() {
 		t.Fatal("app not unhung")
 	}
 
 	// Front-end
-	a = in.Inject(FrontendFailure, 0)
+	a = mustInject(t, in, FrontendFailure, 0)
 	if tg.Frontend.Up() {
 		t.Fatal("front-end still up")
 	}
-	a.Repair()
+	mustRepair(t, a)
 	if !tg.Frontend.Up() {
 		t.Fatal("front-end not restarted")
+	}
+
+	if in.ActiveCount() != 0 {
+		t.Fatalf("ActiveCount = %d after full repair", in.ActiveCount())
+	}
+}
+
+// TestDoubleInjectReturnsTypedError: satellite (a), inject path. Injecting
+// an already-active (type, component) slot is a typed conflict error;
+// other components and other fault classes on the same component are not
+// conflicts; repairing frees the slot for re-injection.
+func TestDoubleInjectReturnsTypedError(t *testing.T) {
+	s, log, tg := testTargets(t, 2)
+	in := NewInjector(s, log, tg)
+
+	a := mustInject(t, in, NodeFreeze, 1)
+	dup, err := in.Inject(NodeFreeze, 1)
+	if dup != nil || err == nil {
+		t.Fatalf("double inject: got (%v, %v), want (nil, error)", dup, err)
+	}
+	if !errors.Is(err, ErrActive) {
+		t.Fatalf("double inject error %v does not wrap ErrActive", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("double inject error %v is not a *faults.Error", err)
+	}
+	if fe.Op != "inject" || fe.Type != NodeFreeze || fe.Component != 1 {
+		t.Fatalf("error fields %+v", fe)
+	}
+
+	// Distinct component: no conflict.
+	b := mustInject(t, in, NodeFreeze, 0)
+	// Distinct class on the same component: no conflict (overlap).
+	c := mustInject(t, in, LinkDown, 1)
+	if in.ActiveCount() != 3 {
+		t.Fatalf("ActiveCount = %d, want 3", in.ActiveCount())
+	}
+
+	// Repair frees the slot.
+	mustRepair(t, a)
+	mustRepair(t, b)
+	mustRepair(t, c)
+	a = mustInject(t, in, NodeFreeze, 1)
+	mustRepair(t, a)
+}
+
+// TestRepairInactiveReturnsTypedError: satellite (a), repair path.
+func TestRepairInactiveReturnsTypedError(t *testing.T) {
+	s, log, tg := testTargets(t, 1)
+	in := NewInjector(s, log, tg)
+	a := mustInject(t, in, AppCrash, 0)
+	mustRepair(t, a)
+	err := a.Repair()
+	if err == nil {
+		t.Fatal("second Repair returned nil")
+	}
+	if !errors.Is(err, ErrNotActive) {
+		t.Fatalf("double repair error %v does not wrap ErrNotActive", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Op != "repair" || fe.Type != AppCrash || fe.Component != 0 {
+		t.Fatalf("error fields wrong: %v", err)
+	}
+	// The double repair must not re-break anything.
+	if !tg.Machines[0].Proc("press").Alive() {
+		t.Fatal("app dead after double repair")
+	}
+}
+
+// TestOverlappingFaultsRepairIndependently: partial repair — two active
+// faults on the same node undo one at a time.
+func TestOverlappingFaultsRepairIndependently(t *testing.T) {
+	s, log, tg := testTargets(t, 2)
+	in := NewInjector(s, log, tg)
+
+	link := mustInject(t, in, LinkDown, 1)
+	disk := mustInject(t, in, SCSITimeout, 2) // node 1, disk 0
+	if tg.Machines[1].Iface().LinkUp() || !tg.Machines[1].Disks().AnyFaulty() {
+		t.Fatal("overlapping faults not both applied")
+	}
+
+	mustRepair(t, link)
+	if !tg.Machines[1].Iface().LinkUp() {
+		t.Fatal("link not repaired")
+	}
+	if !tg.Machines[1].Disks().AnyFaulty() {
+		t.Fatal("disk repaired by the link's repair (partial repair broken)")
+	}
+	af := in.ActiveFaults()
+	if len(af) != 1 || af[0].Type != SCSITimeout || af[0].Component != 2 {
+		t.Fatalf("ActiveFaults after partial repair: %+v", af)
+	}
+	mustRepair(t, disk)
+	if in.ActiveCount() != 0 {
+		t.Fatalf("ActiveCount = %d", in.ActiveCount())
+	}
+}
+
+// TestFlapTogglesDeterministically: link flap toggles the effect on the
+// sim clock at the configured cadence until repaired.
+func TestFlapTogglesDeterministically(t *testing.T) {
+	s, log, tg := testTargets(t, 1)
+	in := NewInjector(s, log, tg)
+	a, err := in.InjectFlap(LinkDown, 0, Flap{On: 4 * time.Second, Off: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Flapping() {
+		t.Fatal("fault does not report flapping")
+	}
+	if tg.Machines[0].Iface().LinkUp() {
+		t.Fatal("link up right after flap injection")
+	}
+	s.RunFor(5 * time.Second) // t=5: in off phase (on 0-4, off 4-6)
+	if !tg.Machines[0].Iface().LinkUp() {
+		t.Fatal("link not restored during off phase")
+	}
+	s.RunFor(2 * time.Second) // t=7: in second on phase (6-10)
+	if tg.Machines[0].Iface().LinkUp() {
+		t.Fatal("link up during second on phase")
+	}
+	mustRepair(t, a)
+	if !tg.Machines[0].Iface().LinkUp() {
+		t.Fatal("repair did not restore the link")
+	}
+	s.RunFor(20 * time.Second)
+	if !tg.Machines[0].Iface().LinkUp() {
+		t.Fatal("flap kept toggling after repair")
+	}
+	// Inject/repair events paired in the log.
+	var inj, rep int
+	for _, e := range log.All() {
+		switch e.Kind {
+		case metrics.EvFaultInject:
+			inj++
+		case metrics.EvFaultRepair:
+			rep++
+		}
+	}
+	if inj < 2 || inj != rep {
+		t.Fatalf("flap events unbalanced: %d injects, %d repairs", inj, rep)
+	}
+}
+
+// TestFlapRepairDuringOffPhase: repairing while the effect is lifted must
+// still end the fault cleanly (and never re-apply it).
+func TestFlapRepairDuringOffPhase(t *testing.T) {
+	s, log, tg := testTargets(t, 1)
+	in := NewInjector(s, log, tg)
+	a, err := in.InjectFlap(SCSITimeout, 0, Flap{On: 3 * time.Second, Off: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(4 * time.Second) // off phase (3-8)
+	if tg.Machines[0].Disks().AnyFaulty() {
+		t.Fatal("disk faulty during off phase")
+	}
+	mustRepair(t, a)
+	s.RunFor(30 * time.Second)
+	if tg.Machines[0].Disks().AnyFaulty() {
+		t.Fatal("flap re-applied after repair")
+	}
+	if in.ActiveCount() != 0 {
+		t.Fatalf("ActiveCount = %d", in.ActiveCount())
+	}
+	if err := a.Repair(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("double repair of flap: %v", err)
+	}
+}
+
+// TestInjectFlapValidatesSpans: zero spans are rejected up front.
+func TestInjectFlapValidatesSpans(t *testing.T) {
+	s, log, tg := testTargets(t, 1)
+	in := NewInjector(s, log, tg)
+	if _, err := in.InjectFlap(LinkDown, 0, Flap{On: time.Second}); err == nil {
+		t.Fatal("InjectFlap accepted zero off span")
+	}
+	if in.ActiveCount() != 0 {
+		t.Fatal("failed InjectFlap left the slot claimed")
 	}
 }
 
 func TestSCSIRepairRebootsOfflinedNode(t *testing.T) {
 	s, log, tg := testTargets(t, 1)
 	in := NewInjector(s, log, tg)
-	a := in.Inject(SCSITimeout, 0)
+	a := mustInject(t, in, SCSITimeout, 0)
 	// FME takes the node offline while the disk is bad.
 	tg.Machines[0].TakeOffline("disk failure")
 	if tg.Machines[0].Up() {
 		t.Fatal("node still up")
 	}
-	a.Repair()
+	mustRepair(t, a)
 	if !tg.Machines[0].Up() {
 		t.Fatal("repair did not boot the offlined node")
 	}
@@ -189,9 +386,9 @@ func TestSCSIRepairRebootsOfflinedNode(t *testing.T) {
 func TestInjectLogsEvents(t *testing.T) {
 	s, log, tg := testTargets(t, 1)
 	in := NewInjector(s, log, tg)
-	a := in.Inject(NodeCrash, 0)
+	a := mustInject(t, in, NodeCrash, 0)
 	s.RunFor(time.Second)
-	a.Repair()
+	mustRepair(t, a)
 	if _, ok := log.First(metrics.EvFaultInject, 0); !ok {
 		t.Fatal("no inject event")
 	}
@@ -218,5 +415,14 @@ func TestTypeString(t *testing.T) {
 	}
 	if len(AllTypes()) != int(numTypes) {
 		t.Fatal("AllTypes incomplete")
+	}
+	for _, ft := range AllTypes() {
+		got, err := ParseType(ft.String())
+		if err != nil || got != ft {
+			t.Fatalf("ParseType(%q) = %v, %v", ft.String(), got, err)
+		}
+	}
+	if _, err := ParseType("nope"); err == nil {
+		t.Fatal("ParseType accepted junk")
 	}
 }

@@ -73,6 +73,31 @@ func releaseSlot() {
 	pool.mu.Unlock()
 }
 
+// RunOnPool executes fn while holding one worker-pool slot, so external
+// simulation drivers (the chaos runner) share this engine's concurrency
+// bound instead of oversubscribing the machine.
+func RunOnPool(fn func()) {
+	acquireSlot()
+	defer releaseSlot()
+	fn()
+}
+
+// MemoStats returns how many episodes, campaigns and saturation probes
+// are currently memoized. The chaos package's cache-hygiene regression
+// asserts chaos runs leave these untouched.
+func MemoStats() (episodes, campaigns, saturations int) {
+	memoMu.Lock()
+	episodes = len(epMemo)
+	memoMu.Unlock()
+	campMu.Lock()
+	campaigns = len(campMemo)
+	campMu.Unlock()
+	satMu.Lock()
+	saturations = len(satMemo)
+	satMu.Unlock()
+	return
+}
+
 // episodeKey identifies one memoizable episode. Options and
 // EpisodeSchedule are flat value structs, so %+v is a faithful key.
 func episodeKey(v Version, o Options, f faults.Type, comp int, sched EpisodeSchedule) string {

@@ -112,11 +112,14 @@ func runEpisodeUncached(v Version, o Options, f faults.Type, comp int, sched Epi
 
 	tFault := c.Sim.Now()
 	ep.Normal = c.Rec.MeanThroughput(tFault-sched.Settle+10*time.Second, tFault)
-	active := c.Injector.Inject(f, comp)
+	active, err := c.Injector.Inject(f, comp)
+	if err != nil {
+		return ep, fmt.Errorf("harness: %v/%v: %w", v, f, err)
+	}
 	c.Sim.RunFor(sched.FaultActive)
 
 	tRepair := c.Sim.Now()
-	active.Repair()
+	_ = active.Repair()
 	c.Sim.RunFor(sched.ObserveRepair)
 
 	m := template7.Markers{Fault: tFault, Recover: tRepair}

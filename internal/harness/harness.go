@@ -91,6 +91,10 @@ func (v Version) HasFrontend() bool { return versionTraits(v).fe }
 // Cooperative reports whether the version runs cooperative PRESS.
 func (v Version) Cooperative() bool { return versionTraits(v).cooperative }
 
+// HasFME reports whether the version runs the fault model enforcement
+// daemon (the chaos FME-bound invariant only applies to these).
+func (v Version) HasFME() bool { return versionTraits(v).fme }
+
 // AllMeasuredVersions lists the configurations the harness actually
 // builds and fault-injects (the rest are modeled from these).
 func AllMeasuredVersions() []Version {
@@ -156,6 +160,12 @@ func (o Options) withDefaults() Options {
 
 func (o Options) catalog() *trace.Catalog {
 	return trace.NewCatalog(o.Docs, trace.DefaultSize, o.Alpha)
+}
+
+// ServerCount returns how many server nodes the version builds with the
+// given options (the extra-capacity node included when present).
+func ServerCount(v Version, o Options) int {
+	return serverCount(v, o.withDefaults())
 }
 
 // serverCount includes the extra-capacity node when present.

@@ -126,15 +126,19 @@ func StochasticRun(v Version, o Options, sched EpisodeSchedule, cfg StochasticCo
 				res.Skipped++
 				return
 			}
+			a, err := c.Injector.Inject(s.spec.Type, s.component)
+			if err != nil {
+				res.Skipped++
+				return
+			}
 			if activeFaults > 0 {
 				res.Overlaps++
 			}
 			busy[key] = true
 			activeFaults++
 			res.Faults++
-			a := c.Injector.Inject(s.spec.Type, s.component)
 			c.Sim.After(s.spec.MTTR, func() {
-				a.Repair()
+				_ = a.Repair()
 				busy[key] = false
 				activeFaults--
 				if activeFaults == 0 {
@@ -168,6 +172,14 @@ func StochasticRun(v Version, o Options, sched EpisodeSchedule, cfg StochasticCo
 		return res, fmt.Errorf("stochastic: no offered load measured")
 	}
 	return res, nil
+}
+
+// TargetHealthy reports whether injecting (t, comp) makes sense right now
+// (the component exists and is not already under some fault's effect).
+// The chaos scheduler uses it to skip arrivals whose target another
+// still-active fault already took down.
+func TargetHealthy(c *Cluster, t faults.Type, comp int) bool {
+	return targetHealthy(c, t, comp)
 }
 
 // targetHealthy reports whether injecting (t, comp) makes sense right now

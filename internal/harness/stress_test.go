@@ -46,18 +46,20 @@ func TestRandomFaultSequences(t *testing.T) {
 					comp = rng.Intn(len(c.Machines))
 				}
 				if healthyTarget(c, ft, comp) {
-					active = append(active, c.Injector.Inject(ft, comp))
+					if a, err := c.Injector.Inject(ft, comp); err == nil {
+						active = append(active, a)
+					}
 				}
 				c.Sim.RunFor(time.Duration(5+rng.Intn(30)) * time.Second)
 				// Randomly repair a backlog entry.
 				if len(active) > 0 && rng.Intn(2) == 0 {
 					i := rng.Intn(len(active))
-					active[i].Repair()
+					_ = active[i].Repair()
 					active = append(active[:i], active[i+1:]...)
 				}
 			}
 			for _, a := range active {
-				a.Repair()
+				_ = a.Repair()
 			}
 			// Give detection, rejoin, and (if needed) the operator a chance.
 			c.Sim.RunFor(2 * time.Minute)

@@ -68,6 +68,44 @@ func TestNoRecoveryUntilHalfDrain(t *testing.T) {
 	}
 }
 
+// TestFlappingPeerHysteresis: a peer whose queue oscillates across the
+// reroute threshold must not thrash reroute/restore every observation —
+// the half-threshold recovery rule (§5) is the hysteresis band. One
+// reroute when first crossing, then silence for the whole oscillation;
+// recovery only on a genuine drain below half, after which a fresh
+// overload may re-arm exactly once.
+func TestFlappingPeerHysteresis(t *testing.T) {
+	m, ev := newMon(cfg())
+	// Queue flaps 18 ⇄ 12 around the threshold (16) but never drains
+	// below half (8): one reroute, zero recoveries, however long it flaps.
+	for i := 0; i < 50; i++ {
+		m.Observe(1, 18, 18)
+		m.Observe(1, 12, 12)
+	}
+	if len(*ev) != 1 || (*ev)[0] != "reroute" {
+		t.Fatalf("flapping peer thrashed the monitor: events = %v", *ev)
+	}
+	if !m.Rerouting(1) {
+		t.Fatal("rerouting dropped mid-flap")
+	}
+	// A real drain recovers it...
+	m.Observe(1, 4, 4)
+	if len(*ev) != 2 || (*ev)[1] != "recover" {
+		t.Fatalf("events after drain = %v", *ev)
+	}
+	// ...and a second flapping bout re-arms exactly once more.
+	for i := 0; i < 50; i++ {
+		m.Observe(1, 18, 18)
+		m.Observe(1, 12, 12)
+	}
+	if len(*ev) != 3 || (*ev)[2] != "reroute" {
+		t.Fatalf("second bout events = %v", *ev)
+	}
+	if m.Failed(1) {
+		t.Fatal("flapping peer declared failed without crossing the failure thresholds")
+	}
+}
+
 func TestFailedIsSticky(t *testing.T) {
 	m, ev := newMon(cfg())
 	m.Observe(1, 64, 64)

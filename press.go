@@ -26,6 +26,7 @@ package press
 
 import (
 	"press/internal/avail"
+	"press/internal/chaos"
 	"press/internal/faults"
 	"press/internal/harness"
 	"press/internal/template7"
@@ -171,7 +172,83 @@ func SetWorkers(n int) int { return harness.SetWorkers(n) }
 // Workers returns the engine's current concurrency bound.
 func Workers() int { return harness.Workers() }
 
-// ResetCaches drops every memoized episode, campaign and saturation
-// result. Results are deterministic, so this is never needed for
-// correctness; benchmarks use it to measure real simulation work.
-func ResetCaches() { harness.ResetMemos() }
+// ResetCaches drops every memoized episode, campaign, saturation and
+// chaos-run result. Results are deterministic, so this is never needed
+// for correctness; benchmarks use it to measure real simulation work.
+func ResetCaches() {
+	harness.ResetMemos()
+	chaos.ResetMemo()
+}
+
+// Chaos campaigns (internal/chaos): seeded multi-fault schedules played
+// against a version, judged by a cluster-invariant catalog, with
+// violation shrinking and runnable repro files. See DESIGN.md §10.
+
+// ChaosEntry is one scheduled fault (inject at At, repair Duration
+// later; FlapOn/FlapOff make it intermittent).
+type ChaosEntry = chaos.Entry
+
+// ChaosSchedule is a deterministic multi-fault schedule.
+type ChaosSchedule = chaos.Schedule
+
+// ChaosGenConfig shapes the seeded schedule generator.
+type ChaosGenConfig = chaos.GenConfig
+
+// ChaosRunConfig shapes one chaos run around its schedule.
+type ChaosRunConfig = chaos.RunConfig
+
+// ChaosResult is everything one chaos run measured.
+type ChaosResult = chaos.Result
+
+// ChaosInvariant is one cluster property a run must preserve.
+type ChaosInvariant = chaos.Invariant
+
+// ChaosViolation is one failed invariant.
+type ChaosViolation = chaos.Violation
+
+// ChaosCampaignConfig drives a multi-seed chaos campaign.
+type ChaosCampaignConfig = chaos.CampaignConfig
+
+// ChaosCampaignSummary aggregates a campaign's per-seed outcomes.
+type ChaosCampaignSummary = chaos.CampaignSummary
+
+// ChaosRepro is a runnable reproduction of an invariant violation.
+type ChaosRepro = chaos.Repro
+
+// GenerateChaos draws the seeded fault schedule for a version.
+func GenerateChaos(seed int64, v Version, o Options, cfg ChaosGenConfig) ChaosSchedule {
+	return chaos.Generate(seed, v, o, cfg)
+}
+
+// RunChaos plays one schedule (memoized by schedule hash, on the
+// engine's worker pool) and returns the measured result.
+func RunChaos(v Version, o Options, sched ChaosSchedule, rc ChaosRunConfig) (ChaosResult, error) {
+	return chaos.Run(v, o, sched, rc)
+}
+
+// ChaosInvariants returns the standing invariant catalog.
+func ChaosInvariants() []ChaosInvariant { return chaos.DefaultInvariants() }
+
+// CheckChaos judges a result against an invariant catalog.
+func CheckChaos(r *ChaosResult, invs []ChaosInvariant) []ChaosViolation {
+	return chaos.Check(r, invs)
+}
+
+// RunChaosCampaign generates, runs and judges one schedule per seed.
+func RunChaosCampaign(v Version, o Options, cfg ChaosCampaignConfig) ChaosCampaignSummary {
+	return chaos.RunCampaign(v, o, cfg)
+}
+
+// ShrinkChaos minimizes a violating schedule to a replayable minimum.
+func ShrinkChaos(v Version, o Options, rc ChaosRunConfig, sched ChaosSchedule, invs []ChaosInvariant) (ChaosSchedule, ChaosViolation, chaos.ShrinkStats, error) {
+	return chaos.Shrink(v, o, rc, sched, invs)
+}
+
+// NewChaosRepro packages a violation into a replayable repro body;
+// LoadChaosRepro parses one back; ChaosSeeds returns the fixed 1..n
+// campaign seed set.
+func NewChaosRepro(v Version, o Options, rc ChaosRunConfig, sched ChaosSchedule, viol ChaosViolation) ChaosRepro {
+	return chaos.NewRepro(v, o, rc, sched, viol)
+}
+func LoadChaosRepro(data []byte) (ChaosRepro, error) { return chaos.LoadRepro(data) }
+func ChaosSeeds(n int) []int64                       { return chaos.Seeds(n) }
