@@ -1,0 +1,52 @@
+// Kernel-facing benchmarks: one fault-injection episode and one chaos
+// campaign, memoization defeated, so ns/op and allocs/op track the real
+// cost of simulating — the numbers BENCH_4.json records as the repo's
+// trajectory. BenchmarkKernel (internal/sim) covers the raw event loop.
+//
+// Run with -benchtime=1x: a single iteration is a full simulation.
+package press_test
+
+import (
+	"testing"
+
+	"press"
+)
+
+// BenchmarkEpisode measures one COOP app-crash episode end to end —
+// build, warmup, inject, repair, template extraction — on a private
+// Cluster handle with its cache defeated each iteration. The
+// 90%-of-saturation load probe is resolved once outside the loop so
+// iterations time episode simulation only.
+func BenchmarkEpisode(b *testing.B) {
+	o := press.FastOptions(benchSeed)
+	o.Rate = 0.9 * press.Saturation(press.COOP, o)
+	c := press.New(press.WithVersion(press.COOP), press.WithOptions(o))
+	sched := press.FastSchedule()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ResetCaches()
+		if _, err := c.RunEpisode(press.AppCrash, 0, sched); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChaosCampaign measures a 2-seed chaos campaign against FME on
+// the reduced-scale profile, caches defeated each iteration.
+func BenchmarkChaosCampaign(b *testing.B) {
+	o := press.FastOptions(benchSeed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		press.ResetCaches()
+		sum := press.RunChaosCampaign(press.FME, o, press.ChaosCampaignConfig{
+			Seeds: press.ChaosSeeds(2),
+		})
+		for _, oc := range sum.Outcomes {
+			if oc.Err != nil {
+				b.Fatal(oc.Err)
+			}
+		}
+	}
+}

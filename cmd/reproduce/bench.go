@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"press"
+	"press/internal/sim"
+)
+
+// benchReport is the BENCH_4.json schema: the repo's standing performance
+// baseline, written by `reproduce -bench` and archived by the bench-smoke
+// CI job so kernel regressions show up as a diffable artifact.
+type benchReport struct {
+	Schema    string `json:"schema"`
+	Generated string `json:"generated"`
+	Fast      bool   `json:"fast"`
+	Seed      int64  `json:"seed"`
+
+	// Kernel is the raw event-loop microbenchmark: a saturated chain of
+	// pooled timer events with no model code attached.
+	Kernel struct {
+		Events        uint64  `json:"events"`
+		EventsPerSec  float64 `json:"events_per_sec"`
+		AllocsPerEvent float64 `json:"allocs_per_event"`
+		HeapHighWater int     `json:"event_heap_high_water"`
+	} `json:"kernel"`
+
+	// Episode drives one full COOP deployment (build, ramp, steady
+	// state) and attributes wall-clock and allocations to simulated
+	// events.
+	Episode struct {
+		WallSeconds    float64 `json:"wall_seconds"`
+		Events         uint64  `json:"events"`
+		EventsPerSec   float64 `json:"events_per_sec"`
+		AllocsPerEvent float64 `json:"allocs_per_event"`
+		HeapHighWater  int     `json:"event_heap_high_water"`
+		HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
+	} `json:"episode"`
+
+	// Campaign times the full Table 1 fault-load measurement for COOP on
+	// a fresh single-worker engine (serial, so the number is comparable
+	// across machines with different core counts).
+	Campaign struct {
+		WallSeconds float64 `json:"wall_seconds"`
+		Episodes    int     `json:"episodes"`
+	} `json:"campaign"`
+}
+
+// benchKernel runs the event-loop microbenchmark: nChains concurrent
+// self-rescheduling timers stepped for total events.
+func benchKernel(rep *benchReport) {
+	const (
+		nChains = 1024
+		total   = 4_000_000
+	)
+	s := sim.New(1)
+	deadlines := make([]time.Duration, nChains)
+	var fn func(any)
+	fn = func(arg any) {
+		t := arg.(*time.Duration)
+		*t += time.Microsecond * time.Duration(1+(*t)%7)
+		s.AfterArg(*t-s.Now(), fn, t)
+	}
+	for i := range deadlines {
+		deadlines[i] = time.Duration(i)
+		s.AfterArg(time.Duration(i), fn, &deadlines[i])
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for s.EventsFired() < total {
+		s.Step()
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+
+	rep.Kernel.Events = s.EventsFired()
+	rep.Kernel.EventsPerSec = float64(s.EventsFired()) / wall
+	rep.Kernel.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(s.EventsFired())
+	rep.Kernel.HeapHighWater = s.MaxQueued()
+}
+
+// benchEpisode builds a COOP deployment and drives it through ramp and
+// steady state, measuring whole-system simulation throughput.
+func benchEpisode(rep *benchReport, fast bool, seed int64) {
+	var o press.Options
+	if fast {
+		o = press.FastOptions(seed)
+	} else {
+		o = press.Options{Seed: seed}
+	}
+	c := press.New(press.WithVersion(press.COOP), press.WithOptions(o))
+	dep := c.Build() // includes the saturation probe; not timed
+	dep.Gen.Start()
+
+	span := 6 * time.Minute
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	dep.Sim.RunFor(span)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+
+	rep.Episode.WallSeconds = wall
+	rep.Episode.Events = dep.Sim.EventsFired()
+	rep.Episode.EventsPerSec = float64(dep.Sim.EventsFired()) / wall
+	rep.Episode.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(dep.Sim.EventsFired())
+	rep.Episode.HeapHighWater = dep.Sim.MaxQueued()
+	rep.Episode.HeapInuseBytes = m1.HeapInuse
+}
+
+// benchCampaign times the COOP Table 1 campaign on a serial one-worker
+// engine with cold caches.
+func benchCampaign(rep *benchReport, fast bool, seed int64) error {
+	var o press.Options
+	sched := press.EpisodeSchedule{}
+	if fast {
+		o = press.FastOptions(seed)
+		sched = press.FastSchedule()
+	} else {
+		o = press.Options{Seed: seed}
+	}
+	c := press.New(press.WithVersion(press.COOP), press.WithOptions(o), press.WithWorkers(1))
+	start := time.Now()
+	camp, err := c.RunCampaign(sched)
+	if err != nil {
+		return err
+	}
+	rep.Campaign.WallSeconds = time.Since(start).Seconds()
+	rep.Campaign.Episodes = len(camp.Eps)
+	return nil
+}
+
+// runBench executes the -bench mode: measure, print a summary, write the
+// JSON baseline. Returns the process exit code.
+func runBench(fast bool, seed int64, out string) int {
+	rep := &benchReport{
+		Schema:    "press-bench/4",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Fast:      fast,
+		Seed:      seed,
+	}
+	fmt.Println("bench: kernel event loop ...")
+	benchKernel(rep)
+	fmt.Printf("  %d events, %.0f events/s, %.3f allocs/event, heap high-water %d\n",
+		rep.Kernel.Events, rep.Kernel.EventsPerSec, rep.Kernel.AllocsPerEvent, rep.Kernel.HeapHighWater)
+
+	fmt.Println("bench: COOP deployment episode ...")
+	benchEpisode(rep, fast, seed)
+	fmt.Printf("  %d events in %.2fs, %.0f events/s, %.3f allocs/event, heap high-water %d\n",
+		rep.Episode.Events, rep.Episode.WallSeconds, rep.Episode.EventsPerSec,
+		rep.Episode.AllocsPerEvent, rep.Episode.HeapHighWater)
+
+	fmt.Println("bench: COOP Table 1 campaign (serial) ...")
+	if err := benchCampaign(rep, fast, seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("  %d episodes in %.2fs\n", rep.Campaign.Episodes, rep.Campaign.WallSeconds)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", out)
+	return 0
+}

@@ -7,6 +7,7 @@
 //	reproduce [-fig all|1a|1b|2|4|6|7|8|9a|9b|10|t1|t2] [-fast] [-seed N] [-o file] [-workers N]
 //	reproduce -chaos [-seeds N] [-version FME] [-shrink] [-repro-dir dir] [-fast]
 //	reproduce -chaos-replay file.json
+//	reproduce -bench [-bench-out BENCH_4.json] [-fast]
 //
 // -fast runs the reduced-scale profile (quarter-size document set and
 // caches, shorter windows); the full profile is the paper-faithful one
@@ -46,6 +47,8 @@ func main() {
 	shrink := flag.Bool("shrink", true, "chaos: shrink violating schedules before writing repros")
 	reproDir := flag.String("repro-dir", ".", "chaos: directory for violation repro files")
 	replay := flag.String("chaos-replay", "", "replay a chaos repro file and exit")
+	bench := flag.Bool("bench", false, "run the kernel/episode/campaign benchmark and write a JSON baseline")
+	benchOut := flag.String("bench-out", "BENCH_4.json", "bench: output path for the JSON baseline")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -54,6 +57,9 @@ func main() {
 
 	if *replay != "" {
 		os.Exit(replayRepro(*replay))
+	}
+	if *bench {
+		os.Exit(runBench(*fast, *seed, *benchOut))
 	}
 	if *chaosMode {
 		os.Exit(runChaosCampaign(press.Version(*version), *seeds, *fast, *seed, *shrink, *reproDir))

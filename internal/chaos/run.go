@@ -226,7 +226,7 @@ func RunUncached(v harness.Version, o harness.Options, sched Schedule, rc RunCon
 		}
 	}
 	res.ActiveFaults = c.Injector.ActiveCount()
-	res.FMEActions = c.Log.Count(metrics.EvFMEAction, t0, res.End)
+	res.FMEActions = c.Log.Between(t0, res.End).Filter("", metrics.EvFMEAction).Count()
 	res.FMEMisses = fmeMisses(c, sched, t0)
 	return res, nil
 }
@@ -258,9 +258,8 @@ func fmeMisses(c *harness.Cluster, sched Schedule, t0 time.Duration) []string {
 			continue
 		}
 		winFrom, winTo := t0+e.At, t0+e.At+bound
-		_, ok := c.Log.FirstMatch(winFrom, func(ev metrics.Event) bool {
-			return ev.Kind == metrics.EvFMEAction && ev.Node == e.Component && ev.At <= winTo
-		})
+		_, ok := c.Log.Filter("", metrics.EvFMEAction).Node(e.Component).After(winFrom).
+			FirstWhere(func(ev metrics.Event) bool { return ev.At <= winTo })
 		if !ok {
 			misses = append(misses, fmt.Sprintf("%s: no fme.action on node %d within %s", e, e.Component, bound))
 		}

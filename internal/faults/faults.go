@@ -205,7 +205,7 @@ type Active struct {
 
 	in       *Injector
 	undo     func() // reverses the applied effect; nil while in a flap's off phase
-	timer    *sim.Event
+	timer    sim.Timer
 	repaired bool
 }
 
@@ -226,10 +226,7 @@ func (a *Active) Repair() error {
 		return &Error{Op: "repair", Type: t, Component: c, Err: ErrNotActive}
 	}
 	a.repaired = true
-	if a.timer != nil {
-		a.timer.Stop()
-		a.timer = nil
-	}
+	a.timer.Stop() // stale or zero handles are safe no-ops
 	delete(a.in.active, slot{a.Type, a.Component})
 	if a.undo != nil {
 		a.unapply()

@@ -313,15 +313,8 @@ func TestFlapTogglesDeterministically(t *testing.T) {
 		t.Fatal("flap kept toggling after repair")
 	}
 	// Inject/repair events paired in the log.
-	var inj, rep int
-	for _, e := range log.All() {
-		switch e.Kind {
-		case metrics.EvFaultInject:
-			inj++
-		case metrics.EvFaultRepair:
-			rep++
-		}
-	}
+	inj := log.Count(metrics.EvFaultInject)
+	rep := log.Count(metrics.EvFaultRepair)
 	if inj < 2 || inj != rep {
 		t.Fatalf("flap events unbalanced: %d injects, %d repairs", inj, rep)
 	}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"press/internal/clock"
 	"press/internal/cnet"
 	"press/internal/metrics"
 	"press/internal/server"
@@ -81,12 +82,18 @@ type Daemon struct {
 	appStrikes int // consecutive unresponsive HTTP probes
 	probeSeq   uint64
 	actions    uint64
+
+	// probeT drives the probe loop. Each tick suppresses the automatic
+	// rearm (Stop) and the asynchronous decide() revives the ticker once
+	// both probe verdicts are in, so the next tick is a full ProbePeriod
+	// after the decision, not after the probes were sent.
+	probeT clock.Ticker
 }
 
 // NewDaemon starts the FME daemon.
 func NewDaemon(cfg Config, env cnet.Env, disk Disk, ctl Control) *Daemon {
 	d := &Daemon{cfg: cfg.withDefaults(), env: env, disk: disk, ctl: ctl}
-	d.tickLater()
+	d.probeT = d.env.Clock().Every(d.cfg.ProbePeriod, d.tick)
 	return d
 }
 
@@ -96,10 +103,6 @@ func (d *Daemon) Actions() uint64 { return d.actions }
 func (d *Daemon) emit(detail string) {
 	d.env.Events().Emit(d.env.Clock().Now(), fmt.Sprintf("fme/%d", d.cfg.Self),
 		metrics.EvFMEAction, int(d.cfg.Self), detail)
-}
-
-func (d *Daemon) tickLater() {
-	d.env.Clock().AfterFunc(d.cfg.ProbePeriod, func() { d.tick() })
 }
 
 // appProbeResult classifies one HTTP probe.
@@ -112,6 +115,9 @@ const (
 )
 
 func (d *Daemon) tick() {
+	// Suppress the automatic rearm up front: decide() revives the ticker,
+	// and doing it first keeps a synchronous probe completion safe.
+	d.probeT.Stop()
 	var (
 		diskHealthy *bool
 		appState    *appProbeResult
@@ -121,7 +127,7 @@ func (d *Daemon) tick() {
 			return
 		}
 		d.decide(*diskHealthy, *appState)
-		d.tickLater()
+		d.probeT.Reschedule(d.cfg.ProbePeriod)
 	}
 	d.disk.Probe(d.cfg.ProbeTimeout, func(h bool) {
 		diskHealthy = &h

@@ -109,9 +109,9 @@ func New(cfg Config, env cnet.Env) *Frontend {
 	}
 	env.Listen(server.PortHTTP, f.acceptClient)
 	env.BindDatagram(PortPing, f.onPong)
-	f.pingLater()
+	f.startPinging()
 	if f.cfg.ConnMonitor || f.cfg.SFME {
-		f.connProbeLater()
+		f.startConnProbing()
 	}
 	return f
 }
@@ -225,8 +225,8 @@ func (f *Frontend) acceptClient(client cnet.Conn) cnet.StreamHandlers {
 
 // --- mon pinger -----------------------------------------------------------
 
-func (f *Frontend) pingLater() {
-	f.env.Clock().AfterFunc(f.cfg.PingPeriod, func() { f.pingTick() })
+func (f *Frontend) startPinging() {
+	f.env.Clock().Every(f.cfg.PingPeriod, f.pingTick)
 }
 
 func (f *Frontend) pingTick() {
@@ -242,7 +242,6 @@ func (f *Frontend) pingTick() {
 		f.env.Send(n, cnet.ClassClient, PortPing, PingMsg{From: f.cfg.Self, Seq: f.probeSeq}, 32)
 	}
 	f.probeSeq++
-	f.pingLater()
 }
 
 func (f *Frontend) onPong(from cnet.NodeID, m cnet.Message) {
@@ -262,15 +261,14 @@ func (f *Frontend) onPong(from cnet.NodeID, m cnet.Message) {
 
 // --- C-MON / S-FME probes ---------------------------------------------------
 
-func (f *Frontend) connProbeLater() {
-	f.env.Clock().AfterFunc(f.cfg.ConnPeriod, func() { f.connProbeTick() })
+func (f *Frontend) startConnProbing() {
+	f.env.Clock().Every(f.cfg.ConnPeriod, f.connProbeTick)
 }
 
 func (f *Frontend) connProbeTick() {
 	for _, n := range f.cfg.Backends {
 		f.probeBackend(n)
 	}
-	f.connProbeLater()
 }
 
 // probeBackend runs one HTTP probe against n with the C-MON deadline.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"press/internal/clock"
 	"press/internal/cnet"
 	"press/internal/metrics"
 )
@@ -64,6 +65,8 @@ type Standby struct {
 	awaiting bool
 	misses   int
 	active   bool
+
+	hb clock.Ticker
 }
 
 // NewStandby starts monitoring the primary. The caller runs a Frontend on
@@ -71,20 +74,17 @@ type Standby struct {
 func NewStandby(cfg StandbyConfig, env cnet.Env, ctl TakeoverControl) *Standby {
 	s := &Standby{cfg: cfg.withDefaults(), env: env, ctl: ctl}
 	env.BindDatagram(PortPair, s.onPong)
-	s.tickLater()
+	s.hb = s.env.Clock().Every(s.cfg.HBPeriod, s.tick)
 	return s
 }
 
 // Active reports whether takeover has happened.
 func (s *Standby) Active() bool { return s.active }
 
-func (s *Standby) tickLater() {
-	s.env.Clock().AfterFunc(s.cfg.HBPeriod, func() { s.tick() })
-}
-
 func (s *Standby) tick() {
 	if s.active {
-		return // we are the front-end now; no failback
+		s.hb.Stop() // we are the front-end now; no failback
+		return
 	}
 	if s.awaiting {
 		s.misses++
@@ -95,13 +95,13 @@ func (s *Standby) tick() {
 			s.env.Events().Emit(s.env.Clock().Now(), "fe-standby", "fe.takeover",
 				int(s.cfg.Self), "IP takeover")
 			s.ctl.Takeover()
+			s.hb.Stop()
 			return
 		}
 	}
 	s.awaiting = true
 	s.seq++
 	s.env.Send(s.cfg.Primary, cnet.ClassClient, PortPair, PingMsg{From: s.cfg.Self, Seq: s.seq}, 32)
-	s.tickLater()
 }
 
 func (s *Standby) onPong(from cnet.NodeID, m cnet.Message) {

@@ -36,41 +36,47 @@ type campEntry struct {
 
 // Campaign runs one injection episode per applicable Table 1 fault class
 // and assembles the fault loads for the phase-2 model. The episodes run
-// concurrently on the worker pool; each is independently memoized, so a
-// campaign and a figure that share a (version, fault) episode simulate it
-// once. The campaign itself is also memoized with singleflight semantics:
-// the simulator is deterministic, so a campaign is a pure function of its
-// parameters, and concurrent requests for the same campaign share one
-// assembly.
-func Campaign(v Version, o Options, sched EpisodeSchedule) (CampaignResult, error) {
+// concurrently on the engine's worker pool; each is independently
+// memoized, so a campaign and a figure that share a (version, fault)
+// episode simulate it once. The campaign itself is also memoized with
+// singleflight semantics: the simulator is deterministic, so a campaign
+// is a pure function of its parameters, and concurrent requests for the
+// same campaign share one assembly.
+func (e *Engine) Campaign(v Version, o Options, sched EpisodeSchedule) (CampaignResult, error) {
 	o = o.withDefaults()
 	sched = sched.withDefaults()
 	key := fmt.Sprintf("%s|%+v|%+v", v, o, sched)
-	campMu.Lock()
-	if e, ok := campMemo[key]; ok {
-		campMu.Unlock()
-		<-e.done
-		return e.res, e.err
+	e.campMu.Lock()
+	if m, ok := e.campMemo[key]; ok {
+		e.campMu.Unlock()
+		<-m.done
+		return m.res, m.err
 	}
-	e := &campEntry{done: make(chan struct{})}
-	campMemo[key] = e
-	campMu.Unlock()
+	m := &campEntry{done: make(chan struct{})}
+	e.campMemo[key] = m
+	e.campMu.Unlock()
 
-	e.res, e.err = runCampaign(v, o, sched)
-	close(e.done)
-	return e.res, e.err
+	m.res, m.err = e.runCampaign(v, o, sched)
+	close(m.done)
+	return m.res, m.err
+}
+
+// Campaign measures a version's full Table 1 fault load on the default
+// engine.
+func Campaign(v Version, o Options, sched EpisodeSchedule) (CampaignResult, error) {
+	return defaultEngine.Campaign(v, o, sched)
 }
 
 // runCampaign fans the campaign's episodes out on the worker pool and
 // assembles the result in Table 1 order (so the output is independent of
 // completion order).
-func runCampaign(v Version, o Options, sched EpisodeSchedule) (CampaignResult, error) {
+func (e *Engine) runCampaign(v Version, o Options, sched EpisodeSchedule) (CampaignResult, error) {
 	res := CampaignResult{Version: v, Opts: o}
 	// Resolve the shared 90%-of-saturation load once, up front: otherwise
 	// every episode's Build races to the same (memoized) probe and the
 	// losers idle in the pool while the winner measures.
 	if o.Rate <= 0 {
-		Saturation(v, o)
+		e.Saturation(v, o)
 	}
 	specs := faults.Table1(serverCount(v, o), 2, versionTraits(v).fe)
 	eps := make([]Episode, len(specs))
@@ -84,7 +90,7 @@ func runCampaign(v Version, o Options, sched EpisodeSchedule) (CampaignResult, e
 		// parallelism stays bounded by SetWorkers.
 		go func() { //availlint:allow simgoroutine bounded by the engine worker pool
 			defer wg.Done()
-			eps[i], errs[i] = RunEpisode(v, o, spec.Type, DefaultComponent(spec.Type), sched)
+			eps[i], errs[i] = e.RunEpisode(v, o, spec.Type, DefaultComponent(spec.Type), sched)
 		}()
 	}
 	wg.Wait()

@@ -22,80 +22,130 @@ import (
 // one simulates and the rest wait for its result instead of duplicating
 // minutes of simulated time.
 
-// pool is a resizable counting semaphore bounding concurrent simulator
-// runs. Orchestration code (campaign fan-out, figure prewarms) never
-// holds a slot; only code that is about to spin a simulator does, so
-// nesting campaigns inside figures cannot deadlock the pool.
-var pool = struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	cap  int
-	held int
-}{cap: runtime.GOMAXPROCS(0)}
+// Engine owns one worker pool and one set of memo tables. Independent
+// engines share nothing: two experiments built on separate engines can
+// run with different concurrency bounds and never exchange cached
+// results. Most code uses the process-wide default engine through the
+// package-level wrappers; press.New builds a private one per handle.
+type Engine struct {
+	// pool is a resizable counting semaphore bounding concurrent
+	// simulator runs. Orchestration code (campaign fan-out, figure
+	// prewarms) never holds a slot; only code that is about to spin a
+	// simulator does, so nesting campaigns inside figures cannot
+	// deadlock the pool.
+	poolMu   sync.Mutex
+	poolCond *sync.Cond
+	cap      int
+	held     int
 
-func init() { pool.cond = sync.NewCond(&pool.mu) }
+	memoMu   sync.Mutex
+	epMemo   map[string]*epEntry
+	campMu   sync.Mutex
+	campMemo map[string]*campEntry
+	satMu    sync.Mutex
+	satMemo  map[string]*satEntry
+}
+
+// NewEngine returns an engine bounded to the given number of concurrent
+// simulators. workers < 1 selects the default, GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		cap:      workers,
+		epMemo:   map[string]*epEntry{},
+		campMemo: map[string]*campEntry{},
+		satMemo:  map[string]*satEntry{},
+	}
+	e.poolCond = sync.NewCond(&e.poolMu)
+	return e
+}
+
+// defaultEngine backs the package-level entry points. It is the only
+// package-level engine state; everything mutable lives inside it.
+var defaultEngine = NewEngine(0)
+
+// DefaultEngine returns the process-wide engine used by the package-level
+// Campaign/RunEpisode/Saturation entry points.
+func DefaultEngine() *Engine { return defaultEngine }
 
 // SetWorkers bounds the number of concurrently running simulators and
 // returns the previous bound. n < 1 means one (fully serial execution).
-// The default is GOMAXPROCS.
-func SetWorkers(n int) int {
+func (e *Engine) SetWorkers(n int) int {
 	if n < 1 {
 		n = 1
 	}
-	pool.mu.Lock()
-	prev := pool.cap
-	pool.cap = n
-	pool.cond.Broadcast()
-	pool.mu.Unlock()
+	e.poolMu.Lock()
+	prev := e.cap
+	e.cap = n
+	e.poolCond.Broadcast()
+	e.poolMu.Unlock()
 	return prev
 }
 
-// Workers returns the current worker-pool bound.
-func Workers() int {
-	pool.mu.Lock()
-	defer pool.mu.Unlock()
-	return pool.cap
+// Workers returns the engine's current worker-pool bound.
+func (e *Engine) Workers() int {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	return e.cap
 }
 
-func acquireSlot() {
-	pool.mu.Lock()
-	for pool.held >= pool.cap {
-		pool.cond.Wait()
+func (e *Engine) acquireSlot() {
+	e.poolMu.Lock()
+	for e.held >= e.cap {
+		e.poolCond.Wait()
 	}
-	pool.held++
-	pool.mu.Unlock()
+	e.held++
+	e.poolMu.Unlock()
 }
 
-func releaseSlot() {
-	pool.mu.Lock()
-	pool.held--
-	pool.cond.Broadcast()
-	pool.mu.Unlock()
+func (e *Engine) releaseSlot() {
+	e.poolMu.Lock()
+	e.held--
+	e.poolCond.Broadcast()
+	e.poolMu.Unlock()
 }
 
 // RunOnPool executes fn while holding one worker-pool slot, so external
 // simulation drivers (the chaos runner) share this engine's concurrency
 // bound instead of oversubscribing the machine.
-func RunOnPool(fn func()) {
-	acquireSlot()
-	defer releaseSlot()
+func (e *Engine) RunOnPool(fn func()) {
+	e.acquireSlot()
+	defer e.releaseSlot()
 	fn()
 }
 
 // MemoStats returns how many episodes, campaigns and saturation probes
 // are currently memoized. The chaos package's cache-hygiene regression
 // asserts chaos runs leave these untouched.
-func MemoStats() (episodes, campaigns, saturations int) {
-	memoMu.Lock()
-	episodes = len(epMemo)
-	memoMu.Unlock()
-	campMu.Lock()
-	campaigns = len(campMemo)
-	campMu.Unlock()
-	satMu.Lock()
-	saturations = len(satMemo)
-	satMu.Unlock()
+func (e *Engine) MemoStats() (episodes, campaigns, saturations int) {
+	e.memoMu.Lock()
+	episodes = len(e.epMemo)
+	e.memoMu.Unlock()
+	e.campMu.Lock()
+	campaigns = len(e.campMemo)
+	e.campMu.Unlock()
+	e.satMu.Lock()
+	saturations = len(e.satMemo)
+	e.satMu.Unlock()
 	return
+}
+
+// ResetMemos drops every cached episode, campaign and saturation result.
+// In-flight computations finish against the old entries; only callers
+// arriving afterwards recompute. Benchmarks use this to measure real
+// simulation work instead of memo hits.
+func (e *Engine) ResetMemos() {
+	e.memoMu.Lock()
+	e.epMemo = map[string]*epEntry{}
+	e.memoMu.Unlock()
+	e.campMu.Lock()
+	e.campMemo = map[string]*campEntry{}
+	e.campMu.Unlock()
+	e.satMu.Lock()
+	e.satMemo = map[string]*satEntry{}
+	e.satMu.Unlock()
 }
 
 // episodeKey identifies one memoizable episode. Options and
@@ -114,55 +164,34 @@ type epEntry struct {
 	err  error
 }
 
-var (
-	memoMu   sync.Mutex
-	epMemo   = map[string]*epEntry{}
-	campMu   sync.Mutex
-	campMemo = map[string]*campEntry{}
-)
-
-// ResetMemos drops every cached episode, campaign and saturation result.
-// In-flight computations finish against the old entries; only callers
-// arriving afterwards recompute. Benchmarks use this to measure real
-// simulation work instead of memo hits.
-func ResetMemos() {
-	memoMu.Lock()
-	epMemo = map[string]*epEntry{}
-	memoMu.Unlock()
-	campMu.Lock()
-	campMemo = map[string]*campEntry{}
-	campMu.Unlock()
-	satMu.Lock()
-	satMemo = map[string]*satEntry{}
-	satMu.Unlock()
-}
-
-// memoizedEpisode returns the episode for the key, computing it on the
-// worker pool exactly once per process.
-func memoizedEpisode(v Version, o Options, f faults.Type, comp int, sched EpisodeSchedule) (Episode, error) {
+// RunEpisode returns the episode for the parameters, computing it on the
+// engine's worker pool exactly once per engine.
+func (e *Engine) RunEpisode(v Version, o Options, f faults.Type, comp int, sched EpisodeSchedule) (Episode, error) {
+	o = o.withDefaults()
+	sched = sched.withDefaults()
 	key := episodeKey(v, o, f, comp, sched)
-	memoMu.Lock()
-	if e, ok := epMemo[key]; ok {
-		memoMu.Unlock()
-		<-e.done
-		return e.ep, e.err
+	e.memoMu.Lock()
+	if m, ok := e.epMemo[key]; ok {
+		e.memoMu.Unlock()
+		<-m.done
+		return m.ep, m.err
 	}
-	e := &epEntry{done: make(chan struct{})}
-	epMemo[key] = e
-	memoMu.Unlock()
+	m := &epEntry{done: make(chan struct{})}
+	e.epMemo[key] = m
+	e.memoMu.Unlock()
 
-	acquireSlot()
-	e.ep, e.err = runEpisodeUncached(v, o, f, comp, sched)
-	releaseSlot()
-	close(e.done)
-	return e.ep, e.err
+	e.acquireSlot()
+	m.ep, m.err = runEpisodeUncached(v, o, f, comp, sched)
+	e.releaseSlot()
+	close(m.done)
+	return m.ep, m.err
 }
 
 // episodesUncached reruns the given fault specs' episodes without
-// consulting or filling the memo, on up to `workers` concurrent
-// simulators (independent of the global pool). It exists for the
+// consulting or filling any memo, on up to `workers` concurrent
+// simulators (independent of any engine's pool). It exists for the
 // determinism regression test and the serial-vs-pooled benchmark; real
-// callers go through RunEpisode/Campaign and the shared pool.
+// callers go through RunEpisode/Campaign and an engine.
 func episodesUncached(v Version, o Options, specs []faults.Spec, sched EpisodeSchedule, workers int) ([]Episode, error) {
 	if workers < 1 {
 		workers = 1
@@ -200,7 +229,7 @@ type campaignJob struct {
 // fans its episodes out on the pool) and returns the first error. Figure
 // generators call this before their serial assembly passes so that every
 // subsequent Campaign call is a memo hit.
-func prewarmJobs(sched EpisodeSchedule, jobs []campaignJob) error {
+func (e *Engine) prewarmJobs(sched EpisodeSchedule, jobs []campaignJob) error {
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	for i, j := range jobs {
@@ -210,7 +239,7 @@ func prewarmJobs(sched EpisodeSchedule, jobs []campaignJob) error {
 		// launcher goroutine itself never simulates.
 		go func() { //availlint:allow simgoroutine bounded by the engine worker pool
 			defer wg.Done()
-			_, errs[i] = Campaign(j.v, j.o, sched)
+			_, errs[i] = e.Campaign(j.v, j.o, sched)
 		}()
 	}
 	wg.Wait()
@@ -224,10 +253,38 @@ func prewarmJobs(sched EpisodeSchedule, jobs []campaignJob) error {
 
 // prewarmCampaigns is prewarmJobs for several versions sharing one
 // Options.
-func prewarmCampaigns(o Options, sched EpisodeSchedule, versions ...Version) error {
+func (e *Engine) prewarmCampaigns(o Options, sched EpisodeSchedule, versions ...Version) error {
 	jobs := make([]campaignJob, len(versions))
 	for i, v := range versions {
 		jobs[i] = campaignJob{v: v, o: o}
 	}
-	return prewarmJobs(sched, jobs)
+	return e.prewarmJobs(sched, jobs)
+}
+
+// --- package-level wrappers over the default engine ----------------------
+
+// SetWorkers bounds the default engine's concurrency and returns the
+// previous bound.
+//
+// Deprecated: use press.New(press.WithWorkers(n)) or an explicit Engine.
+func SetWorkers(n int) int { return defaultEngine.SetWorkers(n) }
+
+// Workers returns the default engine's worker-pool bound.
+//
+// Deprecated: use an explicit Engine.
+func Workers() int { return defaultEngine.Workers() }
+
+// RunOnPool executes fn holding one default-engine pool slot.
+func RunOnPool(fn func()) { defaultEngine.RunOnPool(fn) }
+
+// MemoStats reports the default engine's memo sizes.
+func MemoStats() (episodes, campaigns, saturations int) { return defaultEngine.MemoStats() }
+
+// ResetMemos clears the default engine's memo tables.
+func ResetMemos() { defaultEngine.ResetMemos() }
+
+// RunEpisode performs one single-fault phase-1 measurement on the
+// default engine.
+func RunEpisode(v Version, o Options, f faults.Type, comp int, sched EpisodeSchedule) (Episode, error) {
+	return defaultEngine.RunEpisode(v, o, f, comp, sched)
 }

@@ -82,20 +82,7 @@ func faultNode(f faults.Type, comp int) int {
 	}
 }
 
-// RunEpisode performs one phase-1 measurement: build the version, warm it
-// to 90% load, inject a single fault, watch detection and recovery, reset
-// via the operator if the system cannot reintegrate itself, and fit the
-// 7-stage template.
-//
-// Episodes are memoized with singleflight semantics and executed on the
-// worker pool (see engine.go): an episode is a pure function of its
-// parameters, so each distinct one simulates at most once per process
-// however many campaigns, figures and tests request it.
-func RunEpisode(v Version, o Options, f faults.Type, comp int, sched EpisodeSchedule) (Episode, error) {
-	return memoizedEpisode(v, o.withDefaults(), f, comp, sched.withDefaults())
-}
-
-// runEpisodeUncached is the actual measurement; RunEpisode wraps it with
+// runEpisodeUncached is the actual measurement; Engine.RunEpisode wraps it with
 // the memo and the pool. It builds a private sim.Sim, so concurrent
 // invocations cannot interact.
 func runEpisodeUncached(v Version, o Options, f faults.Type, comp int, sched EpisodeSchedule) (Episode, error) {
@@ -168,16 +155,16 @@ func runEpisodeUncached(v Version, o Options, f faults.Type, comp int, sched Epi
 // exactly how the template handles undetected faults.
 func findDetection(log *metrics.Log, f faults.Type, comp int, tFault, tRepair time.Duration) time.Duration {
 	node := faultNode(f, comp)
-	ev, ok := log.FirstMatch(tFault, func(e metrics.Event) bool {
-		if e.At >= tRepair {
-			return false
-		}
+	q := log.Between(tFault, tRepair)
+	if node >= 0 {
+		q = q.Node(node)
+	}
+	ev, ok := q.FirstWhere(func(e metrics.Event) bool {
 		switch e.Kind {
 		case metrics.EvDetect, metrics.EvQMonFail, metrics.EvFMEAction:
-		default:
-			return false
+			return true
 		}
-		return node < 0 || e.Node == node
+		return false
 	})
 	if !ok {
 		return tFault

@@ -39,14 +39,15 @@ func syntheticCOOP(offered float64) CampaignResult {
 func stubSaturations(t *testing.T, o Options, perNode float64) {
 	t.Helper()
 	o = o.withDefaults()
-	satMu.Lock()
-	defer satMu.Unlock()
+	eng := defaultEngine
+	eng.satMu.Lock()
+	defer eng.satMu.Unlock()
 	for _, v := range []Version{VCOOP, VFEX, VMEM, VQMON, VMQ, VFME, VSFME, VCMON, VINDEP, VFEXINDEP} {
 		tr := versionTraits(v)
 		key := keyForTraits(tr, o)
 		e := &satEntry{done: make(chan struct{}), val: perNode * float64(serverCount(v, o))}
 		close(e.done)
-		satMemo[key] = e
+		eng.satMemo[key] = e
 	}
 }
 

@@ -80,7 +80,7 @@ func (fg *Figures) Figure1a() (Table, error) {
 		Title:  "Unavailability and performance: independent vs cooperative",
 		Header: []string{"version", "throughput(req/s)", "unavailability", "availability"},
 	}
-	if err := prewarmCampaigns(fg.Opts, fg.Sched, VINDEP, VFEXINDEP, VCOOP); err != nil {
+	if err := defaultEngine.prewarmCampaigns(fg.Opts, fg.Sched, VINDEP, VFEXINDEP, VCOOP); err != nil {
 		return t, err
 	}
 	for _, v := range []Version{VINDEP, VFEXINDEP, VCOOP} {
@@ -267,7 +267,7 @@ func (fg *Figures) Figure7() (Table, error) {
 		Title: "Unavailability by component: modeled-from-COOP vs measured",
 	}
 	versions := []Version{VCOOP, VFEX, VMEM, VQMON, VMQ, VFME}
-	if err := prewarmCampaigns(fg.Opts, fg.Sched, versions...); err != nil {
+	if err := defaultEngine.prewarmCampaigns(fg.Opts, fg.Sched, versions...); err != nil {
 		return t, err
 	}
 	coop, err := fg.coop()
@@ -339,7 +339,7 @@ func (fg *Figures) Figure8() (Table, error) {
 	add := func(name string, u float64) {
 		t.Rows = append(t.Rows, []string{name, pct(u), nines(u)})
 	}
-	if err := prewarmCampaigns(fg.Opts, fg.Sched, VFME, VSFME, VCMON); err != nil {
+	if err := defaultEngine.prewarmCampaigns(fg.Opts, fg.Sched, VFME, VSFME, VCMON); err != nil {
 		return t, err
 	}
 	fme, err := fg.measured(VFME, fg.Opts)
@@ -395,7 +395,7 @@ func (fg *Figures) Figure9a() (Table, error) {
 		o8.CacheBytes = mem
 		jobs = append(jobs, campaignJob{v: VFME, o: o8})
 	}
-	if err := prewarmJobs(fg.Sched, jobs); err != nil {
+	if err := defaultEngine.prewarmJobs(fg.Sched, jobs); err != nil {
 		return t, err
 	}
 	camp4, err := Campaign(VFME, fg.Opts, fg.Sched)

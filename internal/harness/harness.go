@@ -251,9 +251,13 @@ func (c fmeControl) RestartApp() {
 	c.s.After(10*time.Second, func() { m.StartProc("press") })
 }
 
+// Build assembles a cluster for the given version on the default engine.
+func Build(v Version, o Options) *Cluster { return defaultEngine.Build(v, o) }
+
 // Build assembles a cluster for the given version. rate <= 0 uses
-// Options.Rate (which itself may be auto-resolved by higher layers).
-func Build(v Version, o Options) *Cluster {
+// Options.Rate (which itself may be auto-resolved by higher layers);
+// the auto-resolving saturation probe is memoized on this engine.
+func (e *Engine) Build(v Version, o Options) *Cluster {
 	o = o.withDefaults()
 	t := versionTraits(v)
 	s := sim.New(o.Seed)
@@ -382,7 +386,7 @@ func Build(v Version, o Options) *Cluster {
 
 	rate := o.Rate
 	if rate <= 0 {
-		rate = 0.9 * Saturation(v, o)
+		rate = 0.9 * e.Saturation(v, o)
 	}
 	c.offered = rate
 	c.Rec = workload.NewRecorder()

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"sync"
 	"time"
 )
 
@@ -15,21 +14,21 @@ import (
 //
 // The paper loads each configuration at 90% of its 4-node saturation
 // (§5); Build uses this measurement to resolve Options.Rate == 0.
-func Saturation(v Version, o Options) float64 {
+func (e *Engine) Saturation(v Version, o Options) float64 {
 	o = o.withDefaults()
 	// Capacity depends only on the topology, not on which detectors are
 	// wired in: key the memo by the capacity-relevant traits so e.g.
 	// FE-X, MEM, MQ and FME share one probe.
 	key := keyForTraits(versionTraits(v), o)
-	satMu.Lock()
-	if e, ok := satMemo[key]; ok {
-		satMu.Unlock()
-		<-e.done
-		return e.val
+	e.satMu.Lock()
+	if m, ok := e.satMemo[key]; ok {
+		e.satMu.Unlock()
+		<-m.done
+		return m.val
 	}
-	e := &satEntry{done: make(chan struct{})}
-	satMemo[key] = e
-	satMu.Unlock()
+	m := &satEntry{done: make(chan struct{})}
+	e.satMemo[key] = m
+	e.satMu.Unlock()
 
 	run := o
 	// Drive well past any plausible capacity; admission control keeps the
@@ -39,24 +38,23 @@ func Saturation(v Version, o Options) float64 {
 	// — the paper's 5-minute warm-up exists for exactly this reason.
 	run.Rate = 120 * float64(serverCount(v, o))
 	run.Warmup = 5 * time.Minute
-	c := Build(v, run)
+	c := e.Build(v, run)
 	c.Gen.Start()
 	c.Sim.RunFor(run.Warmup + 180*time.Second)
-	e.val = c.Rec.MeanThroughput(run.Warmup+30*time.Second, c.Sim.Now())
-	close(e.done)
-	return e.val
+	m.val = c.Rec.MeanThroughput(run.Warmup+30*time.Second, c.Sim.Now())
+	close(m.done)
+	return m.val
 }
+
+// Saturation measures (memoized on the default engine) the version's
+// maximum sustained throughput.
+func Saturation(v Version, o Options) float64 { return defaultEngine.Saturation(v, o) }
 
 // satEntry is a singleflight memo slot for one saturation probe.
 type satEntry struct {
 	done chan struct{}
 	val  float64
 }
-
-var (
-	satMu   sync.Mutex
-	satMemo = map[string]*satEntry{}
-)
 
 // keyForTraits derives the saturation memo key from the capacity-relevant
 // configuration.

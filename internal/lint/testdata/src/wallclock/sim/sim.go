@@ -41,3 +41,28 @@ func annotated() time.Time {
 	later := time.Now() //availlint:allow wallclock same-line annotation form
 	return epoch.Add(later.Sub(epoch))
 }
+
+// Periodic loops must come from the simulated clock's ticker contract
+// (clock.Clock.Every / sim.Ticker), never a hand-rolled wall-clock rearm
+// chain: each link below both waits on real time and re-waits forever.
+func periodicRearmChain() {
+	var rearm func()
+	rearm = func() {
+		time.AfterFunc(time.Second, rearm) // want `time.AfterFunc reads or waits on the wall clock`
+	}
+	rearm()
+}
+
+// The wall-clock ticker loop idiom is equally forbidden; the simulated
+// Every replaces it.
+func periodicTickerLoop(stop chan struct{}) {
+	tk := time.NewTicker(time.Second) // want `time.NewTicker reads or waits on the wall clock`
+	defer tk.Stop()
+	for {
+		select {
+		case <-tk.C:
+		case <-stop:
+			return
+		}
+	}
+}

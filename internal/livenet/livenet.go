@@ -321,6 +321,13 @@ func (lc liveClock) AfterFunc(d time.Duration, fn func()) clock.Timer {
 	})
 }
 
+// Every adapts the generic rearm-at-end ticker: each tick is posted
+// through the dispatch loop and the rearm happens after the callback
+// ran there, so the loop dies with the incarnation like any other timer.
+func (lc liveClock) Every(d time.Duration, fn func()) clock.Ticker {
+	return clock.NewFuncTicker(lc, d, fn)
+}
+
 // --- datagrams ---------------------------------------------------------------
 
 type dgramPacket struct {

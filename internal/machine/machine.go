@@ -190,9 +190,71 @@ type Proc struct {
 	stalled     bool
 	running     bool // a handler's charged CPU time is still elapsing
 	curCharge   time.Duration
-	mailbox     []func()
+	mailbox     []call
+	head        int // next mailbox slot to dispatch; storage before it is spent
+	resume      resumeRec
 	env         *Env
 	conns       []simnet.StreamConn
+}
+
+// call is one mailbox entry. Stream/datagram/dial callbacks at packet
+// rate carry their handler and arguments in typed fields instead of a
+// per-delivery closure, so posting them allocates nothing once the
+// mailbox's storage has grown to its high-water mark. Exactly one of
+// fn/sfn/dfn/rfn/wfn is set; the typed forms are gated on env.live() at
+// dispatch, which is what their closure equivalents did.
+type call struct {
+	fn   func()                            // plain post; no gating
+	sfn  func(cnet.Conn, cnet.Message)     // stream OnMessage
+	dfn  func(cnet.NodeID, cnet.Message)   // datagram handler
+	rfn  func(cnet.Conn, error)            // dial result
+	wfn  func(cnet.Conn)                   // stream OnWritable
+	env  *Env                              // liveness gate for typed forms
+	c    cnet.Conn
+	m    cnet.Message
+	from cnet.NodeID
+	err  error
+}
+
+func (c *call) dispatch() {
+	switch {
+	case c.fn != nil:
+		c.fn()
+	case c.sfn != nil:
+		if c.env.live() {
+			c.sfn(c.c, c.m)
+		}
+	case c.dfn != nil:
+		if c.env.live() {
+			c.dfn(c.from, c.m)
+		}
+	case c.rfn != nil:
+		if c.env.live() {
+			c.rfn(c.c, c.err)
+		}
+	case c.wfn != nil:
+		if c.env.live() {
+			c.wfn(c.c)
+		}
+	}
+}
+
+// resumeRec carries the charge-elapsed wakeup through sim.AfterArg; one
+// per process, reused, since at most one charge is elapsing at a time.
+type resumeRec struct {
+	p   *Proc
+	inc uint64
+}
+
+// procResume ends a CPU charge: back to draining the mailbox unless the
+// process died (or was restarted) while the charge elapsed.
+func procResume(arg any) {
+	r := arg.(*resumeRec)
+	if r.p.incarnation != r.inc {
+		return
+	}
+	r.p.running = false
+	r.p.pump()
 }
 
 // Name returns the process name.
@@ -233,7 +295,7 @@ func (p *Proc) Unhang() {
 func (p *Proc) Stalled() bool { return p.stalled }
 
 // MailboxLen reports the backlog length (tests/diagnostics).
-func (p *Proc) MailboxLen() int { return len(p.mailbox) }
+func (p *Proc) MailboxLen() int { return len(p.mailbox) - p.head }
 
 func (p *Proc) boot() {
 	p.incarnation++
@@ -242,6 +304,7 @@ func (p *Proc) boot() {
 	p.stalled = false
 	p.running = false
 	p.mailbox = nil
+	p.head = 0
 	p.conns = nil
 	p.env = &Env{p: p, inc: p.incarnation}
 	p.env.rand = p.m.sim.NewRand(fmt.Sprintf("node%d/%s/%d", p.m.id, p.name, p.incarnation))
@@ -255,6 +318,7 @@ func (p *Proc) kill(abortConns bool) {
 	p.alive = false
 	p.incarnation++
 	p.mailbox = nil
+	p.head = 0
 	if p.env != nil {
 		for _, port := range p.env.dgramPorts {
 			p.m.iface.BindDatagram(port, nil)
@@ -277,10 +341,20 @@ func (p *Proc) runnable() bool {
 }
 
 func (p *Proc) post(fn func()) {
+	p.postCall(call{fn: fn})
+}
+
+// postCall enqueues one mailbox entry, reclaiming spent storage when the
+// queue drains so steady-state posting reuses one backing array.
+func (p *Proc) postCall(c call) {
 	if !p.alive {
 		return
 	}
-	p.mailbox = append(p.mailbox, fn)
+	if p.head > 0 && p.head == len(p.mailbox) {
+		p.mailbox = p.mailbox[:0]
+		p.head = 0
+	}
+	p.mailbox = append(p.mailbox, c)
 	p.pump()
 }
 
@@ -288,25 +362,25 @@ func (p *Proc) post(fn func()) {
 // delays everything behind it by d, exactly like work on PRESS's main
 // coordinating thread.
 func (p *Proc) pump() {
-	for !p.running && p.runnable() && len(p.mailbox) > 0 {
-		fn := p.mailbox[0]
-		p.mailbox = p.mailbox[1:]
+	for !p.running && p.runnable() && p.head < len(p.mailbox) {
+		c := p.mailbox[p.head]
+		p.mailbox[p.head] = call{}
+		p.head++
 		inc := p.incarnation
 		p.curCharge = 0
-		fn()
+		c.dispatch()
 		if p.incarnation != inc {
 			return // died inside the handler
 		}
 		if p.curCharge > 0 {
 			p.running = true
-			p.m.sim.After(p.curCharge, func() {
-				if p.incarnation != inc {
-					return
-				}
-				p.running = false
-				p.pump()
-			})
+			p.resume.p, p.resume.inc = p, inc
+			p.m.sim.AfterArg(p.curCharge, procResume, &p.resume)
 		}
+	}
+	if p.head > 0 && p.head == len(p.mailbox) {
+		p.mailbox = p.mailbox[:0]
+		p.head = 0
 	}
 }
 
@@ -448,11 +522,7 @@ func (e *Env) BindDatagram(port string, h func(from cnet.NodeID, m cnet.Message)
 		if !e.live() || !e.p.runnable() {
 			return
 		}
-		e.p.post(func() {
-			if e.live() {
-				h(from, m)
-			}
-		})
+		e.p.postCall(call{dfn: h, env: e, from: from, m: m})
 	})
 }
 
@@ -471,11 +541,7 @@ func (e *Env) Dial(to cnet.NodeID, class cnet.Class, port string, h cnet.StreamH
 		if c != nil {
 			e.p.adoptConn(c.(simnet.StreamConn))
 		}
-		e.p.post(func() {
-			if e.live() {
-				result(c, err)
-			}
-		})
+		e.p.postCall(call{rfn: result, env: e, c: c, err: err})
 	})
 }
 
@@ -499,30 +565,18 @@ func (e *Env) wrap(h cnet.StreamHandlers) cnet.StreamHandlers {
 	var w cnet.StreamHandlers
 	if h.OnMessage != nil {
 		w.OnMessage = func(c cnet.Conn, m cnet.Message) {
-			e.p.post(func() {
-				if e.live() {
-					h.OnMessage(c, m)
-				}
-			})
+			e.p.postCall(call{sfn: h.OnMessage, env: e, c: c, m: m})
 		}
 	}
 	w.OnClose = func(c cnet.Conn, err error) {
 		e.p.dropConn(c)
 		if h.OnClose != nil {
-			e.p.post(func() {
-				if e.live() {
-					h.OnClose(c, err)
-				}
-			})
+			e.p.postCall(call{rfn: h.OnClose, env: e, c: c, err: err})
 		}
 	}
 	if h.OnWritable != nil {
 		w.OnWritable = func(c cnet.Conn) {
-			e.p.post(func() {
-				if e.live() {
-					h.OnWritable(c)
-				}
-			})
+			e.p.postCall(call{wfn: h.OnWritable, env: e, c: c})
 		}
 	}
 	return w
@@ -551,6 +605,23 @@ func (pc procClock) AfterFunc(d time.Duration, fn func()) clock.Timer {
 	})
 }
 
+// Every delivers a periodic callback through the process mailbox. The
+// generic rearm-at-end ticker is built on this clock's own AfterFunc, so
+// each rearm happens inside the mailbox dispatch of the previous tick
+// and dies with the process/incarnation exactly as a hand-rolled
+// rearm chain would: once live() fails, AfterFunc stops scheduling.
+func (pc procClock) Every(d time.Duration, fn func()) clock.Ticker {
+	if !pc.e.live() {
+		return deadTicker{}
+	}
+	return clock.NewFuncTicker(pc, d, fn)
+}
+
 type deadTimer struct{}
 
 func (deadTimer) Stop() bool { return false }
+
+type deadTicker struct{}
+
+func (deadTicker) Stop() bool                { return false }
+func (deadTicker) Reschedule(time.Duration) {}

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"press/internal/clock"
 	"press/internal/cnet"
 	"press/internal/metrics"
 )
@@ -166,6 +167,8 @@ type Daemon struct {
 
 	offers     []MJoinOffer
 	collecting bool
+
+	seekT clock.Ticker // variable-period seek loop, retimed each pass
 }
 
 // NewDaemon starts a membership daemon on env, publishing into pub.
@@ -180,7 +183,7 @@ func NewDaemon(cfg Config, env cnet.Env, pub *Published) *Daemon {
 	d.env.JoinGroup(JoinGroup)
 	d.env.BindDatagram(Port, d.onMessage)
 	d.install(1, d.members, "boot")
-	d.tickLater()
+	d.startTicking()
 	d.seekLater(true)
 	return d
 }
@@ -249,8 +252,8 @@ func contains(ns []cnet.NodeID, n cnet.NodeID) bool {
 	return false
 }
 
-func (d *Daemon) tickLater() {
-	d.env.Clock().AfterFunc(d.cfg.HBPeriod, func() { d.tick() })
+func (d *Daemon) startTicking() {
+	d.env.Clock().Every(d.cfg.HBPeriod, d.tick)
 }
 
 func (d *Daemon) tick() {
@@ -267,7 +270,6 @@ func (d *Daemon) tick() {
 			d.startExclusion(nb)
 		}
 	}
-	d.tickLater()
 }
 
 // startExclusion coordinates the two-phase removal of n.
@@ -429,7 +431,13 @@ func (d *Daemon) seekLater(fast bool) {
 	if fast || len(d.members) == 1 {
 		period = d.cfg.SeekPeriod / 4
 	}
-	d.env.Clock().AfterFunc(period, func() { d.seek() })
+	if d.seekT == nil {
+		d.seekT = d.env.Clock().Every(period, d.seek)
+		return
+	}
+	// Inside seek's deferred rearm: replaces the ticker's automatic rearm
+	// with the period chosen for the current group size.
+	d.seekT.Reschedule(period)
 }
 
 // seek multicasts a join request and, after the offer window, asks the
@@ -497,11 +505,12 @@ func (c *Client) NodeDown(n cnet.NodeID) {
 }
 
 func (c *Client) pollLater() {
-	c.env.Clock().AfterFunc(c.poll, func() {
-		_, members := c.pub.Snapshot()
-		for _, fn := range c.subs {
-			fn(members)
-		}
-		c.pollLater()
-	})
+	c.env.Clock().Every(c.poll, c.pollTick)
+}
+
+func (c *Client) pollTick() {
+	_, members := c.pub.Snapshot()
+	for _, fn := range c.subs {
+		fn(members)
+	}
 }

@@ -99,9 +99,7 @@ func TestCrashExcludedByNeighbours(t *testing.T) {
 			}
 		}
 	}
-	if _, ok := w.log.FirstMatch(crashAt, func(e metrics.Event) bool {
-		return e.Kind == metrics.EvMemberLeave && e.Node == 1
-	}); !ok {
+	if _, ok := w.log.Filter("", metrics.EvMemberLeave).Node(1).After(crashAt).First(); !ok {
 		t.Fatal("no member-leave event")
 	}
 }
@@ -305,9 +303,7 @@ func TestLinkFlapSplinterRejoin(t *testing.T) {
 
 	// The flap must actually have splintered the group at least once —
 	// otherwise this test witnesses nothing.
-	if _, ok := w.log.FirstMatch(flapStart, func(e metrics.Event) bool {
-		return e.Kind == metrics.EvMemberLeave && e.Node == 2
-	}); !ok {
+	if _, ok := w.log.Filter("", metrics.EvMemberLeave).Node(2).After(flapStart).First(); !ok {
 		t.Fatalf("link flap never caused an exclusion\n%s", w.log.Dump())
 	}
 

@@ -78,17 +78,125 @@ func (l *Log) FirstMatch(after time.Duration, pred func(Event) bool) (Event, boo
 	return Event{}, false
 }
 
-// Count returns the number of events of the given kind in [from, to).
-func (l *Log) Count(kind string, from, to time.Duration) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+// Count returns the number of events of the given kind in the whole log.
+// Use Between(t0, t1).Count() to count within a time window.
+func (l *Log) Count(kind string) int {
+	return l.Filter("", kind).Count()
+}
+
+// maxInstant is the open upper bound of an unwindowed Query.
+const maxInstant = time.Duration(1<<63 - 1)
+
+// Query is an immutable filtered view over a Log. Queries chain:
+//
+//	log.Filter("fme/2", metrics.EvFMEAction).Between(t0, t1).Count()
+//	log.Filter("", metrics.EvMemberLeave).Node(3).After(crash).First()
+//
+// A Query holds no snapshot; each terminal call (Count, Events, First,
+// FirstWhere) scans the log under its lock, so results reflect the log
+// at call time. Events are appended in nondecreasing time order, so
+// "first in emission order" and "earliest" coincide.
+type Query struct {
+	l       *Log
+	source  string // "" matches any source
+	kind    string // "" matches any kind
+	node    int
+	hasNode bool
+	from    time.Duration
+	to      time.Duration // exclusive
+}
+
+// Filter starts a query matching the given source and kind; either may
+// be "" to match any.
+func (l *Log) Filter(source, kind string) Query {
+	return Query{l: l, source: source, kind: kind, to: maxInstant}
+}
+
+// Between starts a query over the time window [t0, t1).
+func (l *Log) Between(t0, t1 time.Duration) Query {
+	return Query{l: l, from: t0, to: t1}
+}
+
+// Filter narrows the query to the given source and kind ("" = any).
+func (q Query) Filter(source, kind string) Query {
+	q.source, q.kind = source, kind
+	return q
+}
+
+// Between narrows the query to the time window [t0, t1).
+func (q Query) Between(t0, t1 time.Duration) Query {
+	q.from, q.to = t0, t1
+	return q
+}
+
+// After narrows the query to events at or after t0.
+func (q Query) After(t0 time.Duration) Query {
+	q.from = t0
+	return q
+}
+
+// Node narrows the query to events concerning the given node.
+func (q Query) Node(n int) Query {
+	q.node, q.hasNode = n, true
+	return q
+}
+
+func (q Query) match(e Event) bool {
+	if e.At < q.from || e.At >= q.to {
+		return false
+	}
+	if q.source != "" && e.Source != q.source {
+		return false
+	}
+	if q.kind != "" && e.Kind != q.kind {
+		return false
+	}
+	return !q.hasNode || e.Node == q.node
+}
+
+// Count returns how many events match the query.
+func (q Query) Count() int {
+	q.l.mu.Lock()
+	defer q.l.mu.Unlock()
 	n := 0
-	for _, e := range l.events {
-		if e.Kind == kind && e.At >= from && e.At < to {
+	for _, e := range q.l.events {
+		if q.match(e) {
 			n++
 		}
 	}
 	return n
+}
+
+// Events returns the matching events in emission order.
+func (q Query) Events() []Event {
+	q.l.mu.Lock()
+	defer q.l.mu.Unlock()
+	var out []Event
+	for _, e := range q.l.events {
+		if q.match(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// First returns the earliest matching event.
+func (q Query) First() (Event, bool) {
+	return q.FirstWhere(nil)
+}
+
+// FirstWhere returns the earliest event matching both the query and the
+// predicate (nil = no extra condition). It exists for conditions a
+// Filter cannot express, e.g. a set of kinds.
+func (q Query) FirstWhere(pred func(Event) bool) (Event, bool) {
+	q.l.mu.Lock()
+	defer q.l.mu.Unlock()
+	for _, e := range q.l.events {
+		if q.match(e) && (pred == nil || pred(e)) {
+			return e, true
+		}
+	}
+	return Event{}, false
 }
 
 // Dump renders the full log, one event per line, for debugging and the

@@ -158,11 +158,48 @@ func TestEventLogFirstAndCount(t *testing.T) {
 	if _, ok := l.First("missing", 0); ok {
 		t.Fatal("found nonexistent kind")
 	}
-	if n := l.Count(EvDetect, 0, 20*time.Second); n != 2 {
+	if n := l.Count(EvDetect); n != 2 {
 		t.Fatalf("Count = %d, want 2", n)
 	}
-	if n := l.Count(EvDetect, 6*time.Second, 20*time.Second); n != 1 {
+	if n := l.Between(6*time.Second, 20*time.Second).Filter("", EvDetect).Count(); n != 1 {
 		t.Fatalf("Count windowed = %d, want 1", n)
+	}
+}
+
+func TestEventLogQuery(t *testing.T) {
+	var l Log
+	l.Emit(1*time.Second, "injector", EvFaultInject, 2, "scsi")
+	l.Emit(5*time.Second, "press", EvDetect, 2, "heartbeat loss")
+	l.Emit(9*time.Second, "fme/3", EvDetect, 3, "probe")
+	l.Emit(9*time.Second, "fme/3", EvFMEAction, 3, "restart")
+
+	if n := l.Filter("press", "").Count(); n != 1 {
+		t.Fatalf("Filter by source Count = %d, want 1", n)
+	}
+	if n := l.Filter("", EvDetect).Count(); n != 2 {
+		t.Fatalf("Filter by kind Count = %d, want 2", n)
+	}
+	if n := l.Filter("fme/3", EvDetect).Count(); n != 1 {
+		t.Fatalf("Filter by source+kind Count = %d, want 1", n)
+	}
+	// Between is [t0, t1): the 9 s events fall outside [1 s, 9 s).
+	if n := l.Between(time.Second, 9*time.Second).Count(); n != 2 {
+		t.Fatalf("Between Count = %d, want 2", n)
+	}
+	if e, ok := l.Filter("", EvDetect).Node(3).First(); !ok || e.Source != "fme/3" {
+		t.Fatalf("Node-filtered First = %+v ok=%v", e, ok)
+	}
+	if _, ok := l.Filter("", EvDetect).After(10 * time.Second).First(); ok {
+		t.Fatal("After past the last event still matched")
+	}
+	evs := l.Filter("fme/3", "").Events()
+	if len(evs) != 2 || evs[0].Kind != EvDetect || evs[1].Kind != EvFMEAction {
+		t.Fatalf("Events = %+v, want detect then action in emission order", evs)
+	}
+	if e, ok := l.Filter("", "").FirstWhere(func(e Event) bool {
+		return e.Kind == EvFMEAction || e.Kind == EvFaultInject
+	}); !ok || e.Kind != EvFaultInject {
+		t.Fatalf("FirstWhere = %+v ok=%v, want the 1s inject", e, ok)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"press/internal/clock"
 	"press/internal/cnet"
 )
 
@@ -23,6 +24,7 @@ type ringDetector struct {
 	pred    cnet.NodeID
 	succ    cnet.NodeID
 	lastHB  time.Duration
+	hb      clock.Ticker
 }
 
 func (r *ringDetector) init(s *Server) {
@@ -33,15 +35,12 @@ func (r *ringDetector) init(s *Server) {
 	}
 	r.enabled = true
 	r.recompute()
-	r.tickLater()
-}
-
-func (r *ringDetector) tickLater() {
-	r.s.env.Clock().AfterFunc(r.s.cfg.HeartbeatPeriod, func() { r.tick() })
+	r.hb = r.s.env.Clock().Every(r.s.cfg.HeartbeatPeriod, r.tick)
 }
 
 func (r *ringDetector) tick() {
 	if !r.enabled {
+		r.hb.Stop()
 		return
 	}
 	s := r.s
@@ -63,7 +62,6 @@ func (r *ringDetector) tick() {
 			s.exclude(dead, "ring heartbeat loss")
 		}
 	}
-	r.tickLater()
 }
 
 // onHeartbeat is the server's PortHB datagram handler.

@@ -280,13 +280,7 @@ func TestDiskFaultWedgesClusterThenRingExcludes(t *testing.T) {
 	// The sick node's main thread eventually blocks on the full disk
 	// queue, stops heartbeating, and the ring excludes it.
 	tc.run(60 * time.Second)
-	found := false
-	for _, e := range tc.log.All() {
-		if e.At > faultAt && e.Kind == metrics.EvExclude && e.Node == 0 {
-			found = true
-		}
-	}
-	if !found {
+	if _, ok := tc.log.Filter("", metrics.EvExclude).Node(0).After(faultAt + 1).First(); !ok {
 		t.Fatalf("sick node never excluded\n%s", tc.log.Dump())
 	}
 	if !tc.machines[0].Proc("press").Stalled() {

@@ -6,17 +6,24 @@
 // fault-injection campaign runs in seconds and is exactly reproducible
 // from a seed.
 //
-// The kernel is intentionally tiny: a virtual clock, a binary heap of
-// cancellable events, and a facility for deriving independent, named,
-// deterministic random streams. Everything else (network, disks, machines,
-// processes) is layered on top in sibling packages.
+// The kernel is intentionally tiny: a virtual clock, an indexed 4-ary
+// min-heap of cancellable events, and a facility for deriving
+// independent, named, deterministic random streams. Everything else
+// (network, disks, machines, processes) is layered on top in sibling
+// packages.
+//
+// The event loop is the hot path of every experiment — a campaign fires
+// tens of millions of events — so the kernel recycles event objects
+// through a free list (handles are generation-counted, making a stale
+// Stop a safe no-op), offers allocation-free argument-passing variants
+// (AtArg, AfterArg) so packet-rate callers need no per-event closure,
+// and a periodic Ticker that reuses one event for an entire tick loop.
 //
 // Sim implements clock.Clock, so protocol code written against that
 // interface runs under the simulator without modification.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -25,41 +32,69 @@ import (
 	"press/internal/clock"
 )
 
-// Event is a scheduled callback. It is also the Timer handle returned to
-// callers so that pending events can be cancelled.
-type Event struct {
+// event is one scheduled callback. Events are owned by the kernel and
+// recycled through the simulator's free list; callers hold generation-
+// counted Timer handles instead of event pointers.
+type event struct {
+	s     *Sim
 	at    time.Duration
 	seq   uint64 // tie-breaker: equal deadlines fire in scheduling order
-	index int    // heap index; -1 once fired or cancelled
+	index int    // heap position; -1 while not queued
+	gen   uint32 // bumped on every release; validates Timer handles
+	keep  bool   // owned by a Ticker: never returned to the free list
 	fn    func()
-	owner *eventHeap
+	afn   func(any) // argument-passing form; fn and afn are exclusive
+	arg   any
 }
 
-// Stop cancels the event. It reports whether the event was still pending.
-func (e *Event) Stop() bool {
-	if e == nil || e.index < 0 {
+// Timer is the cancellation handle for a scheduled event. It is a small
+// value (copy freely); the zero Timer is inert. Handles stay valid after
+// the event fires or is cancelled: the kernel recycles the underlying
+// object, and the generation count makes Stop on a stale handle a no-op
+// that reports false.
+type Timer struct {
+	e   *event
+	gen uint32
+}
+
+// Stop cancels the event. It reports whether the event was still
+// pending; false means it already fired, was already stopped, or the
+// handle is stale (its event object has been recycled). Calling Stop
+// from inside the firing event's own callback returns false: the event
+// is no longer pending by the time its callback runs.
+func (t Timer) Stop() bool {
+	e := t.e
+	if e == nil || e.gen != t.gen || e.index < 0 {
 		return false
 	}
-	heap.Remove(e.owner, e.index)
-	e.index = -1
-	e.fn = nil
+	e.s.remove(e)
+	e.s.release(e)
 	return true
 }
 
-// When returns the virtual instant at which the event fires (or fired).
-func (e *Event) When() time.Duration { return e.at }
+// When returns the virtual instant the event fires, and whether it is
+// still pending.
+func (t Timer) When() (time.Duration, bool) {
+	e := t.e
+	if e == nil || e.gen != t.gen || e.index < 0 {
+		return 0, false
+	}
+	return e.at, true
+}
 
-var _ clock.Timer = (*Event)(nil)
+var _ clock.Timer = Timer{}
 
 // Sim is a discrete-event simulator instance. It is not safe for
 // concurrent use: all model code runs single-threaded inside Run/Step.
 type Sim struct {
 	now    time.Duration
-	heap   eventHeap
+	heap   []*event
+	free   []*event
 	seq    uint64
 	seed   int64
 	fired  uint64
 	maxQ   int
+	live   int // events allocated and not on the free list
 	halted bool
 }
 
@@ -85,64 +120,233 @@ func (s *Sim) Pending() int { return len(s.heap) }
 // MaxQueued returns the high-water mark of the event heap.
 func (s *Sim) MaxQueued() int { return s.maxQ }
 
-// At schedules fn at absolute virtual time t. Scheduling in the past (or
-// at the current instant) fires on the next Step, before any later event.
-func (s *Sim) At(t time.Duration, fn func()) *Event {
-	if fn == nil {
-		panic("sim: nil event function")
+// LiveEvents returns how many event objects exist outside the free list
+// (queued events plus Ticker-owned ones). The pool-reuse regression test
+// asserts this stays flat under a steady-state workload.
+func (s *Sim) LiveEvents() int { return s.live }
+
+// alloc takes an event from the free list, or makes one.
+func (s *Sim) alloc() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		s.live++
+		return e
 	}
+	s.live++
+	return &event{s: s, index: -1}
+}
+
+// release recycles a no-longer-queued event. The generation bump
+// invalidates every outstanding Timer handle to it.
+func (s *Sim) release(e *event) {
+	e.gen++
+	e.fn = nil
+	e.afn = nil
+	e.arg = nil
+	if e.keep {
+		return // Ticker-owned: reused in place, never pooled
+	}
+	s.live--
+	s.free = append(s.free, e)
+}
+
+// schedule inserts a fresh event at absolute time t (clamped to now).
+func (s *Sim) schedule(t time.Duration) *event {
 	if t < s.now {
 		t = s.now
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, owner: &s.heap}
+	e := s.alloc()
+	e.at = t
+	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.heap, e)
+	s.push(e)
 	if len(s.heap) > s.maxQ {
 		s.maxQ = len(s.heap)
 	}
 	return e
 }
 
-// AfterFunc schedules fn to run d after the current instant. It implements
-// clock.Clock.
+// At schedules fn at absolute virtual time t. Scheduling in the past (or
+// at the current instant) fires on the next Step, before any later event.
+func (s *Sim) At(t time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := s.schedule(t)
+	e.fn = fn
+	return Timer{e: e, gen: e.gen}
+}
+
+// AtArg is At for pre-bound callbacks: fn(arg) runs at time t. Packet-
+// rate callers use it with a package-level function and a reused or
+// already-allocated argument so scheduling allocates nothing.
+func (s *Sim) AtArg(t time.Duration, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := s.schedule(t)
+	e.afn = fn
+	e.arg = arg
+	return Timer{e: e, gen: e.gen}
+}
+
+// AfterFunc schedules fn to run d after the current instant. It
+// implements clock.Clock.
 func (s *Sim) AfterFunc(d time.Duration, fn func()) clock.Timer {
+	return s.After(d, fn)
+}
+
+// After is AfterFunc returning the concrete Timer handle.
+func (s *Sim) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
 }
 
-// After is AfterFunc returning the concrete *Event.
-func (s *Sim) After(d time.Duration, fn func()) *Event {
+// AfterArg is AtArg relative to the current instant.
+func (s *Sim) AfterArg(d time.Duration, fn func(any), arg any) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now+d, fn)
+	return s.AtArg(s.now+d, fn, arg)
 }
 
-// Halt makes the current Run/RunUntil call return after the event that is
-// executing finishes. Pending events remain queued.
-func (s *Sim) Halt() { s.halted = true }
+// Ticker is a periodic event that reuses one kernel event object for its
+// whole life: each rearm costs zero allocations. Obtain one from Every.
+type Ticker struct {
+	s       *Sim
+	e       *event
+	period  time.Duration
+	fn      func()
+	firing  bool // inside fn right now
+	rearmed bool // Reschedule was called during the current firing
+	stopped bool
+}
 
-// Step executes the single earliest pending event, advancing the clock to
-// its deadline. It reports whether an event was executed.
-func (s *Sim) Step() bool {
-	for len(s.heap) > 0 {
-		e := heap.Pop(&s.heap).(*Event)
-		if e.index == -2 { // defensively skip corrupted entries
-			continue
-		}
-		e.index = -1
-		if e.at > s.now {
-			s.now = e.at
-		}
-		fn := e.fn
-		e.fn = nil
-		s.fired++
-		fn()
+// Every schedules fn every d of virtual time, first firing at now+d.
+// The next deadline is set after fn returns (virtual time does not
+// advance while fn runs, so the cadence is exact); fn may call Stop to
+// end the loop or Reschedule to choose its own next interval — exactly
+// like the rearm-at-end-of-callback idiom this replaces, and with the
+// same event ordering. Every implements clock.Clock's periodic contract.
+func (s *Sim) Every(d time.Duration, fn func()) clock.Ticker {
+	return s.NewTicker(d, fn)
+}
+
+// NewTicker is Every returning the concrete *Ticker.
+func (s *Sim) NewTicker(d time.Duration, fn func()) *Ticker {
+	if fn == nil {
+		panic("sim: nil ticker function")
+	}
+	if d <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{s: s, fn: fn, period: d}
+	t.e = s.alloc()
+	t.e.keep = true
+	t.e.afn = tickerFire
+	t.e.arg = t
+	t.arm(d)
+	return t
+}
+
+// tickerFire dispatches one tick. Package-level so ticker events carry
+// no per-arm closure.
+func tickerFire(arg any) {
+	t := arg.(*Ticker)
+	t.firing, t.rearmed = true, false
+	t.fn()
+	t.firing = false
+	if t.stopped || t.rearmed {
+		return
+	}
+	t.arm(t.period)
+}
+
+// arm queues the ticker's event at now+d with a fresh sequence number.
+func (t *Ticker) arm(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e, s := t.e, t.s
+	e.at = s.now + d
+	e.seq = s.seq
+	s.seq++
+	e.afn = tickerFire
+	e.arg = t
+	s.push(e)
+	if len(s.heap) > s.maxQ {
+		s.maxQ = len(s.heap)
+	}
+}
+
+// Stop ends the periodic loop and reports whether the ticker was still
+// active (pending, or currently firing with a rearm ahead of it).
+// Stopping from inside fn suppresses the automatic rearm. A stopped
+// ticker can be revived with Reschedule.
+func (t *Ticker) Stop() bool {
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	if t.e.index >= 0 {
+		t.s.remove(t.e)
 		return true
 	}
-	return false
+	return t.firing
+}
+
+// Reschedule makes the ticker fire next at now+d, then resume its
+// regular period. Called from inside fn it replaces the automatic
+// rearm (the callback picks its own next interval); called from outside
+// it moves the pending deadline, reviving the ticker if stopped.
+func (t *Ticker) Reschedule(d time.Duration) {
+	t.stopped = false
+	if t.e.index >= 0 {
+		t.s.remove(t.e)
+	}
+	if t.firing {
+		t.rearmed = true
+	}
+	t.arm(d)
+}
+
+var _ clock.Ticker = (*Ticker)(nil)
+
+// Halt makes the current Run/RunUntil call return after the event that
+// is executing finishes. Pending events remain queued.
+func (s *Sim) Halt() { s.halted = true }
+
+// Step executes the single earliest pending event, advancing the clock
+// to its deadline. It reports whether an event was executed.
+//
+// Cancel-during-dispatch is explicit: the firing event leaves the heap
+// (and its handles go stale) before its callback runs, so a Stop from
+// inside the callback — its own handle or any other — acts on the heap
+// as it stands and never corrupts dispatch. The fired event returns to
+// the free list only after its callback finishes.
+func (s *Sim) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	e := s.pop()
+	if e.at > s.now {
+		s.now = e.at
+	}
+	s.fired++
+	if e.afn != nil {
+		e.afn(e.arg)
+		if e.keep {
+			return true // Ticker-owned; tickerFire handled the rearm
+		}
+	} else {
+		e.fn()
+	}
+	s.release(e)
+	return true
 }
 
 // Run executes events until none remain or Halt is called.
@@ -152,8 +356,8 @@ func (s *Sim) Run() {
 	}
 }
 
-// RunUntil executes events with deadlines <= t, then advances the clock to
-// exactly t. Events scheduled beyond t remain pending.
+// RunUntil executes events with deadlines <= t, then advances the clock
+// to exactly t. Events scheduled beyond t remain pending.
 func (s *Sim) RunUntil(t time.Duration) {
 	s.halted = false
 	for !s.halted && len(s.heap) > 0 && s.heap[0].at <= t {
@@ -169,9 +373,9 @@ func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
 
 // NewRand derives an independent deterministic random stream from the
 // simulator's root seed and a label. Streams with distinct labels are
-// statistically independent; the same (seed, label) pair always yields the
-// same stream, which keeps experiments reproducible even when components
-// are added or reordered.
+// statistically independent; the same (seed, label) pair always yields
+// the same stream, which keeps experiments reproducible even when
+// components are added or reordered.
 func (s *Sim) NewRand(label string) *rand.Rand {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d/%s", s.seed, label)
@@ -180,31 +384,108 @@ func (s *Sim) NewRand(label string) *rand.Rand {
 
 var _ clock.Clock = (*Sim)(nil)
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*Event
+// The heap is an indexed 4-ary min-heap ordered by (at, seq): shallower
+// than a binary heap (fewer cache-missing levels per sift) and inlined
+// rather than behind container/heap's interface dispatch. seq is unique,
+// so the order is a strict total order and pop order is fully
+// deterministic regardless of internal layout.
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// push appends e and sifts it up.
+func (s *Sim) push(e *event) {
+	s.heap = append(s.heap, e)
+	e.index = len(s.heap) - 1
+	s.up(e.index)
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// up moves heap[i] towards the root until its parent is not greater.
+func (s *Sim) up(i int) {
+	h := s.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = e
+	e.index = i
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+// down moves heap[i] towards the leaves while a child is smaller,
+// reporting whether it moved.
+func (s *Sim) down(i int) bool {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	start := i
+	for {
+		c := i<<2 + 1 // first child
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		best := c
+		for c++; c < end; c++ {
+			if eventLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !eventLess(h[best], e) {
+			break
+		}
+		h[i] = h[best]
+		h[i].index = i
+		i = best
+	}
+	h[i] = e
+	e.index = i
+	return i != start
+}
+
+// pop removes and returns the minimum event, leaving index == -1.
+func (s *Sim) pop() *event {
+	h := s.heap
+	e := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	if n > 0 {
+		s.heap[0] = last
+		last.index = 0
+		s.down(0)
+	}
+	e.index = -1
 	return e
+}
+
+// remove deletes e from an arbitrary heap position.
+func (s *Sim) remove(e *event) {
+	i := e.index
+	h := s.heap
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	if i < n {
+		h[i] = last
+		last.index = i
+		if !s.down(i) {
+			s.up(i)
+		}
+	}
+	e.index = -1
 }

@@ -77,7 +77,7 @@ func TestStopAfterFireReturnsFalse(t *testing.T) {
 func TestStopMiddleOfHeapPreservesOthers(t *testing.T) {
 	s := New(1)
 	var got []int
-	var events []*Event
+	var events []Timer
 	for i := 0; i < 20; i++ {
 		i := i
 		events = append(events, s.After(time.Duration(i)*time.Second, func() { got = append(got, i) }))
@@ -269,7 +269,7 @@ func TestQuickCancellationInvariant(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		s := New(seed)
 		fired := map[int]int{}
-		var events []*Event
+		var events []Timer
 		cancelled := map[int]bool{}
 		n := 50 + rng.Intn(100)
 		for i := 0; i < n; i++ {
@@ -317,6 +317,219 @@ func TestPendingAndCounters(t *testing.T) {
 	}
 }
 
+// Cancel-during-dispatch: a firing event is no longer pending when its
+// own callback runs, so self-Stop reports false; stopping a *different*
+// pending event from inside a callback reports true and prevents it.
+func TestStopFromInsideFiringCallback(t *testing.T) {
+	s := New(1)
+	var self Timer
+	var selfStop, otherStop bool
+	otherFired := false
+	other := s.After(2*time.Second, func() { otherFired = true })
+	self = s.After(time.Second, func() {
+		selfStop = self.Stop()
+		otherStop = other.Stop()
+	})
+	s.Run()
+	if selfStop {
+		t.Fatal("Stop on the firing event's own handle returned true")
+	}
+	if !otherStop {
+		t.Fatal("Stop on another pending event from inside a callback returned false")
+	}
+	if otherFired {
+		t.Fatal("event stopped from inside a callback still fired")
+	}
+	if self.Stop() || other.Stop() {
+		t.Fatal("repeated Stop returned true")
+	}
+}
+
+// A handle to a recycled event must not cancel the event object's next
+// occupant: the generation count makes the stale Stop a no-op.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	s := New(1)
+	old := s.After(time.Second, func() {})
+	s.Run() // fires; the event object returns to the free list
+	fired := false
+	fresh := s.After(time.Second, func() { fired = true })
+	if old.Stop() {
+		t.Fatal("stale Stop returned true")
+	}
+	if _, ok := old.When(); ok {
+		t.Fatal("stale When reported pending")
+	}
+	if _, ok := fresh.When(); !ok {
+		t.Fatal("fresh handle not pending")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("stale Stop cancelled the recycled event's new occupant")
+	}
+}
+
+// Property: under random schedule/cancel interleavings, pops are totally
+// ordered by (deadline, seq) — equal deadlines fire in scheduling order,
+// and cancelled events are exactly the ones missing.
+func TestQuickPopOrderIsDeadlineSeq(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(seed)
+		type rec struct{ at time.Duration }
+		var handles []Timer
+		var scheduled []rec
+		var fireOrder []int
+		n := 30 + rng.Intn(120)
+		for i := 0; i < n; i++ {
+			i := i
+			// Coarse buckets force plenty of equal deadlines.
+			at := time.Duration(rng.Intn(20)) * time.Second
+			handles = append(handles, s.At(at, func() { fireOrder = append(fireOrder, i) }))
+			scheduled = append(scheduled, rec{at: at})
+		}
+		cancelled := map[int]bool{}
+		for i := range handles {
+			if rng.Intn(4) == 0 && handles[i].Stop() {
+				cancelled[i] = true
+			}
+		}
+		s.Run()
+		// Expected order: survivors sorted by (deadline, scheduling seq);
+		// scheduling order is index order here, so a stable sort by
+		// deadline is exactly (deadline, seq).
+		var want []int
+		for i := 0; i < n; i++ {
+			if !cancelled[i] {
+				want = append(want, i)
+			}
+		}
+		sort.SliceStable(want, func(a, b int) bool {
+			return scheduled[want[a]].at < scheduled[want[b]].at
+		})
+		if len(fireOrder) != len(want) {
+			return false
+		}
+		for i := range want {
+			if fireOrder[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryFiresAtExactCadence(t *testing.T) {
+	s := New(1)
+	var fires []time.Duration
+	tk := s.NewTicker(3*time.Second, func() { fires = append(fires, s.Now()) })
+	s.RunUntil(10 * time.Second)
+	want := []time.Duration{3 * time.Second, 6 * time.Second, 9 * time.Second}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+	if !tk.Stop() {
+		t.Fatal("Stop on an active ticker returned false")
+	}
+	if tk.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	s.RunUntil(30 * time.Second)
+	if len(fires) != 3 {
+		t.Fatal("stopped ticker kept firing")
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tk *Ticker
+	tk = s.NewTicker(time.Second, func() {
+		count++
+		if count == 3 {
+			if !tk.Stop() {
+				t.Error("Stop from inside the firing tick returned false")
+			}
+		}
+	})
+	s.RunUntil(20 * time.Second)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (Stop inside fn must suppress the rearm)", count)
+	}
+}
+
+func TestTickerRescheduleInsideCallbackSetsNextInterval(t *testing.T) {
+	s := New(1)
+	var fires []time.Duration
+	var tk *Ticker
+	tk = s.NewTicker(2*time.Second, func() {
+		fires = append(fires, s.Now())
+		if len(fires) == 1 {
+			tk.Reschedule(5 * time.Second) // one long gap, then back to 2s
+		}
+	})
+	s.RunUntil(12 * time.Second)
+	want := []time.Duration{2 * time.Second, 7 * time.Second, 9 * time.Second, 11 * time.Second}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerRescheduleRevivesStopped(t *testing.T) {
+	s := New(1)
+	count := 0
+	tk := s.NewTicker(time.Second, func() { count++ })
+	s.RunUntil(2 * time.Second) // 2 fires
+	tk.Stop()
+	s.RunUntil(5 * time.Second)
+	if count != 2 {
+		t.Fatalf("count = %d after Stop, want 2", count)
+	}
+	tk.Reschedule(time.Second)
+	s.RunUntil(7 * time.Second) // fires at 6s, 7s
+	if count != 4 {
+		t.Fatalf("count = %d after Reschedule revival, want 4", count)
+	}
+}
+
+// Steady-state pooling: a ticker-driven workload with one-shot AfterArg
+// events in flight must neither allocate per event nor grow the live
+// event population.
+func TestPoolReuseSteadyStateAllocFree(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	s.NewTicker(time.Second, func() { ticks++ })
+	noop := func(any) {}
+	s.AfterArg(500*time.Millisecond, noop, nil)
+	s.RunUntil(10 * time.Second) // reach steady state
+	base := s.LiveEvents()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.AfterArg(500*time.Millisecond, noop, nil)
+		s.RunFor(10 * time.Second)
+	})
+	if allocs > 0.1 {
+		t.Fatalf("steady-state ticker+one-shot workload allocates %.1f allocs/run, want ~0", allocs)
+	}
+	if s.LiveEvents() != base {
+		t.Fatalf("live events grew from %d to %d under steady-state load", base, s.LiveEvents())
+	}
+	if ticks == 0 {
+		t.Fatal("ticker never fired")
+	}
+}
+
 func BenchmarkScheduleAndFire(b *testing.B) {
 	s := New(1)
 	b.ReportAllocs()
@@ -327,4 +540,33 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 		}
 	}
 	s.Run()
+}
+
+// BenchmarkKernel is the raw event-loop baseline BENCH_4.json records:
+// a self-rescheduling spread of one-shot AfterArg events over a churning
+// heap, pure kernel cost with the free list warm. Reports ns/event and
+// allocs/event (allocs/op counts the whole loop; per-event cost is the
+// headline metric).
+func BenchmarkKernel(b *testing.B) {
+	s := New(1)
+	rng := s.NewRand("bench")
+	// 1024 self-perpetuating events keep the heap realistically deep.
+	var chain func(any)
+	chain = func(any) {
+		s.AfterArg(time.Duration(rng.Intn(1000))*time.Microsecond, chain, nil)
+	}
+	for i := 0; i < 1024; i++ {
+		chain(nil)
+	}
+	start := s.EventsFired()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	b.StopTimer()
+	fired := float64(s.EventsFired() - start)
+	if fired > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/fired, "ns/event")
+	}
 }

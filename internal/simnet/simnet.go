@@ -75,6 +75,16 @@ type Network struct {
 	ifaces   map[cnet.NodeID]*Iface
 	groups   map[string][]*Iface // kept sorted by NodeID for determinism
 	aliases  map[cnet.NodeID]cnet.NodeID
+
+	// Free lists for in-flight delivery records. Every datagram, stream
+	// message and dial handshake used to capture its state in a fresh
+	// closure handed to the kernel — at packet rate, the dominant
+	// allocation in a campaign. Delivery state now lives in recycled
+	// records dispatched through sim.AtArg, so the steady-state cost of
+	// a hop is zero allocations.
+	dgramFree  []*dgramPkt
+	streamFree []*streamPkt
+	dialFree   []*dialOp
 }
 
 // New creates an empty network.
@@ -296,14 +306,7 @@ func (i *Iface) Send(to cnet.NodeID, class cnet.Class, port string, m cnet.Messa
 		return
 	}
 	arrive := i.serialize(size) + i.net.cfg.PropDelay
-	i.net.sim.At(arrive, func() {
-		if !i.net.pathUp(i, dst, class) || dst.state != NodeUp {
-			return
-		}
-		if h := dst.dgram[port]; h != nil {
-			h(i.id, m)
-		}
-	})
+	i.net.sendDgram(arrive, i, dst, class, port, m)
 }
 
 // Multicast transmits a datagram to every group member (intra class). The
@@ -321,62 +324,140 @@ func (i *Iface) Multicast(group, port string, m cnet.Message, size int) {
 		if dst == i {
 			continue
 		}
-		dst := dst
-		i.net.sim.At(arrive, func() {
-			if !i.net.pathUp(i, dst, cnet.ClassIntra) || dst.state != NodeUp {
-				return
-			}
-			if h := dst.dgram[port]; h != nil {
-				h(i.id, m)
-			}
-		})
+		i.net.sendDgram(arrive, i, dst, cnet.ClassIntra, port, m)
 	}
+}
+
+// dgramPkt is one datagram in flight; recycled through Network.dgramFree.
+type dgramPkt struct {
+	src   *Iface
+	dst   *Iface
+	class cnet.Class
+	port  string
+	m     cnet.Message
+}
+
+func (n *Network) sendDgram(arrive time.Duration, src, dst *Iface, class cnet.Class, port string, m cnet.Message) {
+	var p *dgramPkt
+	if k := len(n.dgramFree); k > 0 {
+		p = n.dgramFree[k-1]
+		n.dgramFree = n.dgramFree[:k-1]
+	} else {
+		p = new(dgramPkt)
+	}
+	p.src, p.dst, p.class, p.port, p.m = src, dst, class, port, m
+	n.sim.AtArg(arrive, deliverDgram, p)
+}
+
+// deliverDgram is the arrival half of Send/Multicast: path and receiver
+// are re-checked at arrival time, exactly as the closure form did.
+func deliverDgram(arg any) {
+	p := arg.(*dgramPkt)
+	src, dst, class, port, m := p.src, p.dst, p.class, p.port, p.m
+	n := src.net
+	p.src, p.dst, p.m = nil, nil, nil
+	n.dgramFree = append(n.dgramFree, p)
+	if !n.pathUp(src, dst, class) || dst.state != NodeUp {
+		return
+	}
+	if h := dst.dgram[port]; h != nil {
+		h(src.id, m)
+	}
+}
+
+// dialOp carries one connection handshake through its scheduled stages;
+// recycled through Network.dialFree.
+type dialOp struct {
+	i      *Iface
+	dst    *Iface
+	class  cnet.Class
+	port   string
+	h      cnet.StreamHandlers
+	result func(cnet.Conn, error)
+	err    error // verdict delivered by dialFail
+	local  *half // verdict delivered by dialDone
+}
+
+func (n *Network) newDialOp() *dialOp {
+	if k := len(n.dialFree); k > 0 {
+		op := n.dialFree[k-1]
+		n.dialFree = n.dialFree[:k-1]
+		return op
+	}
+	return new(dialOp)
+}
+
+func (n *Network) freeDialOp(op *dialOp) {
+	*op = dialOp{}
+	n.dialFree = append(n.dialFree, op)
+}
+
+func (op *dialOp) fail(err error, after time.Duration) {
+	op.err = err
+	op.i.net.sim.AfterArg(after, dialFail, op)
+}
+
+func dialFail(arg any) {
+	op := arg.(*dialOp)
+	result, err, n := op.result, op.err, op.i.net
+	n.freeDialOp(op)
+	result(nil, err)
 }
 
 // Dial opens a stream to (to, port). See cnet.Env.Dial for semantics.
 func (i *Iface) Dial(to cnet.NodeID, class cnet.Class, port string, h cnet.StreamHandlers, result func(cnet.Conn, error)) {
-	s := i.net.sim
 	dst := i.net.resolve(to)
 	rtt := 2 * i.net.cfg.PropDelay
-	fail := func(err error, after time.Duration) {
-		s.After(after, func() { result(nil, err) })
-	}
+	op := i.net.newDialOp()
+	op.i, op.dst, op.class, op.port, op.h, op.result = i, dst, class, port, h, result
 	if i.state != NodeUp {
-		fail(cnet.ErrTimeout, i.net.cfg.SynTimeout)
+		op.fail(cnet.ErrTimeout, i.net.cfg.SynTimeout)
 		return
 	}
 	if dst == nil || !i.net.pathUp(i, dst, class) || dst.state == NodeDown || dst.state == NodeFrozen {
-		fail(cnet.ErrTimeout, i.net.cfg.SynTimeout)
+		op.fail(cnet.ErrTimeout, i.net.cfg.SynTimeout)
 		return
 	}
 	accept := dst.listeners[port]
 	if accept == nil {
-		fail(cnet.ErrRefused, rtt)
+		op.fail(cnet.ErrRefused, rtt)
 		return
 	}
 	// Handshake: completes at TCP level even if the accepting process is
 	// busy/hung. Re-check reachability at SYN arrival.
-	s.After(i.net.cfg.PropDelay, func() {
-		if dst.state == NodeDown || dst.state == NodeFrozen || !i.net.pathUp(i, dst, class) {
-			fail(cnet.ErrTimeout, i.net.cfg.SynTimeout-i.net.cfg.PropDelay)
-			return
-		}
-		acceptNow := dst.listeners[port]
-		if acceptNow == nil {
-			fail(cnet.ErrRefused, i.net.cfg.PropDelay)
-			return
-		}
-		local := &half{iface: i, class: class}
-		remote := &half{iface: dst, class: class}
-		local.peer, remote.peer = remote, local
-		i.conns = append(i.conns, local)
-		dst.conns = append(dst.conns, remote)
-		remote.h = acceptNow(remote)
-		s.After(i.net.cfg.PropDelay, func() {
-			local.h = h
-			result(local, nil)
-		})
-	})
+	i.net.sim.AfterArg(i.net.cfg.PropDelay, dialSyn, op)
+}
+
+// dialSyn is the SYN-arrival stage of Dial.
+func dialSyn(arg any) {
+	op := arg.(*dialOp)
+	i, dst, n := op.i, op.dst, op.i.net
+	if dst.state == NodeDown || dst.state == NodeFrozen || !n.pathUp(i, dst, op.class) {
+		op.fail(cnet.ErrTimeout, n.cfg.SynTimeout-n.cfg.PropDelay)
+		return
+	}
+	acceptNow := dst.listeners[op.port]
+	if acceptNow == nil {
+		op.fail(cnet.ErrRefused, n.cfg.PropDelay)
+		return
+	}
+	local := &half{iface: i, class: op.class}
+	remote := &half{iface: dst, class: op.class}
+	local.peer, remote.peer = remote, local
+	i.conns = append(i.conns, local)
+	dst.conns = append(dst.conns, remote)
+	remote.h = acceptNow(remote)
+	op.local = local
+	n.sim.AfterArg(n.cfg.PropDelay, dialDone, op)
+}
+
+// dialDone is the final ACK stage of Dial.
+func dialDone(arg any) {
+	op := arg.(*dialOp)
+	local, h, result, n := op.local, op.h, op.result, op.i.net
+	n.freeDialOp(op)
+	local.h = h
+	result(local, nil)
 }
 
 // StreamConn is the control surface the machine layer needs on simulated
@@ -442,27 +523,51 @@ func (hc *half) TrySend(m cnet.Message, size int) bool {
 	net := hc.iface.net
 	arrive := hc.iface.serialize(size) + net.cfg.PropDelay
 	p.inTransit++
-	net.sim.At(arrive, func() {
-		p.inTransit--
-		if p.closed || p.zombie || hc.closed {
-			return
-		}
-		if !net.pathUp(hc.iface, p.iface, hc.class) {
-			// Path broke while in flight; TCP would retransmit until the
-			// path heals or the connection errors. We drop: every
-			// protocol in this repo treats streams as unreliable across
-			// fault boundaries and resynchronizes on reconnect.
-			return
-		}
-		if p.paused {
-			p.buf = append(p.buf, m)
-			return
-		}
-		if p.h.OnMessage != nil {
-			p.h.OnMessage(p, m)
-		}
-	})
+	var pkt *streamPkt
+	if k := len(net.streamFree); k > 0 {
+		pkt = net.streamFree[k-1]
+		net.streamFree = net.streamFree[:k-1]
+	} else {
+		pkt = new(streamPkt)
+	}
+	pkt.from, pkt.to, pkt.m = hc, p, m
+	net.sim.AtArg(arrive, deliverStream, pkt)
 	return true
+}
+
+// streamPkt is one stream message in flight; recycled through
+// Network.streamFree.
+type streamPkt struct {
+	from *half
+	to   *half
+	m    cnet.Message
+}
+
+// deliverStream is the arrival half of TrySend.
+func deliverStream(arg any) {
+	pkt := arg.(*streamPkt)
+	hc, p, m := pkt.from, pkt.to, pkt.m
+	net := hc.iface.net
+	pkt.from, pkt.to, pkt.m = nil, nil, nil
+	net.streamFree = append(net.streamFree, pkt)
+	p.inTransit--
+	if p.closed || p.zombie || hc.closed {
+		return
+	}
+	if !net.pathUp(hc.iface, p.iface, hc.class) {
+		// Path broke while in flight; TCP would retransmit until the
+		// path heals or the connection errors. We drop: every
+		// protocol in this repo treats streams as unreliable across
+		// fault boundaries and resynchronizes on reconnect.
+		return
+	}
+	if p.paused {
+		p.buf = append(p.buf, m)
+		return
+	}
+	if p.h.OnMessage != nil {
+		p.h.OnMessage(p, m)
+	}
 }
 
 // Close implements cnet.Conn: orderly shutdown, peer sees ErrClosed.
@@ -564,11 +669,15 @@ func (hc *half) notifyWritable() {
 	}
 	p.wantWrite = false
 	net := hc.iface.net
-	net.sim.After(net.cfg.PropDelay, func() {
-		if !p.closed && p.h.OnWritable != nil {
-			p.h.OnWritable(p)
-		}
-	})
+	net.sim.AfterArg(net.cfg.PropDelay, deliverWritable, p)
+}
+
+// deliverWritable is the arrival half of notifyWritable.
+func deliverWritable(arg any) {
+	p := arg.(*half)
+	if !p.closed && p.h.OnWritable != nil {
+		p.h.OnWritable(p)
+	}
 }
 
 // Buffered returns how many stream messages wait unread at this half.

@@ -118,6 +118,9 @@ type Generator struct {
 	started time.Duration
 	next    uint64
 	rr      int
+	// reqFree recycles request records (and their once-built handler
+	// closures) so a steady-state request costs no heap allocation.
+	reqFree []*request
 }
 
 // NewGenerator attaches a client driver to the network as node id.
@@ -168,13 +171,135 @@ func (g *Generator) scheduleNext() {
 	}
 	mean := 1 / g.currentRate()
 	gap := time.Duration(g.rng.ExpFloat64() * mean * float64(time.Second))
-	g.sim.After(gap, func() {
-		if !g.running {
-			return
+	g.sim.AfterArg(gap, genNext, g)
+}
+
+// genNext is the pooled arrival tick: launch one request, rearm.
+func genNext(arg any) {
+	g := arg.(*Generator)
+	if !g.running {
+		return
+	}
+	g.launch()
+	g.scheduleNext()
+}
+
+// request carries the state of one in-flight request. Records are pooled
+// on the Generator; the handler closures are built once per record and
+// survive recycling (they only capture the record pointer). refs counts
+// the callbacks that are guaranteed to fire exactly once (connect
+// deadline, dial result, complete timeout) — when it reaches zero the
+// connection is closed, no further callback can reference the record,
+// and it returns to the pool.
+type request struct {
+	g    *Generator
+	now  time.Duration // offer time
+	id   uint64
+	doc  trace.DocID
+	done bool
+	refs int
+
+	conn            cnet.Conn
+	connectDeadline sim.Timer
+
+	h      cnet.StreamHandlers
+	onDial func(cnet.Conn, error)
+}
+
+func (g *Generator) newRequest() *request {
+	if n := len(g.reqFree); n > 0 {
+		r := g.reqFree[n-1]
+		g.reqFree[n-1] = nil
+		g.reqFree = g.reqFree[:n-1]
+		return r
+	}
+	r := &request{g: g}
+	r.h = cnet.StreamHandlers{OnMessage: r.onMessage, OnClose: r.onClose}
+	r.onDial = r.dialResult
+	return r
+}
+
+func (r *request) unref() {
+	r.refs--
+	if r.refs == 0 {
+		r.conn = nil
+		r.connectDeadline = sim.Timer{}
+		r.g.reqFree = append(r.g.reqFree, r)
+	}
+}
+
+func (r *request) fail(connectPhase bool) {
+	if r.done {
+		return
+	}
+	r.done = true
+	g := r.g
+	g.rec.Failed++
+	g.rec.Failures.Add(r.now, 1)
+	if connectPhase {
+		g.rec.ConnectFailures++
+	} else {
+		g.rec.CompleteFailures++
+	}
+	if r.conn != nil {
+		r.conn.Close()
+	}
+}
+
+func reqConnectTimeout(arg any) {
+	r := arg.(*request)
+	r.fail(true)
+	r.unref()
+}
+
+func reqCompleteTimeout(arg any) {
+	r := arg.(*request)
+	r.fail(false)
+	r.unref()
+}
+
+func (r *request) onMessage(c cnet.Conn, m cnet.Message) {
+	resp, ok := m.(server.RespMsg)
+	if !ok || r.done {
+		return
+	}
+	r.done = true
+	g := r.g
+	if resp.OK {
+		g.rec.Succeeded++
+		g.rec.Throughput.Add(g.sim.Now(), 1)
+		g.rec.latencySum += g.sim.Now() - r.now
+	} else {
+		g.rec.Failed++
+		g.rec.Failures.Add(r.now, 1)
+		g.rec.CompleteFailures++
+	}
+	c.Close()
+}
+
+func (r *request) onClose(c cnet.Conn, err error) { r.fail(false) }
+
+func (r *request) dialResult(c cnet.Conn, err error) {
+	if r.done {
+		if c != nil {
+			c.Close()
 		}
-		g.launch()
-		g.scheduleNext()
-	})
+		r.unref()
+		return
+	}
+	if r.connectDeadline.Stop() {
+		r.unref()
+	}
+	if err != nil {
+		r.fail(true)
+		r.unref()
+		return
+	}
+	r.conn = c
+	c.TrySend(server.ReqMsg{ID: r.id, Doc: r.doc}, 256)
+	r.refs++
+	r.g.sim.AfterArg(r.g.cfg.CompleteTimeout, reqCompleteTimeout, r)
+	r.unref()
 }
 
 // launch issues one request with the paper's timeout discipline.
@@ -183,67 +308,16 @@ func (g *Generator) launch() {
 	g.rec.Offered++
 	g.rec.Offers.Add(now, 1)
 	g.next++
-	id := g.next
-	doc := g.cfg.Catalog.Sample(g.rng)
 	target := g.cfg.Targets[g.rr%len(g.cfg.Targets)]
 	g.rr++
 
-	done := false
-	var conn cnet.Conn
-	fail := func(connectPhase bool) {
-		if done {
-			return
-		}
-		done = true
-		g.rec.Failed++
-		g.rec.Failures.Add(now, 1)
-		if connectPhase {
-			g.rec.ConnectFailures++
-		} else {
-			g.rec.CompleteFailures++
-		}
-		if conn != nil {
-			conn.Close()
-		}
-	}
+	r := g.newRequest()
+	r.now = now
+	r.id = g.next
+	r.doc = g.cfg.Catalog.Sample(g.rng)
+	r.done = false
+	r.refs = 2 // connect deadline + dial result
 
-	connectDeadline := g.sim.After(g.cfg.ConnectTimeout, func() { fail(true) })
-
-	h := cnet.StreamHandlers{
-		OnMessage: func(c cnet.Conn, m cnet.Message) {
-			resp, ok := m.(server.RespMsg)
-			if !ok || done {
-				return
-			}
-			done = true
-			if resp.OK {
-				g.rec.Succeeded++
-				g.rec.Throughput.Add(g.sim.Now(), 1)
-				g.rec.latencySum += g.sim.Now() - now
-			} else {
-				g.rec.Failed++
-				g.rec.Failures.Add(now, 1)
-				g.rec.CompleteFailures++
-			}
-			c.Close()
-		},
-		OnClose: func(c cnet.Conn, err error) { fail(false) },
-	}
-
-	g.iface.Dial(target, cnet.ClassClient, server.PortHTTP, h, func(c cnet.Conn, err error) {
-		if done {
-			if c != nil {
-				c.Close()
-			}
-			return
-		}
-		connectDeadline.Stop()
-		if err != nil {
-			fail(true)
-			return
-		}
-		conn = c
-		c.TrySend(server.ReqMsg{ID: id, Doc: doc}, 256)
-		g.sim.After(g.cfg.CompleteTimeout, func() { fail(false) })
-	})
+	r.connectDeadline = g.sim.AfterArg(g.cfg.ConnectTimeout, reqConnectTimeout, r)
+	g.iface.Dial(target, cnet.ClassClient, server.PortHTTP, r.h, r.onDial)
 }

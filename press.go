@@ -12,10 +12,11 @@
 // package re-exports the handful of types and entry points a downstream
 // user needs:
 //
-//   - Build a simulated cluster of any studied version and drive it:
-//     BuildCluster, Version constants, Options.
-//   - Run fault-injection episodes and whole campaigns: RunEpisode,
-//     RunCampaign, EpisodeSchedule.
+//   - Build an experiment handle over any studied version and drive it:
+//     New (with WithVersion / WithSeed / WithWorkers options), Version
+//     constants, Options, the built Deployment.
+//   - Run fault-injection episodes and whole campaigns on the handle:
+//     Cluster.RunEpisode, Cluster.RunCampaign, EpisodeSchedule.
 //   - Quantify: Template, FaultLoad, ModelAvailability, scaling and
 //     redundancy transforms.
 //   - Regenerate the paper's tables and figures: NewFigures.
@@ -54,8 +55,10 @@ const (
 // Options parameterizes an experiment world.
 type Options = harness.Options
 
-// Cluster is a built simulated deployment.
-type Cluster = harness.Cluster
+// Deployment is a built simulated deployment: the sim, the machines, the
+// workload generator and the injector, ready to drive. (This type was
+// previously exported as Cluster; Cluster is now the experiment handle.)
+type Deployment = harness.Cluster
 
 // EpisodeSchedule controls a fault-injection episode.
 type EpisodeSchedule = harness.EpisodeSchedule
@@ -99,19 +102,119 @@ type ModelEnv = avail.Env
 // ModelResult is the phase-2 model output (AT, AA, unavailability).
 type ModelResult = avail.Result
 
+// Cluster is the root experiment handle: one studied version, one set of
+// world options, and a private experiment engine (worker pool + memo
+// tables). Two Clusters share nothing — each caches its own episodes,
+// campaigns and saturation probes and bounds its own simulator
+// concurrency — so a library user can run independent experiments with
+// independent lifetimes, something the package-level entry points (which
+// share one process-wide default engine) cannot offer.
+//
+//	c := press.New(press.WithVersion(press.FME), press.WithSeed(7), press.WithWorkers(4))
+//	camp, err := c.RunCampaign(press.FastSchedule())
+type Cluster struct {
+	v   Version
+	o   Options
+	eng *harness.Engine
+}
+
+// Option configures a Cluster handle at construction.
+type Option func(*clusterConfig)
+
+// clusterConfig collects construction parameters before the engine is
+// built, so options compose in any order.
+type clusterConfig struct {
+	v       Version
+	o       Options
+	workers int
+}
+
+// WithVersion selects the studied server configuration (default COOP).
+func WithVersion(v Version) Option { return func(c *clusterConfig) { c.v = v } }
+
+// WithSeed sets the master seed of the deterministic world (default 1).
+func WithSeed(s int64) Option { return func(c *clusterConfig) { c.o.Seed = s } }
+
+// WithWorkers bounds how many simulators this handle's private engine
+// runs concurrently (default GOMAXPROCS; 1 forces serial execution).
+func WithWorkers(n int) Option { return func(c *clusterConfig) { c.workers = n } }
+
+// WithOptions replaces the full option set (composes with WithSeed and
+// friends applied after it).
+func WithOptions(o Options) Option { return func(c *clusterConfig) { c.o = o } }
+
+// New builds an experiment handle with its own engine and caches.
+func New(opts ...Option) *Cluster {
+	cfg := clusterConfig{v: COOP, o: Options{Seed: 1}}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Cluster{v: cfg.v, o: cfg.o, eng: harness.NewEngine(cfg.workers)}
+}
+
+// Version returns the handle's studied configuration.
+func (c *Cluster) Version() Version { return c.v }
+
+// Options returns the handle's world options.
+func (c *Cluster) Options() Options { return c.o }
+
+// Workers returns the handle engine's concurrency bound.
+func (c *Cluster) Workers() int { return c.eng.Workers() }
+
+// SetWorkers rebounds the handle engine's concurrency and returns the
+// previous bound. Results never depend on it; wall-clock does.
+func (c *Cluster) SetWorkers(n int) int { return c.eng.SetWorkers(n) }
+
+// ResetCaches drops the handle's memoized episodes, campaigns and
+// saturation probes. Results are deterministic, so this only matters for
+// measuring real simulation work (benchmarks).
+func (c *Cluster) ResetCaches() { c.eng.ResetMemos() }
+
+// Build assembles the simulated deployment; drive it via its Sim, Gen
+// and Injector fields. The 90%-of-saturation load resolution is memoized
+// on the handle's engine.
+func (c *Cluster) Build() *Deployment { return c.eng.Build(c.v, c.o) }
+
+// Saturation measures (memoized on the handle) the maximum throughput.
+func (c *Cluster) Saturation() float64 { return c.eng.Saturation(c.v, c.o) }
+
+// RunEpisode performs one single-fault phase-1 measurement.
+func (c *Cluster) RunEpisode(f FaultType, component int, s EpisodeSchedule) (Episode, error) {
+	return c.eng.RunEpisode(c.v, c.o, f, component, s)
+}
+
+// RunCampaign measures the full Table 1 fault load.
+func (c *Cluster) RunCampaign(s EpisodeSchedule) (CampaignResult, error) {
+	return c.eng.Campaign(c.v, c.o, s)
+}
+
+// --- deprecated package-level entry points --------------------------------
+//
+// These predate the Cluster handle and delegate to the process-wide
+// default engine; existing callers keep working unchanged. New code
+// should construct a handle with New.
+
 // BuildCluster assembles a simulated deployment of the given version.
 // Drive it via its Sim, Gen and Injector fields.
-func BuildCluster(v Version, o Options) *Cluster { return harness.Build(v, o) }
+//
+// Deprecated: use New(WithVersion(v), WithOptions(o)).Build().
+func BuildCluster(v Version, o Options) *Deployment { return harness.Build(v, o) }
 
 // Saturation measures (memoized) the version's maximum throughput.
+//
+// Deprecated: use the Cluster handle's Saturation.
 func Saturation(v Version, o Options) float64 { return harness.Saturation(v, o) }
 
 // RunEpisode performs one single-fault phase-1 measurement.
+//
+// Deprecated: use the Cluster handle's RunEpisode.
 func RunEpisode(v Version, o Options, f FaultType, component int, s EpisodeSchedule) (Episode, error) {
 	return harness.RunEpisode(v, o, f, component, s)
 }
 
 // RunCampaign measures the full Table 1 fault load for a version.
+//
+// Deprecated: use the Cluster handle's RunCampaign.
 func RunCampaign(v Version, o Options, s EpisodeSchedule) (CampaignResult, error) {
 	return harness.Campaign(v, o, s)
 }
@@ -163,18 +266,27 @@ func RunStochastic(v Version, o Options, s EpisodeSchedule, cfg StochasticConfig
 	return harness.StochasticRun(v, o, s, cfg)
 }
 
-// SetWorkers bounds how many simulators the experiment engine runs
-// concurrently (default GOMAXPROCS; 1 forces fully serial execution).
-// It returns the previous bound. Episodes are deterministic functions of
-// their parameters, so the bound affects wall-clock only, never results.
+// SetWorkers bounds how many simulators the default experiment engine
+// runs concurrently (default GOMAXPROCS; 1 forces fully serial
+// execution). It returns the previous bound. Episodes are deterministic
+// functions of their parameters, so the bound affects wall-clock only,
+// never results.
+//
+// Deprecated: use New(WithWorkers(n)) for an independent bound.
 func SetWorkers(n int) int { return harness.SetWorkers(n) }
 
-// Workers returns the engine's current concurrency bound.
+// Workers returns the default engine's current concurrency bound.
+//
+// Deprecated: use the Cluster handle's Workers.
 func Workers() int { return harness.Workers() }
 
-// ResetCaches drops every memoized episode, campaign, saturation and
-// chaos-run result. Results are deterministic, so this is never needed
-// for correctness; benchmarks use it to measure real simulation work.
+// ResetCaches drops every default-engine memoized episode, campaign and
+// saturation result, plus the chaos-run memo. Results are deterministic,
+// so this is never needed for correctness; benchmarks use it to measure
+// real simulation work.
+//
+// Deprecated: use the Cluster handle's ResetCaches for handle-scoped
+// caches.
 func ResetCaches() {
 	harness.ResetMemos()
 	chaos.ResetMemo()

@@ -1,0 +1,56 @@
+package press_test
+
+import (
+	"testing"
+
+	"press"
+)
+
+// TestClusterHandleOptions checks that the functional options reach the
+// handle and that its engine bound is instance-scoped.
+func TestClusterHandleOptions(t *testing.T) {
+	c := press.New(press.WithVersion(press.FME), press.WithSeed(7), press.WithWorkers(3))
+	if got := c.Version(); got != press.FME {
+		t.Fatalf("Version() = %v, want FME", got)
+	}
+	if got := c.Options().Seed; got != 7 {
+		t.Fatalf("Options().Seed = %d, want 7", got)
+	}
+	if got := c.Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+	if prev := c.SetWorkers(1); prev != 3 {
+		t.Fatalf("SetWorkers(1) returned %d, want previous bound 3", prev)
+	}
+	if got := c.Workers(); got != 1 {
+		t.Fatalf("Workers() after SetWorkers(1) = %d, want 1", got)
+	}
+}
+
+// TestClusterWorkersIndependent checks two handles (and the deprecated
+// package-level default engine) do not share their concurrency bound.
+func TestClusterWorkersIndependent(t *testing.T) {
+	a := press.New(press.WithWorkers(2))
+	b := press.New(press.WithWorkers(5))
+	prev := press.SetWorkers(4)
+	defer press.SetWorkers(prev)
+	if a.Workers() != 2 || b.Workers() != 5 {
+		t.Fatalf("handle bounds leaked: a=%d b=%d", a.Workers(), b.Workers())
+	}
+	if press.Workers() != 4 {
+		t.Fatalf("default engine bound = %d, want 4", press.Workers())
+	}
+}
+
+// TestWithOptionsComposition checks WithOptions composes with later
+// option functions.
+func TestWithOptionsComposition(t *testing.T) {
+	o := press.FastOptions(3)
+	c := press.New(press.WithOptions(o), press.WithSeed(9))
+	if got := c.Options().Seed; got != 9 {
+		t.Fatalf("Options().Seed = %d, want 9 (WithSeed after WithOptions)", got)
+	}
+	if got := c.Options().Docs; got != o.Docs {
+		t.Fatalf("Options().Docs = %d, want %d from WithOptions", got, o.Docs)
+	}
+}
