@@ -88,7 +88,7 @@ func main() {
 		loop = func() {
 			h := cnet.StreamHandlers{
 				OnMessage: func(c cnet.Conn, m cnet.Message) {
-					if r, isResp := m.(server.RespMsg); isResp {
+					if r, isResp := m.(*server.RespMsg); isResp {
 						if r.OK {
 							bump(ok)
 						} else {
@@ -103,19 +103,23 @@ func main() {
 					bump(fail)
 					return
 				}
-				c.TrySend(server.ReqMsg{Doc: cat.Sample(rng)}, 256)
+				c.TrySend(&server.ReqMsg{Doc: cat.Sample(rng)}, 256)
 			})
 			env.Clock().AfterFunc(period, loop)
 		}
 		loop()
 	})
 
-	// Stream interesting events as they arrive.
+	// Stream interesting events as they arrive: the cursor picks up where
+	// it left off on each poll instead of re-snapshotting the whole log.
 	go func() {
-		seen := 0
+		cur := w.Log().Cursor()
 		for {
-			events := w.Log().All()
-			for _, e := range events[seen:] {
+			for {
+				e, ok := cur.Next()
+				if !ok {
+					break
+				}
 				switch e.Kind {
 				case metrics.EvDetect, metrics.EvExclude, metrics.EvInclude,
 					metrics.EvFrontendMask, metrics.EvFrontendUnmask,
@@ -123,7 +127,6 @@ func main() {
 					fmt.Println(e)
 				}
 			}
-			seen = len(events)
 			time.Sleep(200 * time.Millisecond)
 		}
 	}()

@@ -11,9 +11,11 @@ import (
 	"press/internal/sim"
 )
 
-// benchReport is the BENCH_4.json schema: the repo's standing performance
+// benchReport is the BENCH_5.json schema: the repo's standing performance
 // baseline, written by `reproduce -bench` and archived by the bench-smoke
-// CI job so kernel regressions show up as a diffable artifact.
+// CI job so kernel regressions show up as a diffable artifact. When the
+// prior baseline (-bench-base) is readable, a vs_base block records the
+// improvement ratios against it.
 type benchReport struct {
 	Schema    string `json:"schema"`
 	Generated string `json:"generated"`
@@ -23,10 +25,10 @@ type benchReport struct {
 	// Kernel is the raw event-loop microbenchmark: a saturated chain of
 	// pooled timer events with no model code attached.
 	Kernel struct {
-		Events        uint64  `json:"events"`
-		EventsPerSec  float64 `json:"events_per_sec"`
+		Events         uint64  `json:"events"`
+		EventsPerSec   float64 `json:"events_per_sec"`
 		AllocsPerEvent float64 `json:"allocs_per_event"`
-		HeapHighWater int     `json:"event_heap_high_water"`
+		HeapHighWater  int     `json:"event_heap_high_water"`
 	} `json:"kernel"`
 
 	// Episode drives one full COOP deployment (build, ramp, steady
@@ -48,6 +50,51 @@ type benchReport struct {
 		WallSeconds float64 `json:"wall_seconds"`
 		Episodes    int     `json:"episodes"`
 	} `json:"campaign"`
+
+	// VsBase compares this run against the previous checked-in baseline
+	// (nil when the base file is absent or unreadable).
+	VsBase *benchComparison `json:"vs_base,omitempty"`
+}
+
+// benchComparison is the improvement summary against a prior baseline:
+// ratios >1 mean faster (throughput) or <1 mean leaner (allocations).
+type benchComparison struct {
+	BaseSchema            string  `json:"base_schema"`
+	BaseGenerated         string  `json:"base_generated"`
+	EpisodeSpeedup        float64 `json:"episode_events_per_sec_ratio"`
+	EpisodeAllocRatio     float64 `json:"episode_allocs_per_event_ratio"`
+	KernelSpeedup         float64 `json:"kernel_events_per_sec_ratio"`
+	CampaignWallRatio     float64 `json:"campaign_wall_seconds_ratio"`
+	EpisodeHeapInuseRatio float64 `json:"episode_heap_inuse_ratio"`
+}
+
+// compareBase loads the prior baseline and computes the ratio block.
+// Any error (missing file, unparsable JSON, zero denominators) simply
+// yields nil: the comparison is advisory, never a failure.
+func compareBase(rep *benchReport, basePath string) *benchComparison {
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		return nil
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil
+	}
+	ratio := func(cur, old float64) float64 {
+		if old == 0 {
+			return 0
+		}
+		return cur / old
+	}
+	return &benchComparison{
+		BaseSchema:            base.Schema,
+		BaseGenerated:         base.Generated,
+		EpisodeSpeedup:        ratio(rep.Episode.EventsPerSec, base.Episode.EventsPerSec),
+		EpisodeAllocRatio:     ratio(rep.Episode.AllocsPerEvent, base.Episode.AllocsPerEvent),
+		KernelSpeedup:         ratio(rep.Kernel.EventsPerSec, base.Kernel.EventsPerSec),
+		CampaignWallRatio:     ratio(rep.Campaign.WallSeconds, base.Campaign.WallSeconds),
+		EpisodeHeapInuseRatio: ratio(float64(rep.Episode.HeapInuseBytes), float64(base.Episode.HeapInuseBytes)),
+	}
 }
 
 // benchKernel runs the event-loop microbenchmark: nChains concurrent
@@ -140,9 +187,9 @@ func benchCampaign(rep *benchReport, fast bool, seed int64) error {
 
 // runBench executes the -bench mode: measure, print a summary, write the
 // JSON baseline. Returns the process exit code.
-func runBench(fast bool, seed int64, out string) int {
+func runBench(fast bool, seed int64, out, basePath string) int {
 	rep := &benchReport{
-		Schema:    "press-bench/4",
+		Schema:    "press-bench/5",
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Fast:      fast,
 		Seed:      seed,
@@ -164,6 +211,12 @@ func runBench(fast bool, seed int64, out string) int {
 		return 1
 	}
 	fmt.Printf("  %d episodes in %.2fs\n", rep.Campaign.Episodes, rep.Campaign.WallSeconds)
+
+	if cmp := compareBase(rep, basePath); cmp != nil {
+		rep.VsBase = cmp
+		fmt.Printf("  vs %s: episode %.2fx events/s, %.2fx allocs/event, campaign %.2fx wall\n",
+			cmp.BaseSchema, cmp.EpisodeSpeedup, cmp.EpisodeAllocRatio, cmp.CampaignWallRatio)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -7,7 +7,11 @@
 //	reproduce [-fig all|1a|1b|2|4|6|7|8|9a|9b|10|t1|t2] [-fast] [-seed N] [-o file] [-workers N]
 //	reproduce -chaos [-seeds N] [-version FME] [-shrink] [-repro-dir dir] [-fast]
 //	reproduce -chaos-replay file.json
-//	reproduce -bench [-bench-out BENCH_4.json] [-fast]
+//	reproduce -bench [-bench-out BENCH_5.json] [-bench-base BENCH_4.json] [-fast]
+//
+// Any mode accepts -cpuprofile/-memprofile/-trace to capture a pprof CPU
+// profile, a pprof allocation profile, or a runtime execution trace of
+// the run (go tool pprof / go tool trace read them).
 //
 // -fast runs the reduced-scale profile (quarter-size document set and
 // caches, shorter windows); the full profile is the paper-faithful one
@@ -48,21 +52,35 @@ func main() {
 	reproDir := flag.String("repro-dir", ".", "chaos: directory for violation repro files")
 	replay := flag.String("chaos-replay", "", "replay a chaos repro file and exit")
 	bench := flag.Bool("bench", false, "run the kernel/episode/campaign benchmark and write a JSON baseline")
-	benchOut := flag.String("bench-out", "BENCH_4.json", "bench: output path for the JSON baseline")
+	benchOut := flag.String("bench-out", "BENCH_5.json", "bench: output path for the JSON baseline")
+	benchBase := flag.String("bench-base", "BENCH_4.json", "bench: prior baseline to embed a comparison against (absent file = no comparison)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	traceFlag := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	stopProf, err := startProfiling(*cpuprofile, *memprofile, *traceFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
 
 	if *workers > 0 {
 		press.SetWorkers(*workers)
 	}
 
 	if *replay != "" {
-		os.Exit(replayRepro(*replay))
+		exit(replayRepro(*replay))
 	}
 	if *bench {
-		os.Exit(runBench(*fast, *seed, *benchOut))
+		exit(runBench(*fast, *seed, *benchOut, *benchBase))
 	}
 	if *chaosMode {
-		os.Exit(runChaosCampaign(press.Version(*version), *seeds, *fast, *seed, *shrink, *reproDir))
+		exit(runChaosCampaign(press.Version(*version), *seeds, *fast, *seed, *shrink, *reproDir))
 	}
 
 	var o press.Options
@@ -133,6 +151,7 @@ func main() {
 		emit(tab.String())
 		emit(fmt.Sprintf("(generated in %.1fs)\n\n", time.Since(start).Seconds()))
 	}
+	stopProf()
 }
 
 // runChaosCampaign executes the -chaos mode and returns the exit code:

@@ -97,7 +97,7 @@ func main() {
 			doc := cat.Sample(rng)
 			h := cnet.StreamHandlers{
 				OnMessage: func(c cnet.Conn, m cnet.Message) {
-					if resp, ok := m.(server.RespMsg); ok {
+					if resp, ok := m.(*server.RespMsg); ok {
 						t := <-counts
 						if resp.OK {
 							t.ok++
@@ -117,7 +117,7 @@ func main() {
 					counts <- t
 					return
 				}
-				c.TrySend(server.ReqMsg{Doc: doc}, 256)
+				c.TrySend(&server.ReqMsg{Doc: doc}, 256)
 			})
 			env.Clock().AfterFunc(reqPeriod, loop)
 		}

@@ -83,10 +83,10 @@ func TestScheduleValidate(t *testing.T) {
 			{At: 0, Fault: faults.NodeCrash, Component: 1, Duration: 30 * time.Second},
 			{At: 20 * time.Second, Fault: faults.NodeCrash, Component: 1, Duration: 30 * time.Second},
 		},
-		"zero duration":    {{At: 0, Fault: faults.NodeCrash, Component: 1}},
-		"negative offset":  {{At: -time.Second, Fault: faults.NodeCrash, Component: 1, Duration: time.Second}},
-		"one-sided flap":   {{At: 0, Fault: faults.LinkDown, Component: 1, Duration: 30 * time.Second, FlapOn: time.Second}},
-		"unknown fault":    {{At: 0, Fault: faults.Type(99), Component: 1, Duration: time.Second}},
+		"zero duration":   {{At: 0, Fault: faults.NodeCrash, Component: 1}},
+		"negative offset": {{At: -time.Second, Fault: faults.NodeCrash, Component: 1, Duration: time.Second}},
+		"one-sided flap":  {{At: 0, Fault: faults.LinkDown, Component: 1, Duration: 30 * time.Second, FlapOn: time.Second}},
+		"unknown fault":   {{At: 0, Fault: faults.Type(99), Component: 1, Duration: time.Second}},
 	}
 	for name, s := range cases {
 		if err := s.Validate(); err == nil {

@@ -114,7 +114,11 @@ func (r Result) Serialize() []byte {
 		r.Nodes, r.LiveNodes, r.ViewSizes, r.SendQueueMax, r.ActiveFaults)
 	fmt.Fprintf(&b, "fme actions=%d misses=%v\n", r.FMEActions, r.FMEMisses)
 	fmt.Fprintf(&b, "series %v\n", r.Series.Buckets())
-	for _, e := range r.Log.All() {
+	for c := r.Log.Cursor(); ; {
+		e, ok := c.Next()
+		if !ok {
+			break
+		}
 		fmt.Fprintf(&b, "event %s\n", e)
 	}
 	return b.Bytes()

@@ -158,3 +158,28 @@ type Env interface {
 	// callback returns the handlers to attach.
 	Listen(port string, accept func(c Conn) StreamHandlers)
 }
+
+// MsgPool recycles pointer messages of one concrete type, so the protocol
+// hot path re-sends the same handful of records instead of boxing a fresh
+// struct into the Message interface per send. It is deliberately NOT
+// thread-safe: in simulation every sender/receiver pair sharing a pool
+// runs on the same single-threaded world loop, and over a real network
+// (livenet) the receiver's copy is a fresh gob decode whose unexported
+// home pointer is nil — its Release is a no-op, so the pool never sees a
+// cross-thread Put.
+type MsgPool[T any] struct{ free []*T }
+
+// Get pops a recycled record or allocates a new one. Records arrive
+// zeroed: each type's Release resets every exported field before Put.
+func (p *MsgPool[T]) Get() *T {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		return m
+	}
+	return new(T)
+}
+
+// Put returns a record to the pool. Callers (the typed Release methods)
+// zero the record's payload fields first.
+func (p *MsgPool[T]) Put(m *T) { p.free = append(p.free, m) }

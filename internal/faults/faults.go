@@ -234,14 +234,14 @@ func (a *Active) Repair() error {
 		// A flap caught in its off phase: the effect is already off, but
 		// the fault as a whole ends here — record that for the log's
 		// inject/repair pairing.
-		a.in.emit(metrics.EvFaultRepair, a.Component, a.Type.String()+"/flap-idle")
+		a.in.emit(metrics.KFaultRepair, a.Component, a.Type.String()+"/flap-idle")
 	}
 	return nil
 }
 
-func (in *Injector) emit(kind string, component int, detail string) {
+func (in *Injector) emit(kind metrics.KindID, component int, detail string) {
 	if in.log != nil {
-		in.log.Emit(in.sim.Now(), "injector", kind, component, detail)
+		in.log.EmitID(in.sim.Now(), metrics.SrcInjector, kind, component, detail)
 	}
 }
 
@@ -356,7 +356,7 @@ func (a *Active) apply() {
 	default:
 		panic(fmt.Sprintf("faults: unknown type %v", t))
 	}
-	in.emit(metrics.EvFaultInject, c, a.detail())
+	in.emit(metrics.KFaultInject, c, a.detail())
 }
 
 // unapply reverses the current application.
@@ -364,7 +364,7 @@ func (a *Active) unapply() {
 	undo := a.undo
 	a.undo = nil
 	undo()
-	a.in.emit(metrics.EvFaultRepair, a.Component, a.detail())
+	a.in.emit(metrics.KFaultRepair, a.Component, a.detail())
 }
 
 func (a *Active) detail() string {

@@ -75,6 +75,7 @@ func (c Config) withDefaults() Config {
 // Daemon is one node's FME process.
 type Daemon struct {
 	cfg  Config
+	src  metrics.SourceID // interned "fme/<self>" tag
 	env  cnet.Env
 	disk Disk
 	ctl  Control
@@ -93,6 +94,7 @@ type Daemon struct {
 // NewDaemon starts the FME daemon.
 func NewDaemon(cfg Config, env cnet.Env, disk Disk, ctl Control) *Daemon {
 	d := &Daemon{cfg: cfg.withDefaults(), env: env, disk: disk, ctl: ctl}
+	d.src = metrics.InternSource(fmt.Sprintf("fme/%d", d.cfg.Self))
 	d.probeT = d.env.Clock().Every(d.cfg.ProbePeriod, d.tick)
 	return d
 }
@@ -101,8 +103,7 @@ func NewDaemon(cfg Config, env cnet.Env, disk Disk, ctl Control) *Daemon {
 func (d *Daemon) Actions() uint64 { return d.actions }
 
 func (d *Daemon) emit(detail string) {
-	d.env.Events().Emit(d.env.Clock().Now(), fmt.Sprintf("fme/%d", d.cfg.Self),
-		metrics.EvFMEAction, int(d.cfg.Self), detail)
+	d.env.Events().EmitID(d.env.Clock().Now(), d.src, metrics.KFMEAction, int(d.cfg.Self), detail)
 }
 
 // appProbeResult classifies one HTTP probe.
@@ -159,7 +160,8 @@ func (d *Daemon) probeApp(done func(appProbeResult)) {
 	})
 	h := cnet.StreamHandlers{
 		OnMessage: func(c cnet.Conn, m cnet.Message) {
-			if resp, ok := m.(server.RespMsg); ok && resp.Probe {
+			if resp, ok := m.(*server.RespMsg); ok && resp.Probe {
+				resp.Release()
 				c.Close()
 				finish(appResponsive)
 			}
@@ -180,7 +182,7 @@ func (d *Daemon) probeApp(done func(appProbeResult)) {
 			return
 		}
 		conn = c
-		c.TrySend(server.ReqMsg{ID: d.probeSeq, Probe: true}, 64)
+		c.TrySend(&server.ReqMsg{ID: d.probeSeq, Probe: true}, 64)
 	})
 }
 

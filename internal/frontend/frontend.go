@@ -132,8 +132,8 @@ func (f *Frontend) Healthy() []cnet.NodeID {
 // Relayed returns the number of requests forwarded.
 func (f *Frontend) Relayed() uint64 { return f.relayed }
 
-func (f *Frontend) emit(kind string, node cnet.NodeID, detail string) {
-	f.env.Events().Emit(f.env.Clock().Now(), "frontend", kind, int(node), detail)
+func (f *Frontend) emit(kind metrics.KindID, node cnet.NodeID, detail string) {
+	f.env.Events().EmitID(f.env.Clock().Now(), metrics.SrcFrontend, kind, int(node), detail)
 }
 
 func (f *Frontend) setDown(n cnet.NodeID, field *bool, down bool, why string) {
@@ -143,10 +143,10 @@ func (f *Frontend) setDown(n cnet.NodeID, field *bool, down bool, why string) {
 	nowHealthy := b.healthy()
 	switch {
 	case wasHealthy && !nowHealthy:
-		f.emit(metrics.EvFrontendMask, n, why)
-		f.emit(metrics.EvDetect, n, "frontend: "+why)
+		f.emit(metrics.KFrontendMask, n, why)
+		f.emit(metrics.KDetect, n, "frontend: "+why)
 	case !wasHealthy && nowHealthy:
-		f.emit(metrics.EvFrontendUnmask, n, why)
+		f.emit(metrics.KFrontendUnmask, n, why)
 	}
 }
 
@@ -179,7 +179,7 @@ func (f *Frontend) acceptClient(client cnet.Conn) cnet.StreamHandlers {
 	}
 	return cnet.StreamHandlers{
 		OnMessage: func(c cnet.Conn, m cnet.Message) {
-			req, ok := m.(server.ReqMsg)
+			req, ok := m.(*server.ReqMsg)
 			if !ok {
 				return
 			}
@@ -192,8 +192,10 @@ func (f *Frontend) acceptClient(client cnet.Conn) cnet.StreamHandlers {
 			f.relayed++
 			bh := cnet.StreamHandlers{
 				OnMessage: func(bc cnet.Conn, bm cnet.Message) {
-					// Relay the response and tear the pair down.
-					if resp, ok := bm.(server.RespMsg); ok {
+					// Relay the response and tear the pair down. The record
+					// is passed through unreleased: the client is the final
+					// consumer.
+					if resp, ok := bm.(*server.RespMsg); ok {
 						size := 128
 						if resp.OK {
 							size += 27 * 1024
@@ -293,8 +295,13 @@ func (f *Frontend) probeBackend(n cnet.NodeID) {
 	f.env.Clock().AfterFunc(f.cfg.ConnDeadline, fail)
 	h := cnet.StreamHandlers{
 		OnMessage: func(c cnet.Conn, m cnet.Message) {
-			resp, ok := m.(server.RespMsg)
-			if !ok || !resp.Probe || finished {
+			resp, ok := m.(*server.RespMsg)
+			if !ok {
+				return
+			}
+			isProbe, view := resp.Probe, resp.View
+			resp.Release() // the View slice itself is never recycled
+			if !isProbe || finished {
 				return
 			}
 			finished = true
@@ -302,7 +309,7 @@ func (f *Frontend) probeBackend(n cnet.NodeID) {
 			if b.connDown {
 				f.setDown(n, &b.connDown, false, "connection probe restored")
 			}
-			b.lastView = resp.View
+			b.lastView = view
 			f.refreshIsolation()
 		},
 		OnClose: func(c cnet.Conn, err error) { fail() },
@@ -320,7 +327,7 @@ func (f *Frontend) probeBackend(n cnet.NodeID) {
 		}
 		conn = c
 		f.probeSeq++
-		c.TrySend(server.ReqMsg{ID: f.probeSeq, Probe: true}, 64)
+		c.TrySend(&server.ReqMsg{ID: f.probeSeq, Probe: true}, 64)
 	})
 }
 

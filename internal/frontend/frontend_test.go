@@ -219,8 +219,8 @@ func sfmeBackend(s *sim.Sim, net *simnet.Network, m *machine.Machine, view *[]cn
 	m.AddProc("fake", func(env *machine.Env) {
 		env.Listen(server.PortHTTP, func(c cnet.Conn) cnet.StreamHandlers {
 			return cnet.StreamHandlers{OnMessage: func(c cnet.Conn, msg cnet.Message) {
-				if req, ok := msg.(server.ReqMsg); ok && req.Probe {
-					c.TrySend(server.RespMsg{ID: req.ID, OK: true, Probe: true, View: *view}, 128)
+				if req, ok := msg.(*server.ReqMsg); ok && req.Probe {
+					c.TrySend(&server.RespMsg{ID: req.ID, OK: true, Probe: true, View: *view}, 128)
 				}
 			}}
 		})

@@ -1,7 +1,6 @@
 package frontend
 
 import (
-	"fmt"
 	"time"
 
 	"press/internal/clock"
@@ -90,8 +89,9 @@ func (s *Standby) tick() {
 		s.misses++
 		if s.misses >= s.cfg.HBMiss {
 			s.active = true
-			s.env.Events().Emit(s.env.Clock().Now(), "fe-standby", metrics.EvDetect,
-				int(s.cfg.Primary), fmt.Sprintf("primary missed %d heartbeats", s.misses))
+			s.env.Events().EmitInt(s.env.Clock().Now(), metrics.InternSource("fe-standby"),
+				metrics.InternKind(metrics.EvDetect),
+				int(s.cfg.Primary), "primary missed %d heartbeats", int64(s.misses))
 			s.env.Events().Emit(s.env.Clock().Now(), "fe-standby", "fe.takeover",
 				int(s.cfg.Self), "IP takeover")
 			s.ctl.Takeover()

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"bytes"
-	"fmt"
 	"testing"
 	"time"
 
@@ -56,26 +55,6 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
-// serializeCampaign renders every number a campaign produces — loads,
-// templates, stage markers, throughput series, event logs — into one
-// deterministic byte stream for replay comparison.
-func serializeCampaign(r CampaignResult) []byte {
-	var b bytes.Buffer
-	fmt.Fprintf(&b, "campaign %s normal=%v offered=%v\n", r.Version, r.Normal, r.Offered)
-	for i, l := range r.Loads {
-		fmt.Fprintf(&b, "load %d %+v\n", i, l)
-	}
-	for i, ep := range r.Eps {
-		fmt.Fprintf(&b, "episode %d %s comp=%d markers=%+v tpl=%+v normal=%v offered=%v\n",
-			i, ep.Fault, ep.Component, ep.Markers, ep.Tpl, ep.Normal, ep.Offered)
-		fmt.Fprintf(&b, "series %v\n", ep.Series.Buckets())
-		for _, e := range ep.Log.All() {
-			fmt.Fprintf(&b, "event %s\n", e)
-		}
-	}
-	return b.Bytes()
-}
-
 // TestCampaignReplayByteIdentical is the whole-pipeline determinism
 // regression the availlint suite exists to protect: the same campaign,
 // simulated twice (memo bypassed, 4-way pool active both times), must
@@ -103,7 +82,7 @@ func TestCampaignReplayByteIdentical(t *testing.T) {
 			}
 			camp.Offered = ep.Offered
 		}
-		return serializeCampaign(camp)
+		return SerializeCampaign(camp)
 	}
 	first := runOnce()
 	second := runOnce()

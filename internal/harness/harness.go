@@ -449,7 +449,7 @@ func (t takeoverControl) Takeover() {
 // failed self-recovery (§3: "restart the singleton sub-cluster"): every
 // splintered, wedged, or dead server process is restarted.
 func (c *Cluster) OperatorReset() {
-	c.Log.Emit(c.Sim.Now(), "operator", metrics.EvOperatorReset, -1, "restarting unhealthy servers")
+	c.Log.EmitID(c.Sim.Now(), metrics.SrcOperator, metrics.KOperatorReset, -1, "restarting unhealthy servers")
 	n := len(c.Machines)
 	// The reference view size is the largest healthy view.
 	best := 0

@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// SerializeCampaign renders every number a campaign produces — loads,
+// templates, stage markers, throughput series, event logs — into one
+// deterministic byte stream. The replay-determinism test compares two
+// in-process runs of the same campaign; the golden byte-identity test
+// (internal/chaos) compares the stream against a checked-in dump so
+// storage and hot-path refactors cannot silently change any rendered
+// output, down to Event.String() formatting.
+func SerializeCampaign(r CampaignResult) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "campaign %s normal=%v offered=%v\n", r.Version, r.Normal, r.Offered)
+	for i, l := range r.Loads {
+		fmt.Fprintf(&b, "load %d %+v\n", i, l)
+	}
+	for i, ep := range r.Eps {
+		fmt.Fprintf(&b, "episode %d %s comp=%d markers=%+v tpl=%+v normal=%v offered=%v\n",
+			i, ep.Fault, ep.Component, ep.Markers, ep.Tpl, ep.Normal, ep.Offered)
+		fmt.Fprintf(&b, "series %v\n", ep.Series.Buckets())
+		for c := ep.Log.Cursor(); ; {
+			e, ok := c.Next()
+			if !ok {
+				break
+			}
+			fmt.Fprintf(&b, "event %s\n", e)
+		}
+	}
+	return b.Bytes()
+}

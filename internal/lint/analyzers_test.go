@@ -28,6 +28,11 @@ func TestSimgoroutine(t *testing.T) {
 	runFixture(t, Simgoroutine, cover("simgoroutine/allowed"))
 }
 
+func TestSprintfemit(t *testing.T) {
+	runFixture(t, Sprintfemit, cover("sprintfemit/sim"))
+	runFixture(t, Sprintfemit, cover("sprintfemit/clean"))
+}
+
 // TestAllowedPackageClassification pins the real repo policy: the
 // packages that host wall-clock and live-network code on purpose are
 // exempt; the simulation core is not.
@@ -61,8 +66,8 @@ func TestAllowedPackageClassification(t *testing.T) {
 // TestByName covers analyzer selection, including the error path.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
 	}
 	two, err := ByName("maporder, wallclock")
 	if err != nil || len(two) != 2 || two[0].Name != "maporder" || two[1].Name != "wallclock" {

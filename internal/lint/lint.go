@@ -167,7 +167,7 @@ func buildAllowMap(fset *token.FileSet, files []*ast.File) map[string]map[int][]
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, Globalrand, Maporder, Simgoroutine}
+	return []*Analyzer{Wallclock, Globalrand, Maporder, Simgoroutine, Sprintfemit}
 }
 
 // ByName resolves a comma-separated analyzer selection ("" = all).
@@ -184,7 +184,7 @@ func ByName(names string) ([]*Analyzer, error) {
 		n = strings.TrimSpace(n)
 		a, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have wallclock, globalrand, maporder, simgoroutine)", n)
+			return nil, fmt.Errorf("unknown analyzer %q (have wallclock, globalrand, maporder, simgoroutine, sprintfemit)", n)
 		}
 		sel = append(sel, a)
 	}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Sprintfemit forbids eager fmt.Sprint* calls inside the arguments of an
+// Emit-family call. The metrics event log formats details lazily (the
+// EmitInt/EmitInt2 forms store a format string and integer operands;
+// rendering happens only if the log is ever read), so a fmt.Sprintf in an
+// Emit argument silently reintroduces the very cost the lazy API exists
+// to avoid: every emission allocates and formats, rendered or not —
+// exactly the hot-path allocation pattern the zero-alloc episode budget
+// forbids.
+var Sprintfemit = &Analyzer{
+	Name:    "sprintfemit",
+	Doc:     "forbid eager fmt.Sprint* inside Emit(...) arguments; use the lazy EmitInt/EmitInt2 forms or an interned constant",
+	SimOnly: true,
+	Run:     runSprintfemit,
+}
+
+// sprintFuncs are fmt's eager string-building functions. Errorf is
+// excluded: an error constructed in an Emit argument is a bug of a
+// different kind and not this analyzer's business.
+var sprintFuncs = map[string]bool{"Sprintf": true, "Sprint": true, "Sprintln": true}
+
+func runSprintfemit(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || !strings.HasPrefix(fn.Name(), "Emit") {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					inner, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					ifn := calleeFunc(pass, inner)
+					if ifn == nil || ifn.Pkg() == nil || ifn.Pkg().Path() != "fmt" || !sprintFuncs[ifn.Name()] {
+						return true
+					}
+					pass.Reportf(inner.Pos(),
+						"fmt.%s formats eagerly inside %s(...): the cost is paid on every emission even if the log is never rendered; use the lazy EmitInt/EmitInt2 forms or an interned constant",
+						ifn.Name(), fn.Name())
+					return true
+				})
+			}
+			return true
+		})
+	}
+}

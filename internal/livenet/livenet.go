@@ -36,11 +36,13 @@ import (
 
 func init() {
 	// Everything that crosses a socket must be gob-registered.
+	// The pooled hot-path messages travel as pointers; a decoded copy has
+	// no home pool, so its Release is a no-op on the receive side.
 	for _, m := range []any{
-		server.ReqMsg{}, server.RespMsg{}, server.HelloMsg{}, server.FwdMsg{},
-		server.FwdReplyMsg{}, server.AnnounceMsg{}, server.HBMsg{},
+		&server.ReqMsg{}, &server.RespMsg{}, server.HelloMsg{}, &server.FwdMsg{},
+		&server.FwdReplyMsg{}, &server.AnnounceMsg{}, &server.HBMsg{},
 		server.ExcludeMsg{}, server.JoinReqMsg{}, server.JoinRespMsg{},
-		membership.MHeartbeat{}, membership.MJoinReq{}, membership.MJoinOffer{},
+		&membership.MHeartbeat{}, membership.MJoinReq{}, membership.MJoinOffer{},
 		membership.MJoinAsk{}, membership.MPrepare{}, membership.MAck{},
 		membership.MCommit{}, membership.MNodeDown{},
 		frontend.PingMsg{}, frontend.PongMsg{},

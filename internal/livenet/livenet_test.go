@@ -37,11 +37,11 @@ func TestDatagramRoundTrip(t *testing.T) {
 	a.Spawn("send", func(env cnet.Env) { envA = env; close(ready) })
 	<-ready
 	waitFor(t, "udp registration", func() bool {
-		envA.Send(1, cnet.ClassIntra, "hb", server.HBMsg{From: 0, Load: 7}, 48)
+		envA.Send(1, cnet.ClassIntra, "hb", &server.HBMsg{From: 0, Load: 7}, 48)
 		return got.Load() != nil
 	})
 	pair := got.Load().([2]any)
-	if pair[0].(cnet.NodeID) != 0 || pair[1].(server.HBMsg).Load != 7 {
+	if pair[0].(cnet.NodeID) != 0 || pair[1].(*server.HBMsg).Load != 7 {
 		t.Fatalf("got %v", pair)
 	}
 }
@@ -56,7 +56,7 @@ func TestStreamRoundTripAndClose(t *testing.T) {
 			return cnet.StreamHandlers{
 				OnMessage: func(c cnet.Conn, m cnet.Message) {
 					serverGot.Add(1)
-					c.TrySend(server.RespMsg{OK: true}, 128)
+					c.TrySend(&server.RespMsg{OK: true}, 128)
 				},
 			}
 		})
@@ -78,7 +78,7 @@ func TestStreamRoundTripAndClose(t *testing.T) {
 					env.Clock().AfterFunc(20*time.Millisecond, dial)
 					return
 				}
-				c.TrySend(server.ReqMsg{ID: 1, Doc: 2}, 256)
+				c.TrySend(&server.ReqMsg{ID: 1, Doc: 2}, 256)
 			})
 		}
 		dial()
@@ -178,7 +178,7 @@ func TestMulticastReachesGroup(t *testing.T) {
 		<-ready
 	}
 	waitFor(t, "multicast delivery", func() bool {
-		envs[0].Multicast("g", "p", server.HBMsg{From: 0}, 48)
+		envs[0].Multicast("g", "p", &server.HBMsg{From: 0}, 48)
 		return got[1].Load() > 0 && got[2].Load() > 0
 	})
 	if got[0].Load() != 0 {
@@ -211,7 +211,7 @@ func TestLivePressClusterFormsAndServes(t *testing.T) {
 		try = func() {
 			env.Dial(0, cnet.ClassClient, server.PortHTTP, cnet.StreamHandlers{
 				OnMessage: func(c cnet.Conn, m cnet.Message) {
-					if r, is := m.(server.RespMsg); is && r.OK {
+					if r, is := m.(*server.RespMsg); is && r.OK {
 						ok.Store(true)
 					}
 					c.Close()
@@ -221,7 +221,7 @@ func TestLivePressClusterFormsAndServes(t *testing.T) {
 					env.Clock().AfterFunc(50*time.Millisecond, try)
 					return
 				}
-				c.TrySend(server.ReqMsg{ID: 9, Doc: 3}, 256)
+				c.TrySend(&server.ReqMsg{ID: 9, Doc: 3}, 256)
 			})
 		}
 		try()

@@ -45,6 +45,15 @@ type Machine struct {
 	state State
 	procs map[string]*Proc
 	order []string
+
+	// Free lists for the per-connection and per-timer records below.
+	// Worlds are single-threaded, so plain slices suffice; records that
+	// never reach their release point (connections that outlive the
+	// world, stopped timers) fall to the garbage collector instead.
+	wrapFree  []*wrapRec
+	dialFree  []*dialRec
+	closeFree []*closeRec
+	timerFree []*timerRec
 }
 
 // New attaches a machine to the network. disks may be nil for hosts
@@ -107,7 +116,7 @@ func (m *Machine) Crash() {
 	for _, name := range m.order {
 		m.procs[name].kill(false) // iface zombied the conns already
 	}
-	m.emit(metrics.EvServerDown, "machine crash")
+	m.emit(metrics.KServerDown, "machine crash")
 }
 
 // Restart boots a crashed machine: connections from the previous life RST
@@ -121,7 +130,7 @@ func (m *Machine) Restart() {
 	for _, name := range m.order {
 		m.procs[name].boot()
 	}
-	m.emit(metrics.EvServerUp, "machine restart")
+	m.emit(metrics.KServerUp, "machine restart")
 }
 
 // Freeze wedges the machine: no process runs, timers are deferred, stream
@@ -169,13 +178,13 @@ func (m *Machine) StartProc(name string) {
 // machine goes down exactly as in a crash, converting whatever was wrong
 // into the fault the rest of the system knows how to handle.
 func (m *Machine) TakeOffline(reason string) {
-	m.emit(metrics.EvFMEAction, "offline: "+reason)
+	m.emit(metrics.KFMEAction, "offline: "+reason)
 	m.Crash()
 }
 
-func (m *Machine) emit(kind, detail string) {
+func (m *Machine) emit(kind metrics.KindID, detail string) {
 	if m.log != nil {
-		m.log.Emit(m.sim.Now(), "machine", kind, int(m.id), detail)
+		m.log.EmitID(m.sim.Now(), metrics.SrcMachine, kind, int(m.id), detail)
 	}
 }
 
@@ -204,12 +213,13 @@ type Proc struct {
 // fn/sfn/dfn/rfn/wfn is set; the typed forms are gated on env.live() at
 // dispatch, which is what their closure equivalents did.
 type call struct {
-	fn   func()                            // plain post; no gating
-	sfn  func(cnet.Conn, cnet.Message)     // stream OnMessage
-	dfn  func(cnet.NodeID, cnet.Message)   // datagram handler
-	rfn  func(cnet.Conn, error)            // dial result
-	wfn  func(cnet.Conn)                   // stream OnWritable
-	env  *Env                              // liveness gate for typed forms
+	fn   func()                          // plain post; no gating
+	sfn  func(cnet.Conn, cnet.Message)   // stream OnMessage
+	dfn  func(cnet.NodeID, cnet.Message) // datagram handler
+	rfn  func(cnet.Conn, error)          // dial result
+	wfn  func(cnet.Conn)                 // stream OnWritable
+	tr   *timerRec                       // pooled AfterFunc callback
+	env  *Env                            // liveness gate for typed forms
 	c    cnet.Conn
 	m    cnet.Message
 	from cnet.NodeID
@@ -235,6 +245,15 @@ func (c *call) dispatch() {
 	case c.wfn != nil:
 		if c.env.live() {
 			c.wfn(c.c)
+		}
+	case c.tr != nil:
+		// Recycle before running: fn may itself schedule a timer and
+		// reuse the record immediately.
+		r := c.tr
+		fn := r.fn
+		r.e.p.m.putTimer(r)
+		if c.env.live() {
+			fn()
 		}
 	}
 }
@@ -396,34 +415,225 @@ func (p *Proc) syncConnPause() {
 	}
 }
 
-func (p *Proc) adoptConn(c simnet.StreamConn) {
+func (p *Proc) adoptConn(c simnet.StreamConn, wr *wrapRec) {
+	c.SetOwnerSlot(len(p.conns))
 	p.conns = append(p.conns, c)
-	inc := p.incarnation
 	// Prune on every close path, including component-initiated Close —
 	// without this, long-lived processes (the front-end relays two
 	// connections per request) accumulate dead connections and every
 	// scan over p.conns degenerates.
-	c.SetCloseHook(func() {
-		if p.incarnation == inc {
-			p.dropConn(c)
-		}
-	})
+	r := p.m.getClose()
+	r.p, r.inc, r.c, r.wr = p, p.incarnation, c, wr
+	c.SetCloseHook(r.fn)
 	if p.hung || p.stalled {
 		c.SetPaused(true)
 	}
 }
 
 func (p *Proc) dropConn(c cnet.Conn) {
-	for i, k := range p.conns {
-		if k == c {
-			// Swap-remove: O(1) and deterministic (no map iteration).
-			last := len(p.conns) - 1
-			p.conns[i] = p.conns[last]
-			p.conns[last] = nil
-			p.conns = p.conns[:last]
+	sc, ok := c.(simnet.StreamConn)
+	if !ok {
+		return
+	}
+	// O(1) verified removal: the owner slot may be stale after a process
+	// restart reset p.conns, so removal requires the slot to actually
+	// hold this connection. Swap-remove preserves the exact order a
+	// first-match scan produced (conns are unique).
+	i := sc.OwnerSlot()
+	if i < 0 || i >= len(p.conns) || p.conns[i] != sc {
+		return
+	}
+	last := len(p.conns) - 1
+	moved := p.conns[last]
+	p.conns[i] = moved
+	moved.SetOwnerSlot(i)
+	p.conns[last] = nil
+	p.conns = p.conns[:last]
+	sc.SetOwnerSlot(-1)
+}
+
+// wrapRec carries one connection's component handlers plus the wrapper
+// handlers that route them through the mailbox. The wrappers are built
+// once per record and only capture the record pointer, so attaching a
+// stream allocates nothing once the pool is warm. The record is released
+// by the connection's close hook (closeRec), which simnet runs exactly
+// once on every close path; a connection that never closes keeps its
+// record until the world is collected.
+type wrapRec struct {
+	e *Env
+	h cnet.StreamHandlers
+	w cnet.StreamHandlers
+}
+
+func (m *Machine) getWrap() *wrapRec {
+	if n := len(m.wrapFree); n > 0 {
+		r := m.wrapFree[n-1]
+		m.wrapFree[n-1] = nil
+		m.wrapFree = m.wrapFree[:n-1]
+		return r
+	}
+	r := &wrapRec{}
+	// All three wrappers are always installed: simnet's delivery schedule
+	// does not depend on handler presence, and a wrapper whose component
+	// handler is nil posts nothing — exactly what a nil wrapper did.
+	//
+	// On a peer-initiated close, simnet runs the close hook (which
+	// releases this record) immediately before OnClose, so OnClose reads
+	// every field it needs before posting anything that could trigger a
+	// reuse; putWrap deliberately leaves the fields intact.
+	r.w = cnet.StreamHandlers{
+		OnMessage: func(c cnet.Conn, msg cnet.Message) {
+			if fn := r.h.OnMessage; fn != nil {
+				r.e.p.postCall(call{sfn: fn, env: r.e, c: c, m: msg})
+			}
+		},
+		OnClose: func(c cnet.Conn, err error) {
+			e := r.e
+			fn := r.h.OnClose
+			e.p.dropConn(c)
+			if fn != nil {
+				e.p.postCall(call{rfn: fn, env: e, c: c, err: err})
+			}
+		},
+		OnWritable: func(c cnet.Conn) {
+			if fn := r.h.OnWritable; fn != nil {
+				r.e.p.postCall(call{wfn: fn, env: r.e, c: c})
+			}
+		},
+	}
+	return r
+}
+
+func (m *Machine) putWrap(r *wrapRec) {
+	// Fields are NOT cleared: a releasing close hook runs just before the
+	// wrapper's own OnClose, which still reads them (see getWrap).
+	m.wrapFree = append(m.wrapFree, r)
+}
+
+// dialRec carries one Dial's result callback and its pre-acquired
+// wrapper record through the dial machinery without a per-dial closure.
+// It is released as soon as the result callback has run; the wrapper
+// record transfers to the connection on success and is reclaimed here
+// only when no connection was ever created.
+type dialRec struct {
+	e      *Env
+	result func(cnet.Conn, error)
+	wr     *wrapRec
+	cb     func(cnet.Conn, error)
+}
+
+func (m *Machine) getDial() *dialRec {
+	if n := len(m.dialFree); n > 0 {
+		r := m.dialFree[n-1]
+		m.dialFree[n-1] = nil
+		m.dialFree = m.dialFree[:n-1]
+		return r
+	}
+	r := &dialRec{}
+	r.cb = func(c cnet.Conn, err error) {
+		e := r.e
+		mm := e.p.m
+		if !e.live() {
+			if c != nil {
+				// Never adopted, so no close hook will release the
+				// wrapper record; it stays with the dead conn and falls
+				// to the GC.
+				c.Close()
+			} else {
+				mm.putWrap(r.wr)
+			}
+			mm.putDial(r)
 			return
 		}
+		if c != nil {
+			e.p.adoptConn(c.(simnet.StreamConn), r.wr)
+		} else {
+			mm.putWrap(r.wr)
+		}
+		e.p.postCall(call{rfn: r.result, env: e, c: c, err: err})
+		mm.putDial(r)
 	}
+	return r
+}
+
+func (m *Machine) putDial(r *dialRec) {
+	r.e, r.result, r.wr = nil, nil, nil
+	m.dialFree = append(m.dialFree, r)
+}
+
+// closeRec is the pooled close hook installed by adoptConn: it prunes
+// the connection from p.conns on every close path — local Close/Abort
+// included — releases the connection's wrapper record, and returns
+// itself to the pool (close hooks run at most once).
+type closeRec struct {
+	p   *Proc
+	inc uint64
+	c   cnet.Conn
+	wr  *wrapRec
+	fn  func()
+}
+
+func (m *Machine) getClose() *closeRec {
+	if n := len(m.closeFree); n > 0 {
+		r := m.closeFree[n-1]
+		m.closeFree[n-1] = nil
+		m.closeFree = m.closeFree[:n-1]
+		return r
+	}
+	r := &closeRec{}
+	r.fn = func() {
+		p := r.p
+		if p.incarnation == r.inc {
+			p.dropConn(r.c)
+		}
+		if r.wr != nil {
+			p.m.putWrap(r.wr)
+		}
+		p.m.putClose(r)
+	}
+	return r
+}
+
+func (m *Machine) putClose(r *closeRec) {
+	r.p, r.c, r.wr = nil, nil, nil
+	m.closeFree = append(m.closeFree, r)
+}
+
+// timerRec carries one AfterFunc callback through the sim kernel's
+// pooled argument timers; released when it fires (or is overtaken by
+// death of its incarnation). Stopped timers leak their record to the GC,
+// which is rare and harmless.
+type timerRec struct {
+	e  *Env
+	fn func()
+}
+
+func (m *Machine) getTimer() *timerRec {
+	if n := len(m.timerFree); n > 0 {
+		r := m.timerFree[n-1]
+		m.timerFree[n-1] = nil
+		m.timerFree = m.timerFree[:n-1]
+		return r
+	}
+	return &timerRec{}
+}
+
+func (m *Machine) putTimer(r *timerRec) {
+	r.e, r.fn = nil, nil
+	m.timerFree = append(m.timerFree, r)
+}
+
+// procTimerFire is the sim-kernel callback for procClock.AfterFunc: route
+// the stored fn through the mailbox, or recycle immediately if the
+// incarnation died while the timer was pending.
+func procTimerFire(arg any) {
+	r := arg.(*timerRec)
+	e := r.e
+	if !e.live() {
+		e.p.m.putTimer(r)
+		return
+	}
+	e.p.postCall(call{tr: r, env: e})
 }
 
 // Env implements cnet.Env for one incarnation of one process. Every method
@@ -531,18 +741,11 @@ func (e *Env) Dial(to cnet.NodeID, class cnet.Class, port string, h cnet.StreamH
 	if !e.live() {
 		return
 	}
-	e.p.m.iface.Dial(to, class, port, e.wrap(h), func(c cnet.Conn, err error) {
-		if !e.live() {
-			if c != nil {
-				c.Close()
-			}
-			return
-		}
-		if c != nil {
-			e.p.adoptConn(c.(simnet.StreamConn))
-		}
-		e.p.postCall(call{rfn: result, env: e, c: c, err: err})
-	})
+	wr := e.p.m.getWrap()
+	wr.e, wr.h = e, h
+	dr := e.p.m.getDial()
+	dr.e, dr.result, dr.wr = e, result, wr
+	e.p.m.iface.Dial(to, class, port, wr.w, dr.cb)
 }
 
 // Listen implements cnet.Env.
@@ -553,33 +756,17 @@ func (e *Env) Listen(port string, accept func(c cnet.Conn) cnet.StreamHandlers) 
 	e.listenPorts = append(e.listenPorts, port)
 	e.p.m.iface.Listen(port, func(c cnet.Conn) cnet.StreamHandlers {
 		// Handshake succeeds even while hung (TCP backlog); the conn is
-		// adopted paused in that case.
-		e.p.adoptConn(c.(simnet.StreamConn))
-		return e.wrap(accept(c))
+		// adopted paused in that case. The wrapper record is acquired
+		// before accept runs so the close hook can release it even when
+		// accept sheds the connection by closing it synchronously (the
+		// late wr.h store then writes to a released record, which is
+		// harmless: nothing can reuse it before this function returns).
+		wr := e.p.m.getWrap()
+		wr.e = e
+		e.p.adoptConn(c.(simnet.StreamConn), wr)
+		wr.h = accept(c)
+		return wr.w
 	})
-}
-
-// wrap routes stream callbacks through the mailbox and keeps conn
-// bookkeeping.
-func (e *Env) wrap(h cnet.StreamHandlers) cnet.StreamHandlers {
-	var w cnet.StreamHandlers
-	if h.OnMessage != nil {
-		w.OnMessage = func(c cnet.Conn, m cnet.Message) {
-			e.p.postCall(call{sfn: h.OnMessage, env: e, c: c, m: m})
-		}
-	}
-	w.OnClose = func(c cnet.Conn, err error) {
-		e.p.dropConn(c)
-		if h.OnClose != nil {
-			e.p.postCall(call{rfn: h.OnClose, env: e, c: c, err: err})
-		}
-	}
-	if h.OnWritable != nil {
-		w.OnWritable = func(c cnet.Conn) {
-			e.p.postCall(call{wfn: h.OnWritable, env: e, c: c})
-		}
-	}
-	return w
 }
 
 var _ cnet.Env = (*Env)(nil)
@@ -594,15 +781,9 @@ func (pc procClock) AfterFunc(d time.Duration, fn func()) clock.Timer {
 	if !e.live() {
 		return deadTimer{}
 	}
-	return e.p.m.sim.After(d, func() {
-		if e.live() {
-			e.p.post(func() {
-				if e.live() {
-					fn()
-				}
-			})
-		}
-	})
+	r := e.p.m.getTimer()
+	r.e, r.fn = e, fn
+	return e.p.m.sim.AfterArg(d, procTimerFire, r)
 }
 
 // Every delivers a periodic callback through the process mailbox. The
@@ -623,5 +804,5 @@ func (deadTimer) Stop() bool { return false }
 
 type deadTicker struct{}
 
-func (deadTicker) Stop() bool                { return false }
+func (deadTicker) Stop() bool               { return false }
 func (deadTicker) Reschedule(time.Duration) {}

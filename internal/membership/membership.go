@@ -100,10 +100,28 @@ func (p *Published) set(version uint64, members []cnet.NodeID) {
 
 // Wire messages (gob-encodable for livenet).
 
-// MHeartbeat is a ring-neighbour heartbeat.
+// MHeartbeat is a ring-neighbour heartbeat. It travels as a pooled
+// pointer (see cnet.MsgPool); the receiver releases it.
 type MHeartbeat struct {
 	From cnet.NodeID
 	Ver  uint64
+
+	home *cnet.MsgPool[MHeartbeat]
+}
+
+// NewMHeartbeat takes a zeroed heartbeat record from pool.
+func NewMHeartbeat(pool *cnet.MsgPool[MHeartbeat]) *MHeartbeat {
+	m := pool.Get()
+	m.home = pool
+	return m
+}
+
+// Release recycles the record into its home pool (no-op without one).
+func (m *MHeartbeat) Release() {
+	if h := m.home; h != nil {
+		*m = MHeartbeat{home: h}
+		h.Put(m)
+	}
 }
 
 // MJoinReq is multicast by a node seeking a (better) group.
@@ -157,6 +175,10 @@ type Daemon struct {
 	cfg Config
 	env cnet.Env
 	pub *Published
+	src metrics.SourceID // interned "membd/<self>" tag
+	// missDetail is the constant heartbeat-miss detect reason, formatted
+	// once at construction.
+	missDetail string
 
 	version uint64
 	members []cnet.NodeID // sorted, includes self
@@ -169,6 +191,9 @@ type Daemon struct {
 	collecting bool
 
 	seekT clock.Ticker // variable-period seek loop, retimed each pass
+
+	// hbPool recycles heartbeat records; receivers release them.
+	hbPool cnet.MsgPool[MHeartbeat]
 }
 
 // NewDaemon starts a membership daemon on env, publishing into pub.
@@ -180,6 +205,8 @@ func NewDaemon(cfg Config, env cnet.Env, pub *Published) *Daemon {
 		members:  []cnet.NodeID{cfg.Self},
 		lastSeen: make(map[cnet.NodeID]time.Duration),
 	}
+	d.src = metrics.InternSource(fmt.Sprintf("membd/%d", d.cfg.Self))
+	d.missDetail = fmt.Sprintf("membership: %d heartbeats missed", d.cfg.HBMiss)
 	d.env.JoinGroup(JoinGroup)
 	d.env.BindDatagram(Port, d.onMessage)
 	d.install(1, d.members, "boot")
@@ -198,8 +225,8 @@ func (d *Daemon) Members() []cnet.NodeID {
 // Version returns the current view version.
 func (d *Daemon) Version() uint64 { return d.version }
 
-func (d *Daemon) emit(kind string, node cnet.NodeID, detail string) {
-	d.env.Events().Emit(d.env.Clock().Now(), fmt.Sprintf("membd/%d", d.cfg.Self), kind, int(node), detail)
+func (d *Daemon) emit(kind metrics.KindID, node cnet.NodeID, detail string) {
+	d.env.Events().EmitID(d.env.Clock().Now(), d.src, kind, int(node), detail)
 }
 
 func (d *Daemon) isMember(n cnet.NodeID) bool {
@@ -230,13 +257,13 @@ func (d *Daemon) install(ver uint64, members []cnet.NodeID, why string) {
 	now := d.env.Clock().Now()
 	for _, m := range d.members {
 		if !contains(old, m) && m != d.cfg.Self {
-			d.emit(metrics.EvMemberJoin, m, why)
+			d.emit(metrics.KMemberJoin, m, why)
 		}
 		d.lastSeen[m] = now // grace for new ring shape
 	}
 	for _, m := range old {
 		if !contains(d.members, m) && m != d.cfg.Self {
-			d.emit(metrics.EvMemberLeave, m, why)
+			d.emit(metrics.KMemberLeave, m, why)
 			delete(d.lastSeen, m)
 		}
 	}
@@ -263,10 +290,12 @@ func (d *Daemon) tick() {
 		if nb == cnet.None || nb == d.cfg.Self {
 			continue
 		}
-		d.env.Send(nb, cnet.ClassIntra, Port, MHeartbeat{From: d.cfg.Self, Ver: d.version}, 48)
+		hb := NewMHeartbeat(&d.hbPool)
+		hb.From, hb.Ver = d.cfg.Self, d.version
+		d.env.Send(nb, cnet.ClassIntra, Port, hb, 48)
 		deadline := time.Duration(d.cfg.HBMiss) * d.cfg.HBPeriod
 		if seen, ok := d.lastSeen[nb]; ok && now-seen > deadline {
-			d.emit(metrics.EvDetect, nb, fmt.Sprintf("membership: %d heartbeats missed", d.cfg.HBMiss))
+			d.emit(metrics.KDetect, nb, d.missDetail)
 			d.startExclusion(nb)
 		}
 	}
@@ -349,11 +378,12 @@ func (d *Daemon) expectAcks(ver uint64, proposed []cnet.NodeID, acked map[cnet.N
 
 func (d *Daemon) onMessage(from cnet.NodeID, m cnet.Message) {
 	switch msg := m.(type) {
-	case MHeartbeat:
+	case *MHeartbeat:
 		d.lastSeen[msg.From] = d.env.Clock().Now()
+		msg.Release()
 	case MNodeDown:
 		if d.isMember(msg.Node) {
-			d.emit(metrics.EvDetect, msg.Node, "application NodeDown hint")
+			d.emit(metrics.KDetect, msg.Node, "application NodeDown hint")
 			d.startExclusion(msg.Node)
 		}
 	case MPrepare:

@@ -11,6 +11,10 @@ import (
 // experiment. The harness reads the log to locate the numbered events of
 // the 7-stage template (fault occurs, fault detected, component recovers,
 // operator reset, ...) and tests read it to assert protocol behaviour.
+//
+// Event is the materialized, public view: the log stores interned source
+// and kind IDs plus (possibly lazily formatted) detail internally and
+// builds Events on read.
 type Event struct {
 	At     time.Duration // virtual time
 	Source string        // component, e.g. "press", "membership", "fme", "frontend", "injector"
@@ -24,58 +28,292 @@ func (e Event) String() string {
 		e.At.Seconds(), e.Source, e.Kind, e.Node, e.Detail)
 }
 
+// SourceID is an interned event source tag. Components intern their tag
+// once at construction (e.g. "press/3") and emit by ID so the hot path
+// never rebuilds or hashes the string.
+type SourceID uint16
+
+// KindID is an interned event kind. The well-known kinds have fixed IDs
+// (KFaultInject ...); ad-hoc kinds intern on first use.
+type KindID uint16
+
+// Fixed kind registry: these IDs are stable, in declaration order, and
+// mirror the Ev* string constants below.
+const (
+	KFaultInject KindID = iota
+	KFaultRepair
+	KDetect
+	KExclude
+	KInclude
+	KOperatorReset
+	KServerUp
+	KServerDown
+	KFMEAction
+	KSplinter
+	KQMonReroute
+	KQMonFail
+	KMemberJoin
+	KMemberLeave
+	KFrontendMask
+	KFrontendUnmask
+	numFixedKinds
+)
+
+// Fixed source registry: singleton component tags. Per-node tags
+// ("press/3", "membd/2", "fme/1") intern dynamically via InternSource.
+const (
+	SrcMachine SourceID = iota
+	SrcInjector
+	SrcFrontend
+	SrcOperator
+	numFixedSources
+)
+
+// registry maps source/kind names to interned IDs and back. It is global
+// (IDs are process-wide), append-only, and guarded by a mutex: parallel
+// episode workers may intern concurrently, and because matching and
+// rendering always go through the same bijection, ID assignment order
+// cannot affect any rendered output.
+var registry = struct {
+	mu      sync.RWMutex
+	srcIDs  map[string]SourceID
+	srcs    []string
+	kindIDs map[string]KindID
+	kinds   []string
+}{
+	srcIDs: map[string]SourceID{
+		"machine":  SrcMachine,
+		"injector": SrcInjector,
+		"frontend": SrcFrontend,
+		"operator": SrcOperator,
+	},
+	srcs: []string{"machine", "injector", "frontend", "operator"},
+	kindIDs: map[string]KindID{
+		EvFaultInject:    KFaultInject,
+		EvFaultRepair:    KFaultRepair,
+		EvDetect:         KDetect,
+		EvExclude:        KExclude,
+		EvInclude:        KInclude,
+		EvOperatorReset:  KOperatorReset,
+		EvServerUp:       KServerUp,
+		EvServerDown:     KServerDown,
+		EvFMEAction:      KFMEAction,
+		EvSplinter:       KSplinter,
+		EvQMonReroute:    KQMonReroute,
+		EvQMonFail:       KQMonFail,
+		EvMemberJoin:     KMemberJoin,
+		EvMemberLeave:    KMemberLeave,
+		EvFrontendMask:   KFrontendMask,
+		EvFrontendUnmask: KFrontendUnmask,
+	},
+	kinds: []string{
+		EvFaultInject, EvFaultRepair, EvDetect, EvExclude, EvInclude,
+		EvOperatorReset, EvServerUp, EvServerDown, EvFMEAction, EvSplinter,
+		EvQMonReroute, EvQMonFail, EvMemberJoin, EvMemberLeave,
+		EvFrontendMask, EvFrontendUnmask,
+	},
+}
+
+// InternSource returns the ID for a source tag, registering it on first
+// use. Call once at component construction, not per emit.
+func InternSource(name string) SourceID {
+	registry.mu.RLock()
+	id, ok := registry.srcIDs[name]
+	registry.mu.RUnlock()
+	if ok {
+		return id
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if id, ok = registry.srcIDs[name]; ok {
+		return id
+	}
+	id = SourceID(len(registry.srcs))
+	registry.srcIDs[name] = id
+	registry.srcs = append(registry.srcs, name)
+	return id
+}
+
+// InternKind returns the ID for an event kind, registering it on first
+// use. The Ev* constants are pre-registered as K*.
+func InternKind(name string) KindID {
+	registry.mu.RLock()
+	id, ok := registry.kindIDs[name]
+	registry.mu.RUnlock()
+	if ok {
+		return id
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if id, ok = registry.kindIDs[name]; ok {
+		return id
+	}
+	id = KindID(len(registry.kinds))
+	registry.kindIDs[name] = id
+	registry.kinds = append(registry.kinds, name)
+	return id
+}
+
+func sourceName(id SourceID) string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return registry.srcs[id]
+}
+
+func kindName(id KindID) string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return registry.kinds[id]
+}
+
+// record is the internal storage form of one event: interned IDs and a
+// detail that is either a literal string (nargs == 0) or a format string
+// plus up to two integer args rendered only when something reads the
+// event. A hot emit therefore stores two words of strings and a few
+// integers — no formatting, no interface boxing.
+type record struct {
+	at     time.Duration
+	a0, a1 int64
+	detail string // literal detail, or Sprintf format when nargs > 0
+	node   int32
+	src    SourceID
+	kind   KindID
+	nargs  uint8
+}
+
+func (r *record) renderDetail() string {
+	switch r.nargs {
+	case 1:
+		return fmt.Sprintf(r.detail, r.a0)
+	case 2:
+		return fmt.Sprintf(r.detail, r.a0, r.a1)
+	}
+	return r.detail
+}
+
+func (r *record) event() Event {
+	return Event{At: r.at, Source: sourceName(r.src), Kind: kindName(r.kind),
+		Node: int(r.node), Detail: r.renderDetail()}
+}
+
+// Log storage is a list of fixed-size chunks: appends never move
+// existing records (readers iterate by index), and steady-state emission
+// costs one chunk allocation per chunkSize events.
+const (
+	chunkShift = 8
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
+type chunk struct {
+	recs [chunkSize]record
+}
+
 // Log is an append-only structured event log. A small mutex makes it safe
 // for livenet's concurrent nodes; under the single-threaded simulator the
-// lock is uncontended.
+// lock is uncontended. The zero value is ready to use.
 type Log struct {
 	mu     sync.Mutex
-	events []Event
+	chunks []*chunk
+	n      int
 }
 
-// Emit appends an event.
-func (l *Log) Emit(at time.Duration, source, kind string, node int, detail string) {
+func (l *Log) append(r record) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.events = append(l.events, Event{At: at, Source: source, Kind: kind, Node: node, Detail: detail})
+	if l.n>>chunkShift == len(l.chunks) {
+		l.chunks = append(l.chunks, &chunk{})
+	}
+	l.chunks[l.n>>chunkShift].recs[l.n&chunkMask] = r
+	l.n++
+	l.mu.Unlock()
 }
 
-// All returns a snapshot of the events in emission order.
+// rec returns the i'th record. Callers hold l.mu or rely on records
+// being immutable once appended (chunks never move).
+func (l *Log) rec(i int) *record {
+	return &l.chunks[i>>chunkShift].recs[i&chunkMask]
+}
+
+// Emit appends an event, interning source and kind by name. Compat shim
+// for cold call sites; hot paths use EmitID/EmitInt with pre-interned IDs.
+func (l *Log) Emit(at time.Duration, source, kind string, node int, detail string) {
+	l.EmitID(at, InternSource(source), InternKind(kind), node, detail)
+}
+
+// EmitID appends an event with pre-interned source and kind IDs and a
+// literal detail. With a constant or precomputed detail this is
+// allocation-free in the steady state.
+func (l *Log) EmitID(at time.Duration, src SourceID, kind KindID, node int, detail string) {
+	l.append(record{at: at, src: src, kind: kind, node: int32(node), detail: detail})
+}
+
+// EmitInt appends an event whose detail renders fmt.Sprintf(format, v)
+// lazily, only when the event is read. The emit itself does no
+// formatting and no boxing.
+func (l *Log) EmitInt(at time.Duration, src SourceID, kind KindID, node int, format string, v int64) {
+	l.append(record{at: at, src: src, kind: kind, node: int32(node), detail: format, a0: v, nargs: 1})
+}
+
+// EmitInt2 is EmitInt with two integer args.
+func (l *Log) EmitInt2(at time.Duration, src SourceID, kind KindID, node int, format string, v0, v1 int64) {
+	l.append(record{at: at, src: src, kind: kind, node: int32(node), detail: format, a0: v0, a1: v1, nargs: 2})
+}
+
+// All returns a materialized snapshot of the events in emission order.
+// It copies (and renders every lazy detail of) the whole log: public
+// snapshot API for examples and external consumers. Internal scans use
+// Cursor or a Query instead.
 func (l *Log) All() []Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]Event(nil), l.events...)
+	out := make([]Event, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.rec(i).event()
+	}
+	return out
 }
 
 // Len returns the number of recorded events.
 func (l *Log) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.events)
+	return l.n
+}
+
+// Cursor iterates a Log in emission order without snapshotting it: each
+// Next materializes exactly one event. Records already appended never
+// move, so a cursor stays valid while the log grows; events appended
+// after the cursor passes the end are picked up by subsequent Next calls.
+type Cursor struct {
+	l *Log
+	i int
+}
+
+// Cursor returns an iterator positioned before the first event.
+func (l *Log) Cursor() Cursor { return Cursor{l: l} }
+
+// Next returns the next event, materializing it from interned storage.
+func (c *Cursor) Next() (Event, bool) {
+	c.l.mu.Lock()
+	if c.i >= c.l.n {
+		c.l.mu.Unlock()
+		return Event{}, false
+	}
+	r := c.l.rec(c.i)
+	c.l.mu.Unlock()
+	c.i++
+	return r.event(), true
 }
 
 // First returns the earliest event with the given kind at or after `after`.
 func (l *Log) First(kind string, after time.Duration) (Event, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for _, e := range l.events {
-		if e.At >= after && e.Kind == kind {
-			return e, true
-		}
-	}
-	return Event{}, false
+	return l.Filter("", kind).After(after).First()
 }
 
 // FirstMatch returns the earliest event at or after `after` satisfying
 // the predicate.
 func (l *Log) FirstMatch(after time.Duration, pred func(Event) bool) (Event, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for _, e := range l.events {
-		if e.At >= after && pred(e) {
-			return e, true
-		}
-	}
-	return Event{}, false
+	return l.Between(after, maxInstant).FirstWhere(pred)
 }
 
 // Count returns the number of events of the given kind in the whole log.
@@ -93,33 +331,42 @@ const maxInstant = time.Duration(1<<63 - 1)
 //	log.Filter("", metrics.EvMemberLeave).Node(3).After(crash).First()
 //
 // A Query holds no snapshot; each terminal call (Count, Events, First,
-// FirstWhere) scans the log under its lock, so results reflect the log
-// at call time. Events are appended in nondecreasing time order, so
-// "first in emission order" and "earliest" coincide.
+// FirstWhere) scans the interned records under the log's lock — source
+// and kind filters compare IDs, and an event is materialized only when
+// its record matches. Events are appended in nondecreasing time order,
+// so "first in emission order" and "earliest" coincide.
 type Query struct {
-	l       *Log
-	source  string // "" matches any source
-	kind    string // "" matches any kind
-	node    int
-	hasNode bool
-	from    time.Duration
-	to      time.Duration // exclusive
+	l         *Log
+	src       SourceID
+	kind      KindID
+	anySource bool
+	anyKind   bool
+	node      int32
+	hasNode   bool
+	from      time.Duration
+	to        time.Duration // exclusive
 }
 
 // Filter starts a query matching the given source and kind; either may
 // be "" to match any.
 func (l *Log) Filter(source, kind string) Query {
-	return Query{l: l, source: source, kind: kind, to: maxInstant}
+	return Query{l: l, to: maxInstant, anySource: true, anyKind: true}.Filter(source, kind)
 }
 
 // Between starts a query over the time window [t0, t1).
 func (l *Log) Between(t0, t1 time.Duration) Query {
-	return Query{l: l, from: t0, to: t1}
+	return Query{l: l, from: t0, to: t1, anySource: true, anyKind: true}
 }
 
 // Filter narrows the query to the given source and kind ("" = any).
 func (q Query) Filter(source, kind string) Query {
-	q.source, q.kind = source, kind
+	q.anySource, q.anyKind = source == "", kind == ""
+	if !q.anySource {
+		q.src = InternSource(source)
+	}
+	if !q.anyKind {
+		q.kind = InternKind(kind)
+	}
 	return q
 }
 
@@ -137,21 +384,21 @@ func (q Query) After(t0 time.Duration) Query {
 
 // Node narrows the query to events concerning the given node.
 func (q Query) Node(n int) Query {
-	q.node, q.hasNode = n, true
+	q.node, q.hasNode = int32(n), true
 	return q
 }
 
-func (q Query) match(e Event) bool {
-	if e.At < q.from || e.At >= q.to {
+func (q Query) match(r *record) bool {
+	if r.at < q.from || r.at >= q.to {
 		return false
 	}
-	if q.source != "" && e.Source != q.source {
+	if !q.anySource && r.src != q.src {
 		return false
 	}
-	if q.kind != "" && e.Kind != q.kind {
+	if !q.anyKind && r.kind != q.kind {
 		return false
 	}
-	return !q.hasNode || e.Node == q.node
+	return !q.hasNode || r.node == q.node
 }
 
 // Count returns how many events match the query.
@@ -159,8 +406,8 @@ func (q Query) Count() int {
 	q.l.mu.Lock()
 	defer q.l.mu.Unlock()
 	n := 0
-	for _, e := range q.l.events {
-		if q.match(e) {
+	for i := 0; i < q.l.n; i++ {
+		if q.match(q.l.rec(i)) {
 			n++
 		}
 	}
@@ -172,9 +419,9 @@ func (q Query) Events() []Event {
 	q.l.mu.Lock()
 	defer q.l.mu.Unlock()
 	var out []Event
-	for _, e := range q.l.events {
-		if q.match(e) {
-			out = append(out, e)
+	for i := 0; i < q.l.n; i++ {
+		if r := q.l.rec(i); q.match(r) {
+			out = append(out, r.event())
 		}
 	}
 	return out
@@ -191,9 +438,12 @@ func (q Query) First() (Event, bool) {
 func (q Query) FirstWhere(pred func(Event) bool) (Event, bool) {
 	q.l.mu.Lock()
 	defer q.l.mu.Unlock()
-	for _, e := range q.l.events {
-		if q.match(e) && (pred == nil || pred(e)) {
-			return e, true
+	for i := 0; i < q.l.n; i++ {
+		if r := q.l.rec(i); q.match(r) {
+			e := r.event()
+			if pred == nil || pred(e) {
+				return e, true
+			}
 		}
 	}
 	return Event{}, false
@@ -205,8 +455,8 @@ func (l *Log) Dump() string {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var b strings.Builder
-	for _, e := range l.events {
-		b.WriteString(e.String())
+	for i := 0; i < l.n; i++ {
+		b.WriteString(l.rec(i).event().String())
 		b.WriteByte('\n')
 	}
 	return b.String()

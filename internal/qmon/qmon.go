@@ -49,12 +49,15 @@ type Callbacks struct {
 	OnFail func(peer cnet.NodeID)
 }
 
-// Monitor tracks per-peer queue state.
+// Monitor tracks per-peer queue state. Forgotten peers' state records are
+// recycled through a free list, so churn in the cooperation set (repeated
+// exclusion and re-admission) reaches a steady state with no allocation.
 type Monitor struct {
 	cfg   Config
 	cb    Callbacks
 	rng   *rand.Rand
 	state map[cnet.NodeID]*peerState
+	free  []*peerState
 }
 
 type peerState struct {
@@ -77,7 +80,14 @@ func (m *Monitor) Config() Config { return m.cfg }
 func (m *Monitor) peer(id cnet.NodeID) *peerState {
 	ps := m.state[id]
 	if ps == nil {
-		ps = &peerState{}
+		if n := len(m.free); n > 0 {
+			ps = m.free[n-1]
+			m.free[n-1] = nil
+			m.free = m.free[:n-1]
+			*ps = peerState{}
+		} else {
+			ps = &peerState{}
+		}
 		m.state[id] = ps
 	}
 	return ps
@@ -136,8 +146,13 @@ func (m *Monitor) Failed(peer cnet.NodeID) bool { return m.peer(peer).failed }
 func (m *Monitor) Rerouting(peer cnet.NodeID) bool { return m.peer(peer).rerouting }
 
 // Forget clears all state for peer (it left the cooperation set and its
-// queue was torn down).
-func (m *Monitor) Forget(peer cnet.NodeID) { delete(m.state, peer) }
+// queue was torn down). The record is recycled.
+func (m *Monitor) Forget(peer cnet.NodeID) {
+	if ps, ok := m.state[peer]; ok {
+		delete(m.state, peer)
+		m.free = append(m.free, ps)
+	}
+}
 
 // ClearFailed clears a failure verdict — the hook through which another
 // subsystem (the membership service, in the paper's MQ configuration)

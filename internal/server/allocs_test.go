@@ -1,0 +1,32 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+)
+
+// A ring-heartbeat interval on an idle, fully-formed cluster is the
+// steady-state control-plane hot path: every node sends one pooled HBMsg
+// to its ring successor and releases the one it receives. Once the
+// message pools and kernel event pools are warm, a whole heartbeat
+// period across the cluster must allocate (amortized) nothing beyond the
+// event log's occasional chunk. This pins the pooled-message discipline:
+// an un-released heartbeat or a closure sneaking into the tick path
+// fails the bound immediately.
+func TestRingHeartbeatAllocsPerRun(t *testing.T) {
+	tc := newTestCluster(t, clusterOpts{n: 4, coop: true, ring: true})
+	tc.run(10 * time.Second) // form the cluster, warm every pool
+
+	period := time.Second // clusterOpts default hbPeriod
+	for i := 0; i < 8; i++ {
+		tc.run(period)
+	}
+	per := testing.AllocsPerRun(50, func() { tc.run(period) })
+	// Budget: one heartbeat per node per period, all pooled. Allow a few
+	// objects of amortized slack (log chunks, rare free-list growth) but
+	// fail hard if per-send allocation returns (4 sends/period would show
+	// up as >= 8: one message record + one event closure each).
+	if per > 4 {
+		t.Errorf("ring heartbeat period allocates %.2f objects across 4 nodes; want ~0 with warm pools", per)
+	}
+}

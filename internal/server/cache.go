@@ -1,32 +1,57 @@
 package server
 
 import (
-	"container/list"
-
 	"press/internal/cnet"
 	"press/internal/trace"
 )
+
+// cacheEnt is one intrusive LRU node. Entries are allocated only while
+// the cache fills; at capacity the evicted entry is re-stamped for the
+// incoming document, so a steady-state insert allocates nothing.
+type cacheEnt struct {
+	doc        trace.DocID
+	prev, next *cacheEnt
+}
 
 // docCache is the per-node LRU file cache. All documents are uniform-size
 // (the paper's modified trace), so capacity is simply a document count.
 type docCache struct {
 	cap   int
-	order *list.List // front = most recent
-	index map[trace.DocID]*list.Element
+	n     int
+	root  cacheEnt // sentinel: root.next = most recent, root.prev = oldest
+	index map[trace.DocID]*cacheEnt
 }
 
 func newDocCache(capDocs int) *docCache {
 	if capDocs < 1 {
 		capDocs = 1
 	}
-	return &docCache{cap: capDocs, order: list.New(), index: make(map[trace.DocID]*list.Element)}
+	c := &docCache{cap: capDocs, index: make(map[trace.DocID]*cacheEnt, capDocs)}
+	c.root.prev, c.root.next = &c.root, &c.root
+	return c
+}
+
+func (c *docCache) pushFront(e *cacheEnt) {
+	e.prev = &c.root
+	e.next = c.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (c *docCache) moveToFront(e *cacheEnt) {
+	if c.root.next == e {
+		return
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	c.pushFront(e)
 }
 
 // Has reports whether doc is cached, refreshing its recency on a hit.
 func (c *docCache) Has(doc trace.DocID) bool {
-	el, ok := c.index[doc]
+	e, ok := c.index[doc]
 	if ok {
-		c.order.MoveToFront(el)
+		c.moveToFront(e)
 	}
 	return ok
 }
@@ -40,30 +65,35 @@ func (c *docCache) Peek(doc trace.DocID) bool {
 // Insert caches doc, returning the evicted document (and true) when the
 // cache was full. Inserting a present doc only refreshes recency.
 func (c *docCache) Insert(doc trace.DocID) (evicted trace.DocID, didEvict bool) {
-	if el, ok := c.index[doc]; ok {
-		c.order.MoveToFront(el)
+	if e, ok := c.index[doc]; ok {
+		c.moveToFront(e)
 		return 0, false
 	}
-	if c.order.Len() >= c.cap {
-		back := c.order.Back()
-		evicted = back.Value.(trace.DocID)
-		c.order.Remove(back)
+	if c.n >= c.cap {
+		e := c.root.prev // oldest
+		evicted = e.doc
 		delete(c.index, evicted)
-		didEvict = true
+		e.doc = doc
+		c.index[doc] = e
+		c.moveToFront(e)
+		return evicted, true
 	}
-	c.index[doc] = c.order.PushFront(doc)
-	return evicted, didEvict
+	e := &cacheEnt{doc: doc}
+	c.n++
+	c.index[doc] = e
+	c.pushFront(e)
+	return 0, false
 }
 
 // Len returns the number of cached documents.
-func (c *docCache) Len() int { return c.order.Len() }
+func (c *docCache) Len() int { return c.n }
 
 // Docs lists the cached documents, most recent first. Used to seed a
 // peer's directory on (re)connection.
 func (c *docCache) Docs() []trace.DocID {
-	out := make([]trace.DocID, 0, c.order.Len())
-	for el := c.order.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(trace.DocID))
+	out := make([]trace.DocID, 0, c.n)
+	for e := c.root.next; e != &c.root; e = e.next {
+		out = append(out, e.doc)
 	}
 	return out
 }
@@ -102,6 +132,17 @@ func (d *directory) Set(node cnet.NodeID, doc trace.DocID, cached bool) {
 }
 
 // Holders returns the nodes (from candidates) recorded as caching doc.
+// Holds reports whether node n is recorded as caching doc — the
+// allocation-free per-candidate form of Holders for the routing hot path.
+func (d *directory) Holds(doc trace.DocID, n cnet.NodeID) bool {
+	mask := d.bits[doc]
+	if mask == 0 {
+		return false
+	}
+	bit, ok := d.idx[n]
+	return ok && mask&(1<<bit) != 0
+}
+
 func (d *directory) Holders(doc trace.DocID, candidates []cnet.NodeID) []cnet.NodeID {
 	mask := d.bits[doc]
 	if mask == 0 {

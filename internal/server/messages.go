@@ -7,6 +7,13 @@ import (
 
 // Wire messages. All are exported gob-encodable structs so the same
 // protocol runs over livenet's real TCP.
+//
+// The per-request types (ReqMsg, RespMsg, FwdMsg, FwdReplyMsg,
+// AnnounceMsg, HBMsg) travel as pointers and recycle through cnet.MsgPool
+// free lists: the sender takes a record from its pool, the final consumer
+// calls Release. A record whose home pool is unset (a plain &ReqMsg{...}
+// literal on a cold path, or a gob-decoded copy on the livenet receive
+// side) just leaks to the GC on Release, which is the old behaviour.
 
 // ReqMsg is a client HTTP request. Probe requests are FME's liveness
 // checks: they are answered immediately by the main thread without
@@ -16,6 +23,23 @@ type ReqMsg struct {
 	ID    uint64
 	Doc   trace.DocID
 	Probe bool
+
+	home *cnet.MsgPool[ReqMsg]
+}
+
+// NewReqMsg takes a zeroed request record from pool.
+func NewReqMsg(pool *cnet.MsgPool[ReqMsg]) *ReqMsg {
+	m := pool.Get()
+	m.home = pool
+	return m
+}
+
+// Release recycles the record into its home pool (no-op without one).
+func (m *ReqMsg) Release() {
+	if h := m.home; h != nil {
+		*m = ReqMsg{home: h}
+		h.Put(m)
+	}
 }
 
 // RespMsg answers a ReqMsg on the client connection. Its wire size is the
@@ -27,6 +51,25 @@ type RespMsg struct {
 	OK    bool
 	Probe bool
 	View  []cnet.NodeID
+
+	home *cnet.MsgPool[RespMsg]
+}
+
+// NewRespMsg takes a zeroed response record from pool.
+func NewRespMsg(pool *cnet.MsgPool[RespMsg]) *RespMsg {
+	m := pool.Get()
+	m.home = pool
+	return m
+}
+
+// Release recycles the record into its home pool (no-op without one).
+// Retaining m.View past Release is safe: the slice is never reused, only
+// the header field is cleared.
+func (m *RespMsg) Release() {
+	if h := m.home; h != nil {
+		*m = RespMsg{home: h}
+		h.Put(m)
+	}
 }
 
 // HelloMsg identifies the sender on a freshly dialed intra-cluster
@@ -43,6 +86,23 @@ type FwdMsg struct {
 	ID   uint64
 	Doc  trace.DocID
 	Load int // piggybacked open-request count of the sender
+
+	home *cnet.MsgPool[FwdMsg]
+}
+
+// NewFwdMsg takes a zeroed forward record from pool.
+func NewFwdMsg(pool *cnet.MsgPool[FwdMsg]) *FwdMsg {
+	m := pool.Get()
+	m.home = pool
+	return m
+}
+
+// Release recycles the record into its home pool (no-op without one).
+func (m *FwdMsg) Release() {
+	if h := m.home; h != nil {
+		*m = FwdMsg{home: h}
+		h.Put(m)
+	}
 }
 
 // FwdReplyMsg returns the document to the initial node; its wire size is
@@ -52,6 +112,23 @@ type FwdReplyMsg struct {
 	Doc  trace.DocID
 	OK   bool
 	Load int
+
+	home *cnet.MsgPool[FwdReplyMsg]
+}
+
+// NewFwdReplyMsg takes a zeroed reply record from pool.
+func NewFwdReplyMsg(pool *cnet.MsgPool[FwdReplyMsg]) *FwdReplyMsg {
+	m := pool.Get()
+	m.home = pool
+	return m
+}
+
+// Release recycles the record into its home pool (no-op without one).
+func (m *FwdReplyMsg) Release() {
+	if h := m.home; h != nil {
+		*m = FwdReplyMsg{home: h}
+		h.Put(m)
+	}
 }
 
 // AnnounceMsg broadcasts a caching decision (start caching / evict).
@@ -60,12 +137,46 @@ type AnnounceMsg struct {
 	Doc    trace.DocID
 	Cached bool
 	Load   int
+
+	home *cnet.MsgPool[AnnounceMsg]
+}
+
+// NewAnnounceMsg takes a zeroed announce record from pool.
+func NewAnnounceMsg(pool *cnet.MsgPool[AnnounceMsg]) *AnnounceMsg {
+	m := pool.Get()
+	m.home = pool
+	return m
+}
+
+// Release recycles the record into its home pool (no-op without one).
+func (m *AnnounceMsg) Release() {
+	if h := m.home; h != nil {
+		*m = AnnounceMsg{home: h}
+		h.Put(m)
+	}
 }
 
 // HBMsg is a ring heartbeat.
 type HBMsg struct {
 	From cnet.NodeID
 	Load int
+
+	home *cnet.MsgPool[HBMsg]
+}
+
+// NewHBMsg takes a zeroed heartbeat record from pool.
+func NewHBMsg(pool *cnet.MsgPool[HBMsg]) *HBMsg {
+	m := pool.Get()
+	m.home = pool
+	return m
+}
+
+// Release recycles the record into its home pool (no-op without one).
+func (m *HBMsg) Release() {
+	if h := m.home; h != nil {
+		*m = HBMsg{home: h}
+		h.Put(m)
+	}
 }
 
 // ExcludeMsg is broadcast by the ring detector when it declares a node

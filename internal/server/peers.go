@@ -11,14 +11,23 @@ import (
 // send connection and receives on the one the peer dialed. The send queue
 // in front of the connection is the structure queue monitoring watches.
 type peer struct {
-	id      cnet.NodeID
-	conn    cnet.Conn // outbound (send) connection; nil until established
-	dialing bool
-	retry   timerHandle
-	sendQ   []outMsg
-	reqInQ  int // FwdMsgs among sendQ
-	load    int // piggybacked open-request count
+	id       cnet.NodeID
+	conn     cnet.Conn // outbound (send) connection; nil until established
+	dialing  bool
+	retry    timerHandle
+	sendQ    []outMsg
+	sendHead int // consumed prefix of sendQ (popped without re-slicing)
+	reqInQ   int // FwdMsgs among the queued messages
+	load     int // piggybacked open-request count
+
+	// Dial and connection callbacks, built once per peer: redialing is hot
+	// during fault episodes and must not allocate per attempt.
+	h      cnet.StreamHandlers
+	onDial func(c cnet.Conn, err error)
+	redial func()
 }
+
+func (p *peer) qlen() int { return len(p.sendQ) - p.sendHead }
 
 type outMsg struct {
 	m     cnet.Message
@@ -31,6 +40,36 @@ func (s *Server) peer(n cnet.NodeID) *peer {
 	p := s.peers[n]
 	if p == nil {
 		p = &peer{id: n}
+		p.h = cnet.StreamHandlers{
+			OnClose: func(c cnet.Conn, err error) {
+				if p.conn == c {
+					p.conn = nil
+					s.peerConnLost(p.id, err)
+				}
+			},
+			OnWritable: func(c cnet.Conn) { s.drain(p.id) },
+		}
+		p.onDial = func(c cnet.Conn, err error) {
+			p.dialing = false
+			if err != nil {
+				// The peer application is dead or the node unreachable. Keep
+				// retrying while it remains in the view; the detectors decide
+				// whether it should stay there.
+				if s.view[p.id] {
+					p.retry = s.env.Clock().AfterFunc(2*time.Second, p.redial)
+				}
+				return
+			}
+			if !s.view[p.id] {
+				c.Close()
+				return
+			}
+			p.conn = c
+			hello := HelloMsg{From: s.cfg.Self, CacheDocs: s.cache.Docs()}
+			c.TrySend(hello, sizeHello+4*len(hello.CacheDocs))
+			s.drain(p.id)
+		}
+		p.redial = func() { s.connectPeer(p.id) }
 		s.peers[n] = p
 	}
 	return p
@@ -51,35 +90,7 @@ func (s *Server) connectPeer(n cnet.NodeID) {
 		return
 	}
 	p.dialing = true
-	h := cnet.StreamHandlers{
-		OnClose: func(c cnet.Conn, err error) {
-			if p.conn == c {
-				p.conn = nil
-				s.peerConnLost(n, err)
-			}
-		},
-		OnWritable: func(c cnet.Conn) { s.drain(n) },
-	}
-	s.env.Dial(n, cnet.ClassIntra, PortPress, h, func(c cnet.Conn, err error) {
-		p.dialing = false
-		if err != nil {
-			// The peer application is dead or the node unreachable. Keep
-			// retrying while it remains in the view; the detectors decide
-			// whether it should stay there.
-			if s.view[n] {
-				p.retry = s.env.Clock().AfterFunc(2*time.Second, func() { s.connectPeer(n) })
-			}
-			return
-		}
-		if !s.view[n] {
-			c.Close()
-			return
-		}
-		p.conn = c
-		hello := HelloMsg{From: s.cfg.Self, CacheDocs: s.cache.Docs()}
-		c.TrySend(hello, sizeHello+4*len(hello.CacheDocs))
-		s.drain(n)
-	})
+	s.env.Dial(n, cnet.ClassIntra, PortPress, p.h, p.onDial)
 }
 
 // enqueue appends a message to n's send queue and pushes the queue.
@@ -103,22 +114,28 @@ func (s *Server) drain(n cnet.NodeID) {
 	if p == nil || p.conn == nil {
 		return
 	}
-	for len(p.sendQ) > 0 {
-		om := p.sendQ[0]
+	for p.sendHead < len(p.sendQ) {
+		om := p.sendQ[p.sendHead]
 		if !p.conn.TrySend(om.m, om.size) {
 			break // flow control: the peer is not reading
 		}
-		p.sendQ = p.sendQ[1:]
+		p.sendQ[p.sendHead] = outMsg{}
+		p.sendHead++
 		if om.isReq {
 			p.reqInQ--
 		}
+	}
+	if p.sendHead == len(p.sendQ) {
+		// Fully drained: reset so the backing array is reused from the top.
+		p.sendQ = p.sendQ[:0]
+		p.sendHead = 0
 	}
 	s.observeQueue(p)
 }
 
 func (s *Server) observeQueue(p *peer) {
 	if s.qm != nil {
-		s.qm.Observe(p.id, len(p.sendQ), p.reqInQ)
+		s.qm.Observe(p.id, p.qlen(), p.reqInQ)
 	}
 }
 
@@ -126,6 +143,7 @@ func (s *Server) observeQueue(p *peer) {
 // requests are rerouted by the caller via the inflight table.
 func (p *peer) teardown() {
 	p.sendQ = nil
+	p.sendHead = 0
 	p.reqInQ = 0
 	if p.retry != nil {
 		p.retry.Stop()
@@ -152,15 +170,14 @@ func (s *Server) peerConnLost(n cnet.NodeID, err error) {
 // acceptPeer handles inbound intra-cluster connections (the peer's send
 // connection). The first message must be a Hello identifying the dialer.
 func (s *Server) acceptPeer(c cnet.Conn) cnet.StreamHandlers {
-	return cnet.StreamHandlers{
-		OnMessage: func(c cnet.Conn, m cnet.Message) { s.onPeerMsg(c, m) },
-		OnClose: func(c cnet.Conn, err error) {
-			n, known := s.inboundFrom[c]
-			delete(s.inboundFrom, c)
-			if known {
-				s.peerConnLost(n, err)
-			}
-		},
+	return s.peerH
+}
+
+func (s *Server) onPeerClose(c cnet.Conn, err error) {
+	n, known := s.inboundFrom[c]
+	delete(s.inboundFrom, c)
+	if known {
+		s.peerConnLost(n, err)
 	}
 }
 
@@ -177,17 +194,17 @@ func (s *Server) onPeerMsg(c cnet.Conn, m cnet.Message) {
 		// NodeIn. (Base PRESS: the rejoining node re-establishes the
 		// intra-cluster connections.)
 		s.include(msg.From, "hello")
-	case FwdMsg:
-		if !known {
-			return
+	case *FwdMsg:
+		if known {
+			s.peerLoad(from, msg.Load)
+			s.servePeer(from, msg)
 		}
-		s.peerLoad(from, msg.Load)
-		s.servePeer(from, msg)
-	case FwdReplyMsg:
-		if !known {
-			return
+		msg.Release()
+	case *FwdReplyMsg:
+		if known {
+			s.peerLoad(from, msg.Load)
+			s.completeForwarded(from, msg)
 		}
-		s.peerLoad(from, msg.Load)
-		s.completeForwarded(from, msg)
+		msg.Release()
 	}
 }

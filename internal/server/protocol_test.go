@@ -164,7 +164,7 @@ func TestProbeWhileStalledGetsNoAnswer(t *testing.T) {
 			t.Errorf("probe dial should succeed against a stalled app (backlog): %v", err)
 			return
 		}
-		c.TrySend(server.ReqMsg{ID: 1, Probe: true}, 64)
+		c.TrySend(&server.ReqMsg{ID: 1, Probe: true}, 64)
 	})
 	tc.run(10 * time.Second)
 	if answered {

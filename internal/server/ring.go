@@ -1,7 +1,6 @@
 package server
 
 import (
-	"fmt"
 	"time"
 
 	"press/internal/clock"
@@ -46,13 +45,15 @@ func (r *ringDetector) tick() {
 	s := r.s
 	s.env.Charge(s.cfg.Cost.Control)
 	if r.succ != cnet.None {
-		s.env.Send(r.succ, cnet.ClassIntra, PortHB, HBMsg{From: s.cfg.Self, Load: s.active}, sizeHB)
+		hb := NewHBMsg(&s.hbPool)
+		hb.From, hb.Load = s.cfg.Self, s.active
+		s.env.Send(r.succ, cnet.ClassIntra, PortHB, hb, sizeHB)
 	}
 	if r.pred != cnet.None {
 		deadline := time.Duration(s.cfg.HeartbeatMiss) * s.cfg.HeartbeatPeriod
 		if s.env.Clock().Now()-r.lastHB > deadline {
 			dead := r.pred
-			s.emitDetect(int(dead), fmt.Sprintf("ring: %d heartbeats missed", s.cfg.HeartbeatMiss))
+			s.emitDetect(int(dead), s.ringMissDetail)
 			// Tell the rest of the ring before reconfiguring locally.
 			for _, n := range s.sortedView() {
 				if n != s.cfg.Self && n != dead {
@@ -66,7 +67,7 @@ func (r *ringDetector) tick() {
 
 // onHeartbeat is the server's PortHB datagram handler.
 func (s *Server) onHeartbeat(from cnet.NodeID, m cnet.Message) {
-	hb, ok := m.(HBMsg)
+	hb, ok := m.(*HBMsg)
 	if !ok {
 		return
 	}
@@ -75,6 +76,7 @@ func (s *Server) onHeartbeat(from cnet.NodeID, m cnet.Message) {
 	if hb.From == s.ring.pred {
 		s.ring.lastHB = s.env.Clock().Now()
 	}
+	hb.Release()
 }
 
 // recompute re-derives ring neighbours after any view change. A fresh

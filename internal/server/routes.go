@@ -15,52 +15,57 @@ import (
 // it, deep overload delays the heartbeat path enough to splinter the
 // cluster, which is not a behaviour the paper's testbed exhibited.
 func (s *Server) acceptClient(c cnet.Conn) cnet.StreamHandlers {
-	if s.active >= s.cfg.MaxConcurrent && len(s.acceptQ) >= s.cfg.AcceptBacklog {
+	if s.active >= s.cfg.MaxConcurrent && s.QueuedAccepts() >= s.cfg.AcceptBacklog {
 		c.Close()
 		return cnet.StreamHandlers{}
 	}
-	return cnet.StreamHandlers{
-		OnMessage: func(c cnet.Conn, m cnet.Message) {
-			req, ok := m.(ReqMsg)
-			if !ok {
-				return
-			}
-			s.handleRequest(c, req)
-		},
-		OnClose: func(c cnet.Conn, err error) {
-			// Client gave up (timeout) or finished: release anything the
-			// request still holds.
-			if id, ok := s.clientOf[c]; ok {
-				delete(s.clientOf, c)
-				if st := s.inflight[id]; st != nil {
-					st.client = nil
-					s.finish(st, false)
-				}
-			}
-			// Also drop it from the accept queue if it never got a slot.
-			for i := range s.acceptQ {
-				if s.acceptQ[i].conn == c {
-					s.acceptQ = append(s.acceptQ[:i], s.acceptQ[i+1:]...)
-					break
-				}
-			}
-		},
+	return s.clientH
+}
+
+func (s *Server) onClientMsg(c cnet.Conn, m cnet.Message) {
+	req, ok := m.(*ReqMsg)
+	if !ok {
+		return
+	}
+	s.handleRequest(c, req)
+}
+
+func (s *Server) onClientClose(c cnet.Conn, err error) {
+	// Client gave up (timeout) or finished: release anything the request
+	// still holds.
+	if id, ok := s.clientOf[c]; ok {
+		delete(s.clientOf, c)
+		if st := s.inflight[id]; st != nil {
+			st.client = nil
+			s.finish(st, false)
+		}
+	}
+	// Also drop it from the accept queue if it never got a slot.
+	for i := s.acceptHead; i < len(s.acceptQ); i++ {
+		if s.acceptQ[i].conn == c {
+			s.acceptQ = append(s.acceptQ[:i], s.acceptQ[i+1:]...)
+			break
+		}
 	}
 }
 
-func (s *Server) handleRequest(c cnet.Conn, req ReqMsg) {
+func (s *Server) handleRequest(c cnet.Conn, req *ReqMsg) {
 	if req.Probe {
 		// FME/S-FME liveness probe: answered inline by the main thread,
 		// no slot, reporting the cooperation set.
 		s.env.Charge(s.cfg.Cost.Control)
-		c.TrySend(RespMsg{ID: req.ID, OK: true, Probe: true, View: s.View()}, sizeResp)
+		resp := NewRespMsg(&s.respPool)
+		resp.ID, resp.OK, resp.Probe, resp.View = req.ID, true, true, s.View()
+		req.Release()
+		c.TrySend(resp, sizeResp)
 		return
 	}
 	if s.active >= s.cfg.MaxConcurrent {
-		if len(s.acceptQ) >= s.cfg.AcceptBacklog {
+		if s.QueuedAccepts() >= s.cfg.AcceptBacklog {
 			// Listen backlog full: shed the connection cheaply, like a
 			// kernel-level refusal, before any parsing happens.
 			s.env.Charge(s.cfg.Cost.Control)
+			req.Release()
 			c.Close()
 			return
 		}
@@ -74,13 +79,33 @@ func (s *Server) handleRequest(c cnet.Conn, req ReqMsg) {
 	s.admit(c, req)
 }
 
-func (s *Server) admit(c cnet.Conn, req ReqMsg) {
+func (s *Server) admit(c cnet.Conn, req *ReqMsg) {
 	s.active++
 	s.nextID++
-	st := &reqState{id: s.nextID, doc: req.Doc, client: c, forwardedTo: cnet.None}
+	st := s.getReq()
+	st.id, st.doc, st.client = s.nextID, req.Doc, c
+	req.Release()
 	s.inflight[st.id] = st
 	s.clientOf[c] = st.id
 	s.route(st)
+}
+
+func (s *Server) getReq() *reqState {
+	if n := len(s.reqFree); n > 0 {
+		st := s.reqFree[n-1]
+		s.reqFree = s.reqFree[:n-1]
+		return st
+	}
+	return &reqState{forwardedTo: cnet.None}
+}
+
+// putReq recycles a finished request's state. The generation bump
+// invalidates any disk continuation still pointing at st.
+func (s *Server) putReq(st *reqState) {
+	st.gen++
+	st.client = nil
+	st.forwardedTo = cnet.None
+	s.reqFree = append(s.reqFree, st)
 }
 
 // route decides how to serve st: local cache, a caching peer, the
@@ -93,14 +118,21 @@ func (s *Server) route(st *reqState) {
 		return
 	}
 	if !s.cfg.Cooperative {
-		s.diskRead(st.doc, func(ok bool) { s.localDiskServed(st, ok) })
+		s.diskServe(st)
 		return
 	}
 	if target, ok := s.pickService(st.doc); ok {
 		s.forward(st, target)
 		return
 	}
-	s.diskRead(st.doc, func(ok bool) { s.localDiskServed(st, ok) })
+	s.diskServe(st)
+}
+
+// diskServe reads st's document from the local disk and responds.
+func (s *Server) diskServe(st *reqState) {
+	op := s.getDiskOp()
+	op.doc, op.st, op.stGen = st.doc, st, st.gen
+	s.diskRead(op)
 }
 
 // pickService chooses the service node for a document we don't cache:
@@ -111,15 +143,12 @@ func (s *Server) pickService(doc trace.DocID) (cnet.NodeID, bool) {
 	if len(view) <= 1 {
 		return cnet.None, false
 	}
-	var candidates []cnet.NodeID
-	for _, n := range view {
-		if n != s.cfg.Self {
-			candidates = append(candidates, n)
-		}
-	}
 	best := cnet.None
 	bestLoad := int(^uint(0) >> 1)
-	for _, n := range s.dir.Holders(doc, candidates) {
+	for _, n := range view {
+		if n == s.cfg.Self || !s.dir.Holds(doc, n) {
+			continue
+		}
 		if s.qm != nil && s.qm.ShouldReroute(n) {
 			s.stats.Rerouted++
 			continue
@@ -146,16 +175,13 @@ func (s *Server) forward(st *reqState, target cnet.NodeID) {
 	s.env.Charge(s.cfg.Cost.Forward)
 	st.forwardedTo = target
 	s.stats.ForwardsOut++
-	s.enqueue(target, outMsg{
-		m:     FwdMsg{ID: st.id, Doc: st.doc, Load: s.active},
-		size:  sizeFwd,
-		isReq: true,
-		reqID: st.id,
-	})
+	m := NewFwdMsg(&s.fwdPool)
+	m.ID, m.Doc, m.Load = st.id, st.doc, s.active
+	s.enqueue(target, outMsg{m: m, size: sizeFwd, isReq: true, reqID: st.id})
 }
 
 // completeForwarded handles a service node's reply.
-func (s *Server) completeForwarded(from cnet.NodeID, msg FwdReplyMsg) {
+func (s *Server) completeForwarded(from cnet.NodeID, msg *FwdReplyMsg) {
 	st := s.inflight[msg.ID]
 	if st == nil || st.forwardedTo != from {
 		return // request already dead (client timeout / rerouted elsewhere)
@@ -166,32 +192,29 @@ func (s *Server) completeForwarded(from cnet.NodeID, msg FwdReplyMsg) {
 }
 
 // servePeer is the service-node half of a forwarded request.
-func (s *Server) servePeer(from cnet.NodeID, msg FwdMsg) {
-	reply := func(ok bool) {
-		if !s.view[from] {
-			return
-		}
-		s.stats.PeerServes++
-		s.enqueue(from, outMsg{
-			m:    FwdReplyMsg{ID: msg.ID, Doc: msg.Doc, OK: ok, Load: s.active},
-			size: sizeResp + int(s.cfg.Catalog.Size),
-		})
-	}
+func (s *Server) servePeer(from cnet.NodeID, msg *FwdMsg) {
 	if s.cache.Has(msg.Doc) {
 		s.env.Charge(s.cfg.Cost.PeerServe)
-		reply(true)
+		s.replyPeer(from, msg.ID, msg.Doc, true)
 		return
 	}
 	// Miss at the service node: read and start caching (the announce
-	// happens in diskDone).
+	// happens when the read completes).
 	s.env.Charge(s.cfg.Cost.PeerServe)
-	s.diskRead(msg.Doc, func(ok bool) {
-		s.env.Charge(s.cfg.Cost.DiskDone)
-		if ok {
-			s.insertCache(msg.Doc)
-		}
-		reply(ok)
-	})
+	op := s.getDiskOp()
+	op.doc, op.peerServe, op.from, op.id = msg.Doc, true, from, msg.ID
+	s.diskRead(op)
+}
+
+// replyPeer answers a forwarded request back to the requesting node.
+func (s *Server) replyPeer(from cnet.NodeID, id uint64, doc trace.DocID, ok bool) {
+	if !s.view[from] {
+		return
+	}
+	s.stats.PeerServes++
+	m := NewFwdReplyMsg(&s.fwdRepPool)
+	m.ID, m.Doc, m.OK, m.Load = id, doc, ok, s.active
+	s.enqueue(from, outMsg{m: m, size: sizeResp + int(s.cfg.Catalog.Size)})
 }
 
 // diskKey maps a document to its placement key on the local disks. The
@@ -200,31 +223,92 @@ func (s *Server) servePeer(from cnet.NodeID, msg FwdMsg) {
 // node would exercise only one of its disks.
 func diskKey(doc trace.DocID) int { return int(doc) >> 3 }
 
-// diskRead submits a read, blocking the main thread (Stall) when the disk
-// queue is full — the behaviour at the heart of Figure 4. done runs in
-// server context.
-func (s *Server) diskRead(doc trace.DocID, done func(ok bool)) {
-	posted := func(ok bool) {
-		// Disk completions arrive from the disk subsystem's context;
-		// bounce them through the mailbox.
-		s.env.Clock().AfterFunc(0, func() { s.stats.DiskReads++; done(ok) })
-	}
-	if s.disk.Read(diskKey(doc), posted) {
-		return
-	}
-	// Queue full: the main thread blocks until space frees, then retries
-	// this same operation.
-	s.env.Stall()
-	s.disk.NotifySpace(func() {
-		s.env.Resume()
-		s.env.Clock().AfterFunc(0, func() { s.diskRead(doc, done) })
-	})
+// diskOp is a pooled disk-read continuation: one record carries a read
+// through submission, the queue-full stall/retry loop, and the completion
+// bounce, with every callback built once at record creation.
+type diskOp struct {
+	s   *Server
+	doc trace.DocID
+	ok  bool
+
+	// Local-serve completion. stGen guards against the request dying
+	// (client timeout) and st being recycled while the read is in flight.
+	st    *reqState
+	stGen uint64
+
+	// Peer-serve completion.
+	peerServe bool
+	from      cnet.NodeID
+	id        uint64
+
+	onDone  func(ok bool) // disk context: bounce through the mailbox
+	bounce  func()        // server context: finish the read
+	notify  func()        // disk context: queue space freed
+	requeue func()        // server context: retry the submission
 }
 
-func (s *Server) localDiskServed(st *reqState, ok bool) {
+func (s *Server) getDiskOp() *diskOp {
+	if n := len(s.diskFree); n > 0 {
+		op := s.diskFree[n-1]
+		s.diskFree = s.diskFree[:n-1]
+		return op
+	}
+	op := &diskOp{s: s}
+	op.onDone = func(ok bool) {
+		// Disk completions arrive from the disk subsystem's context;
+		// bounce them through the mailbox.
+		op.ok = ok
+		op.s.env.Clock().AfterFunc(0, op.bounce)
+	}
+	op.bounce = func() { op.s.diskDone(op) }
+	op.notify = func() {
+		// Queue space freed: unblock the main thread, then retry this same
+		// operation as its own work item.
+		op.s.env.Resume()
+		op.s.env.Clock().AfterFunc(0, op.requeue)
+	}
+	op.requeue = func() { op.s.diskRead(op) }
+	return op
+}
+
+func (s *Server) putDiskOp(op *diskOp) {
+	op.st = nil
+	op.peerServe = false
+	s.diskFree = append(s.diskFree, op)
+}
+
+// diskRead submits a read, blocking the main thread (Stall) when the disk
+// queue is full — the behaviour at the heart of Figure 4.
+func (s *Server) diskRead(op *diskOp) {
+	if s.disk.Read(diskKey(op.doc), op.onDone) {
+		return
+	}
+	s.env.Stall()
+	s.disk.NotifySpace(op.notify)
+}
+
+// diskDone completes a read in server context.
+func (s *Server) diskDone(op *diskOp) {
+	s.stats.DiskReads++
+	ok, doc := op.ok, op.doc
+	if op.peerServe {
+		from, id := op.from, op.id
+		s.putDiskOp(op)
+		s.env.Charge(s.cfg.Cost.DiskDone)
+		if ok {
+			s.insertCache(doc)
+		}
+		s.replyPeer(from, id, doc, ok)
+		return
+	}
+	st, gen := op.st, op.stGen
+	s.putDiskOp(op)
 	s.env.Charge(s.cfg.Cost.DiskDone)
 	if ok {
-		s.insertCache(st.doc)
+		s.insertCache(doc)
+	}
+	if st.gen != gen {
+		return // request finished (client timeout) while the read was in flight
 	}
 	s.respond(st, ok)
 }
@@ -247,13 +331,16 @@ func (s *Server) respond(st *reqState, ok bool) {
 		if ok {
 			size += int(s.cfg.Catalog.Size)
 		}
-		st.client.TrySend(RespMsg{ID: st.id, OK: ok}, size)
+		m := NewRespMsg(&s.respPool)
+		m.ID, m.OK = st.id, ok
+		st.client.TrySend(m, size)
 		s.stats.Served++
 	}
 	s.finish(st, true)
 }
 
-// finish tears down request state and pulls the next waiter in.
+// finish tears down request state, recycles it, and pulls the next
+// waiter in.
 func (s *Server) finish(st *reqState, responded bool) {
 	if s.inflight[st.id] == nil {
 		return
@@ -262,16 +349,48 @@ func (s *Server) finish(st *reqState, responded bool) {
 	if st.client != nil {
 		delete(s.clientOf, st.client)
 	}
-	st.forwardedTo = cnet.None
+	s.putReq(st)
 	s.active--
-	if s.active < s.cfg.MaxConcurrent && len(s.acceptQ) > 0 {
-		next := s.acceptQ[0]
-		s.acceptQ = s.acceptQ[1:]
+	if s.active < s.cfg.MaxConcurrent && s.QueuedAccepts() > 0 {
+		next := s.acceptQ[s.acceptHead]
+		s.acceptQ[s.acceptHead] = pendingReq{}
+		s.acceptHead++
+		if s.acceptHead == len(s.acceptQ) {
+			s.acceptQ = s.acceptQ[:0]
+			s.acceptHead = 0
+		}
 		// Admit through the mailbox: the accept backlog drains as a chain
-		// of separately charged work items, not one giant handler.
-		s.env.Clock().AfterFunc(0, func() {
-			s.env.Charge(s.cfg.Cost.Accept)
-			s.admit(next.conn, next.msg)
-		})
+		// of separately charged work items, not one giant handler. The
+		// queue entry is popped here, not in the callback, so a client
+		// close can still remove a waiter in between.
+		op := s.getAdmitOp()
+		op.conn, op.msg = next.conn, next.msg
+		s.env.Clock().AfterFunc(0, op.run)
 	}
+}
+
+// admitOp is a pooled deferred-admission record.
+type admitOp struct {
+	s    *Server
+	conn cnet.Conn
+	msg  *ReqMsg
+	run  func()
+}
+
+func (s *Server) getAdmitOp() *admitOp {
+	if n := len(s.admitFree); n > 0 {
+		op := s.admitFree[n-1]
+		s.admitFree = s.admitFree[:n-1]
+		return op
+	}
+	op := &admitOp{s: s}
+	op.run = func() {
+		s := op.s
+		conn, msg := op.conn, op.msg
+		op.conn, op.msg = nil, nil
+		s.admitFree = append(s.admitFree, op)
+		s.env.Charge(s.cfg.Cost.Accept)
+		s.admit(conn, msg)
+	}
+	return op
 }

@@ -26,11 +26,15 @@ type Stats struct {
 
 // Server is one PRESS process.
 type Server struct {
-	cfg  Config
-	env  cnet.Env
-	disk DiskArray
-	memb MembershipView
-	qm   *qmon.Monitor
+	cfg Config
+	env cnet.Env
+	src metrics.SourceID // interned "press/<self>" tag
+	// ringMissDetail is the ring detector's constant detect reason,
+	// formatted once here instead of per detection.
+	ringMissDetail string
+	disk           DiskArray
+	memb           MembershipView
+	qm             *qmon.Monitor
 
 	cache *docCache
 	dir   *directory
@@ -42,10 +46,29 @@ type Server struct {
 
 	active      int
 	acceptQ     []pendingReq
+	acceptHead  int // consumed prefix of acceptQ (popped without re-slicing)
 	nextID      uint64
 	inflight    map[uint64]*reqState
 	clientOf    map[cnet.Conn]uint64
 	inboundFrom map[cnet.Conn]cnet.NodeID
+
+	// Hot-path recycling: the handler sets are built once per server, and
+	// the per-request records (request state, disk continuations, deferred
+	// admissions) cycle through free lists instead of being re-allocated
+	// for every request.
+	clientH   cnet.StreamHandlers
+	peerH     cnet.StreamHandlers
+	reqFree   []*reqState
+	diskFree  []*diskOp
+	admitFree []*admitOp
+
+	// Per-send message pools (see messages.go): the final consumer
+	// releases each record back to its sender's pool.
+	respPool   cnet.MsgPool[RespMsg]
+	fwdPool    cnet.MsgPool[FwdMsg]
+	fwdRepPool cnet.MsgPool[FwdReplyMsg]
+	annPool    cnet.MsgPool[AnnounceMsg]
+	hbPool     cnet.MsgPool[HBMsg]
 
 	ring  ringDetector
 	stats Stats
@@ -57,7 +80,7 @@ type timerHandle interface{ Stop() bool }
 
 type pendingReq struct {
 	conn cnet.Conn
-	msg  ReqMsg
+	msg  *ReqMsg
 }
 
 type reqState struct {
@@ -65,6 +88,7 @@ type reqState struct {
 	doc         trace.DocID
 	client      cnet.Conn
 	forwardedTo cnet.NodeID
+	gen         uint64 // bumped on release; guards stale disk continuations
 }
 
 // New constructs and starts a PRESS server process on env. memb may be
@@ -72,25 +96,29 @@ type reqState struct {
 func New(cfg Config, env cnet.Env, disk DiskArray, memb MembershipView) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:         cfg,
-		env:         env,
-		disk:        disk,
-		memb:        memb,
-		cache:       newDocCache(cfg.Catalog.DocsFitting(cfg.CacheBytes)),
-		dir:         newDirectory(cfg.Nodes),
-		view:        map[cnet.NodeID]bool{cfg.Self: true},
-		peers:       make(map[cnet.NodeID]*peer),
-		inflight:    make(map[uint64]*reqState),
-		clientOf:    make(map[cnet.Conn]uint64),
-		inboundFrom: make(map[cnet.Conn]cnet.NodeID),
+		cfg:            cfg,
+		env:            env,
+		src:            metrics.InternSource(fmt.Sprintf("press/%d", cfg.Self)),
+		ringMissDetail: fmt.Sprintf("ring: %d heartbeats missed", cfg.HeartbeatMiss),
+		disk:           disk,
+		memb:           memb,
+		cache:          newDocCache(cfg.Catalog.DocsFitting(cfg.CacheBytes)),
+		dir:            newDirectory(cfg.Nodes),
+		view:           map[cnet.NodeID]bool{cfg.Self: true},
+		peers:          make(map[cnet.NodeID]*peer),
+		inflight:       make(map[uint64]*reqState),
+		clientOf:       make(map[cnet.Conn]uint64),
+		inboundFrom:    make(map[cnet.Conn]cnet.NodeID),
 	}
+	s.clientH = cnet.StreamHandlers{OnMessage: s.onClientMsg, OnClose: s.onClientClose}
+	s.peerH = cnet.StreamHandlers{OnMessage: s.onPeerMsg, OnClose: s.onPeerClose}
 	if cfg.QMon != nil {
 		s.qm = qmon.New(*cfg.QMon, qmon.Callbacks{
 			OnReroute: func(p cnet.NodeID) {
-				s.emit(metrics.EvQMonReroute, int(p), "queue overloaded")
+				s.emit(metrics.KQMonReroute, int(p), "queue overloaded")
 			},
 			OnFail: func(p cnet.NodeID) {
-				s.emit(metrics.EvQMonFail, int(p), "queue threshold crossed")
+				s.emit(metrics.KQMonFail, int(p), "queue threshold crossed")
 				s.emitDetect(int(p), "qmon")
 				s.exclude(p, "qmon")
 			},
@@ -104,7 +132,7 @@ func (s *Server) start() {
 	s.env.Listen(PortHTTP, s.acceptClient)
 	if !s.cfg.Cooperative {
 		s.joined = true
-		s.emit(metrics.EvServerUp, int(s.cfg.Self), "independent")
+		s.emit(metrics.KServerUp, int(s.cfg.Self), "independent")
 		return
 	}
 	s.env.Listen(PortPress, s.acceptPeer)
@@ -131,7 +159,7 @@ func (s *Server) start() {
 	if s.memb != nil {
 		s.memb.Subscribe(s.reconcileMembership)
 	}
-	s.emit(metrics.EvServerUp, int(s.cfg.Self), "cooperative")
+	s.emit(metrics.KServerUp, int(s.cfg.Self), "cooperative")
 }
 
 // adoptView installs a full view at join time.
@@ -174,7 +202,7 @@ func (s *Server) View() []cnet.NodeID {
 func (s *Server) Active() int { return s.active }
 
 // QueuedAccepts returns requests waiting for a slot.
-func (s *Server) QueuedAccepts() int { return len(s.acceptQ) }
+func (s *Server) QueuedAccepts() int { return len(s.acceptQ) - s.acceptHead }
 
 // Stats returns a copy of the server counters.
 func (s *Server) Stats() Stats { return s.stats }
@@ -188,7 +216,7 @@ func (s *Server) Joined() bool { return s.joined }
 // SendQueueLen reports the send-queue length towards peer (tests).
 func (s *Server) SendQueueLen(n cnet.NodeID) int {
 	if p := s.peers[n]; p != nil {
-		return len(p.sendQ)
+		return p.qlen()
 	}
 	return 0
 }
@@ -204,7 +232,7 @@ func (s *Server) include(n cnet.NodeID, why string) {
 	if s.qm != nil {
 		s.qm.ClearFailed(n)
 	}
-	s.emit(metrics.EvInclude, int(n), why)
+	s.emit(metrics.KInclude, int(n), why)
 	s.connectPeer(n)
 }
 
@@ -217,7 +245,7 @@ func (s *Server) exclude(n cnet.NodeID, why string) {
 	delete(s.view, n)
 	s.viewChanged()
 	s.stats.Excludes++
-	s.emit(metrics.EvExclude, int(n), why)
+	s.emit(metrics.KExclude, int(n), why)
 	s.dir.DropNode(n)
 	if s.qm != nil {
 		s.qm.Forget(n)
@@ -309,29 +337,32 @@ func (s *Server) onControl(from cnet.NodeID, m cnet.Message) {
 		if s.view[msg.Dead] {
 			s.exclude(msg.Dead, fmt.Sprintf("ring broadcast from %d", msg.From))
 		}
-	case AnnounceMsg:
-		if !s.view[msg.From] {
-			return
+	case *AnnounceMsg:
+		if s.view[msg.From] {
+			s.dir.Set(msg.From, msg.Doc, msg.Cached)
+			s.peerLoad(msg.From, msg.Load)
 		}
-		s.dir.Set(msg.From, msg.Doc, msg.Cached)
-		s.peerLoad(msg.From, msg.Load)
+		msg.Release()
 	}
 }
 
-func (s *Server) emit(kind string, node int, detail string) {
-	s.env.Events().Emit(s.env.Clock().Now(), fmt.Sprintf("press/%d", s.cfg.Self), kind, node, detail)
+func (s *Server) emit(kind metrics.KindID, node int, detail string) {
+	s.env.Events().EmitID(s.env.Clock().Now(), s.src, kind, node, detail)
 }
 
 func (s *Server) emitDetect(node int, by string) {
-	s.env.Events().Emit(s.env.Clock().Now(), fmt.Sprintf("press/%d", s.cfg.Self), metrics.EvDetect, node, by)
+	s.env.Events().EmitID(s.env.Clock().Now(), s.src, metrics.KDetect, node, by)
 }
 
-// announce broadcasts a caching decision to the cooperation set.
+// announce broadcasts a caching decision to the cooperation set. Each
+// destination gets its own pooled record — the receivers release
+// independently, so one record must never be shared across sends.
 func (s *Server) announce(doc trace.DocID, cached bool) {
 	for _, n := range s.sortedView() {
 		if n != s.cfg.Self {
-			s.env.Send(n, cnet.ClassIntra, PortControl,
-				AnnounceMsg{From: s.cfg.Self, Doc: doc, Cached: cached, Load: s.active}, sizeControl)
+			m := NewAnnounceMsg(&s.annPool)
+			m.From, m.Doc, m.Cached, m.Load = s.cfg.Self, doc, cached, s.active
+			s.env.Send(n, cnet.ClassIntra, PortControl, m, sizeControl)
 		}
 	}
 }

@@ -324,15 +324,14 @@ func TestProbeAnswered(t *testing.T) {
 	var resp *server.RespMsg
 	probe.Dial(0, cnet.ClassClient, server.PortHTTP, cnet.StreamHandlers{
 		OnMessage: func(c cnet.Conn, m cnet.Message) {
-			r := m.(server.RespMsg)
-			resp = &r
+			resp = m.(*server.RespMsg)
 		},
 	}, func(c cnet.Conn, err error) {
 		if err != nil {
 			t.Errorf("probe dial: %v", err)
 			return
 		}
-		c.TrySend(server.ReqMsg{ID: 1, Probe: true}, 64)
+		c.TrySend(&server.ReqMsg{ID: 1, Probe: true}, 64)
 	})
 	tc.run(time.Second)
 	if resp == nil || !resp.OK || !resp.Probe {

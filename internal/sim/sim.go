@@ -36,15 +36,15 @@ import (
 // recycled through the simulator's free list; callers hold generation-
 // counted Timer handles instead of event pointers.
 type event struct {
-	s     *Sim
-	at    time.Duration
-	seq   uint64 // tie-breaker: equal deadlines fire in scheduling order
-	index int    // heap position; -1 while not queued
-	gen   uint32 // bumped on every release; validates Timer handles
-	keep  bool   // owned by a Ticker: never returned to the free list
-	fn    func()
-	afn   func(any) // argument-passing form; fn and afn are exclusive
-	arg   any
+	s    *Sim
+	at   time.Duration
+	seq  uint64 // tie-breaker: equal deadlines fire in scheduling order
+	slot int32  // arena slot while queued; -1 while not queued
+	gen  uint32 // bumped on every release; validates Timer handles
+	keep bool   // owned by a Ticker: never returned to the free list
+	fn   func()
+	afn  func(any) // argument-passing form; fn and afn are exclusive
+	arg  any
 }
 
 // Timer is the cancellation handle for a scheduled event. It is a small
@@ -64,7 +64,7 @@ type Timer struct {
 // is no longer pending by the time its callback runs.
 func (t Timer) Stop() bool {
 	e := t.e
-	if e == nil || e.gen != t.gen || e.index < 0 {
+	if e == nil || e.gen != t.gen || e.slot < 0 {
 		return false
 	}
 	e.s.remove(e)
@@ -76,7 +76,7 @@ func (t Timer) Stop() bool {
 // still pending.
 func (t Timer) When() (time.Duration, bool) {
 	e := t.e
-	if e == nil || e.gen != t.gen || e.index < 0 {
+	if e == nil || e.gen != t.gen || e.slot < 0 {
 		return 0, false
 	}
 	return e.at, true
@@ -87,15 +87,18 @@ var _ clock.Timer = Timer{}
 // Sim is a discrete-event simulator instance. It is not safe for
 // concurrent use: all model code runs single-threaded inside Run/Step.
 type Sim struct {
-	now    time.Duration
-	heap   []*event
-	free   []*event
-	seq    uint64
-	seed   int64
-	fired  uint64
-	maxQ   int
-	live   int // events allocated and not on the free list
-	halted bool
+	now      time.Duration
+	heap     []heapEnt
+	slots    []*event // arena: slot id -> queued event
+	pos      []int32  // arena: slot id -> current heap position
+	slotFree []int32  // recycled slot ids (LIFO, deterministic)
+	free     []*event
+	seq      uint64
+	seed     int64
+	fired    uint64
+	maxQ     int
+	live     int // events allocated and not on the free list
+	halted   bool
 }
 
 // New returns an empty simulator whose clock reads zero. The seed is the
@@ -135,7 +138,7 @@ func (s *Sim) alloc() *event {
 		return e
 	}
 	s.live++
-	return &event{s: s, index: -1}
+	return &event{s: s, slot: -1}
 }
 
 // release recycles a no-longer-queued event. The generation bump
@@ -292,7 +295,7 @@ func (t *Ticker) Stop() bool {
 		return false
 	}
 	t.stopped = true
-	if t.e.index >= 0 {
+	if t.e.slot >= 0 {
 		t.s.remove(t.e)
 		return true
 	}
@@ -305,7 +308,7 @@ func (t *Ticker) Stop() bool {
 // it moves the pending deadline, reviving the ticker if stopped.
 func (t *Ticker) Reschedule(d time.Duration) {
 	t.stopped = false
-	if t.e.index >= 0 {
+	if t.e.slot >= 0 {
 		t.s.remove(t.e)
 	}
 	if t.firing {
@@ -386,47 +389,76 @@ var _ clock.Clock = (*Sim)(nil)
 
 // The heap is an indexed 4-ary min-heap ordered by (at, seq): shallower
 // than a binary heap (fewer cache-missing levels per sift) and inlined
-// rather than behind container/heap's interface dispatch. seq is unique,
-// so the order is a strict total order and pop order is fully
-// deterministic regardless of internal layout.
+// rather than behind container/heap's interface dispatch. Heap entries
+// are pointer-free — ordering key plus an arena slot id — so sift moves
+// are plain word copies with no GC write barrier and the heap slice is
+// never scanned; the event pointers live in a side arena (slots) written
+// only on push/pop/remove, with a second side array (pos) mapping slot id
+// to current heap position for cancellation. seq is unique, so the order
+// is a strict total order and pop order is fully deterministic regardless
+// of internal layout.
 
-func eventLess(a, b *event) bool {
+type heapEnt struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
+}
+
+func entLess(a, b heapEnt) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-// push appends e and sifts it up.
+// push assigns e an arena slot, appends its entry, and sifts it up.
 func (s *Sim) push(e *event) {
-	s.heap = append(s.heap, e)
-	e.index = len(s.heap) - 1
-	s.up(e.index)
+	var slot int32
+	if n := len(s.slotFree); n > 0 {
+		slot = s.slotFree[n-1]
+		s.slotFree = s.slotFree[:n-1]
+	} else {
+		slot = int32(len(s.slots))
+		s.slots = append(s.slots, nil)
+		s.pos = append(s.pos, 0)
+	}
+	s.slots[slot] = e
+	e.slot = slot
+	s.heap = append(s.heap, heapEnt{at: e.at, seq: e.seq, slot: slot})
+	i := len(s.heap) - 1
+	s.pos[slot] = int32(i)
+	s.up(i)
+}
+
+// freeSlot returns a slot id to the arena free list.
+func (s *Sim) freeSlot(slot int32) {
+	s.slots[slot] = nil
+	s.slotFree = append(s.slotFree, slot)
 }
 
 // up moves heap[i] towards the root until its parent is not greater.
 func (s *Sim) up(i int) {
-	h := s.heap
-	e := h[i]
+	h, pos := s.heap, s.pos
+	ent := h[i]
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !eventLess(e, h[p]) {
+		if !entLess(ent, h[p]) {
 			break
 		}
 		h[i] = h[p]
-		h[i].index = i
+		pos[h[i].slot] = int32(i)
 		i = p
 	}
-	h[i] = e
-	e.index = i
+	h[i] = ent
+	pos[ent.slot] = int32(i)
 }
 
 // down moves heap[i] towards the leaves while a child is smaller,
 // reporting whether it moved.
 func (s *Sim) down(i int) bool {
-	h := s.heap
+	h, pos := s.heap, s.pos
 	n := len(h)
-	e := h[i]
+	ent := h[i]
 	start := i
 	for {
 		c := i<<2 + 1 // first child
@@ -439,53 +471,54 @@ func (s *Sim) down(i int) bool {
 		}
 		best := c
 		for c++; c < end; c++ {
-			if eventLess(h[c], h[best]) {
+			if entLess(h[c], h[best]) {
 				best = c
 			}
 		}
-		if !eventLess(h[best], e) {
+		if !entLess(h[best], ent) {
 			break
 		}
 		h[i] = h[best]
-		h[i].index = i
+		pos[h[i].slot] = int32(i)
 		i = best
 	}
-	h[i] = e
-	e.index = i
+	h[i] = ent
+	pos[ent.slot] = int32(i)
 	return i != start
 }
 
-// pop removes and returns the minimum event, leaving index == -1.
+// pop removes and returns the minimum event, leaving slot == -1.
 func (s *Sim) pop() *event {
 	h := s.heap
-	e := h[0]
+	top := h[0]
+	e := s.slots[top.slot]
+	s.freeSlot(top.slot)
+	e.slot = -1
 	n := len(h) - 1
 	last := h[n]
-	h[n] = nil
 	s.heap = h[:n]
 	if n > 0 {
 		s.heap[0] = last
-		last.index = 0
+		s.pos[last.slot] = 0
 		s.down(0)
 	}
-	e.index = -1
 	return e
 }
 
 // remove deletes e from an arbitrary heap position.
 func (s *Sim) remove(e *event) {
-	i := e.index
+	i := int(s.pos[e.slot])
+	s.freeSlot(e.slot)
+	e.slot = -1
 	h := s.heap
 	n := len(h) - 1
 	last := h[n]
-	h[n] = nil
 	s.heap = h[:n]
 	if i < n {
 		h[i] = last
-		last.index = i
+		s.pos[last.slot] = int32(i)
 		if !s.down(i) {
 			s.up(i)
 		}
 	}
-	e.index = -1
 }

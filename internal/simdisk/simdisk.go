@@ -107,6 +107,49 @@ type Array struct {
 	idle    int            // free helper threads
 	blocked map[*Disk][]op // threads captured by a faulty device, with their ops
 	onSpace []func()
+	// spaceSpare is the previous onSpace backing array, swapped back in
+	// when finish drains the callbacks so steady-state NotifySpace
+	// registration allocates nothing.
+	spaceSpare []func()
+	svcFree    []*svcOp // recycled in-service records
+}
+
+// svcOp carries one in-service read through the sim kernel's pooled
+// argument timers, replacing a per-dispatch closure.
+type svcOp struct {
+	a *Array
+	d *Disk
+	o op
+}
+
+func (a *Array) getSvc() *svcOp {
+	if n := len(a.svcFree); n > 0 {
+		r := a.svcFree[n-1]
+		a.svcFree[n-1] = nil
+		a.svcFree = a.svcFree[:n-1]
+		return r
+	}
+	return &svcOp{a: a}
+}
+
+func (a *Array) putSvc(r *svcOp) {
+	r.d, r.o = nil, op{}
+	a.svcFree = append(a.svcFree, r)
+}
+
+// svcDone is the service-completion callback for Array.start.
+func svcDone(arg any) {
+	r := arg.(*svcOp)
+	a, d, o := r.a, r.d, r.o
+	a.putSvc(r)
+	if d.faulty {
+		// Fault arrived mid-service: the thread is now stuck.
+		a.blocked[d] = append(a.blocked[d], o)
+		return
+	}
+	d.reads++
+	a.finish()
+	o.done(true)
 }
 
 // NewArray builds the subsystem with n devices.
@@ -204,16 +247,9 @@ func (a *Array) start(o op) {
 		a.blocked[d] = append(a.blocked[d], o)
 		return
 	}
-	a.sim.After(d.serviceTime(), func() {
-		if d.faulty {
-			// Fault arrived mid-service: the thread is now stuck.
-			a.blocked[d] = append(a.blocked[d], o)
-			return
-		}
-		d.reads++
-		a.finish()
-		o.done(true)
-	})
+	r := a.getSvc()
+	r.d, r.o = d, o
+	a.sim.AfterArg(d.serviceTime(), svcDone, r)
 }
 
 // finish returns a thread to the pool and dispatches queued work.
@@ -226,11 +262,15 @@ func (a *Array) finish() {
 		a.start(next)
 	}
 	if !a.Full() && len(a.onSpace) > 0 {
+		// Swap buffers so callbacks registering anew (the common retry
+		// pattern) append into the spare array rather than a fresh one.
 		cbs := a.onSpace
-		a.onSpace = nil
-		for _, fn := range cbs {
+		a.onSpace = a.spaceSpare[:0]
+		for i, fn := range cbs {
+			cbs[i] = nil
 			fn()
 		}
+		a.spaceSpare = cbs[:0]
 	}
 }
 

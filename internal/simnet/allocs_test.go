@@ -1,0 +1,46 @@
+package simnet
+
+import (
+	"testing"
+
+	"press/internal/cnet"
+)
+
+// A stream round-trip (request in, reply out, both delivered) is the
+// inner loop of every episode. After the pools are warm — stream packets
+// and kernel events are both recycled — a full round-trip must not
+// allocate. This is the regression bound that keeps the episode
+// allocs/event budget honest at the transport layer.
+func TestStreamRoundTripAllocsPerRun(t *testing.T) {
+	s, n := newNet(t)
+	a := n.AddIface(0)
+	b := n.AddIface(1)
+	b.Listen("press", func(c cnet.Conn) cnet.StreamHandlers {
+		return cnet.StreamHandlers{
+			OnMessage: func(c cnet.Conn, m cnet.Message) { c.TrySend(m, 32) },
+		}
+	})
+	replies := 0
+	conn, err := dial(t, s, a, 1, "press", cnet.StreamHandlers{
+		OnMessage: func(c cnet.Conn, m cnet.Message) { replies++ },
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+
+	var msg cnet.Message = "ping" // pre-boxed so the loop measures only the transport
+	roundTrip := func() {
+		conn.TrySend(msg, 32)
+		s.Run()
+	}
+	for i := 0; i < 64; i++ {
+		roundTrip() // warm the packet and event pools
+	}
+	per := testing.AllocsPerRun(200, roundTrip)
+	if per > 0.05 {
+		t.Errorf("stream round-trip allocates %.3f objects; want 0 after pool warmup", per)
+	}
+	if replies < 264 {
+		t.Fatalf("only %d replies delivered", replies)
+	}
+}

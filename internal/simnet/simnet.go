@@ -441,8 +441,13 @@ func dialSyn(arg any) {
 		op.fail(cnet.ErrRefused, n.cfg.PropDelay)
 		return
 	}
-	local := &half{iface: i, class: op.class}
-	remote := &half{iface: dst, class: op.class}
+	// Both halves live in one allocation: a connection's endpoints share
+	// a lifetime (the pair is garbage only once both halves are closed
+	// and forgotten), so separate allocations buy nothing.
+	pair := &connPair{}
+	local, remote := &pair.dialer, &pair.acceptor
+	local.iface, local.class = i, op.class
+	remote.iface, remote.class = dst, op.class
 	local.peer, remote.peer = remote, local
 	i.conns = append(i.conns, local)
 	dst.conns = append(dst.conns, remote)
@@ -475,6 +480,11 @@ type StreamConn interface {
 	// half closes, whatever the path (local Close/Abort or peer-initiated)
 	// — the owner's bookkeeping hook.
 	SetCloseHook(func())
+	// SetOwnerSlot/OwnerSlot stash the owning process's bookkeeping index
+	// for this half, making its close-time removal O(1) instead of a
+	// scan. The value is opaque to simnet.
+	SetOwnerSlot(int)
+	OwnerSlot() int
 }
 
 // half is one direction-endpoint of a stream connection; cnet.Conn is
@@ -492,6 +502,14 @@ type half struct {
 	inTransit  int
 	wantWrite  bool
 	closeHook  func()
+	closeErr   error // pending verdict carried to deliverCloseArg
+	ownerSlot  int   // owning process's index for O(1) drop (opaque)
+}
+
+// connPair is the single allocation backing both halves of a connection.
+type connPair struct {
+	dialer   half
+	acceptor half
 }
 
 var _ cnet.Conn = (*half)(nil)
@@ -580,6 +598,12 @@ func (hc *half) Abort() { hc.shutdown(cnet.ErrReset) }
 // SetCloseHook implements StreamConn.
 func (hc *half) SetCloseHook(fn func()) { hc.closeHook = fn }
 
+// SetOwnerSlot implements StreamConn.
+func (hc *half) SetOwnerSlot(i int) { hc.ownerSlot = i }
+
+// OwnerSlot implements StreamConn.
+func (hc *half) OwnerSlot() int { return hc.ownerSlot }
+
 func (hc *half) ranCloseHook() {
 	if hc.closeHook != nil {
 		fn := hc.closeHook
@@ -600,10 +624,9 @@ func (hc *half) shutdown(peerErr error) {
 	if p == nil || p.closed || p.zombie {
 		return
 	}
+	p.closeErr = peerErr
 	net := hc.iface.net
-	net.sim.After(net.cfg.PropDelay, func() {
-		p.deliverClose(peerErr)
-	})
+	net.sim.AfterArg(net.cfg.PropDelay, deliverCloseArg, p)
 }
 
 // abortPeer delivers an immediate reset to the peer half (reboot RST).
@@ -615,8 +638,17 @@ func (hc *half) abortPeer(err error) {
 	if p == nil || p.closed || p.zombie {
 		return
 	}
+	p.closeErr = err
 	net := hc.iface.net
-	net.sim.After(net.cfg.PropDelay, func() { p.deliverClose(err) })
+	net.sim.AfterArg(net.cfg.PropDelay, deliverCloseArg, p)
+}
+
+// deliverCloseArg is the scheduled arrival of a peer's close: only the
+// peer half ever schedules it, at most once (its own closed guard), so
+// the pending verdict can ride on the target half itself.
+func deliverCloseArg(arg any) {
+	p := arg.(*half)
+	p.deliverClose(p.closeErr)
 }
 
 func (hc *half) deliverClose(err error) {
@@ -651,13 +683,19 @@ func (hc *half) setPaused(paused bool) {
 	if paused || hc.closed || hc.zombie {
 		return
 	}
-	// Drain buffered messages in order, then wake a stalled writer.
+	// Drain buffered messages in order, then wake a stalled writer. The
+	// backing array is handed back for reuse when the drain left no new
+	// buffer behind (an OnMessage may have re-paused and re-buffered).
 	buf := hc.buf
 	hc.buf = nil
-	for _, m := range buf {
+	for i, m := range buf {
+		buf[i] = nil
 		if hc.h.OnMessage != nil {
 			hc.h.OnMessage(hc, m)
 		}
+	}
+	if hc.buf == nil && !hc.closed && buf != nil {
+		hc.buf = buf[:0]
 	}
 	hc.notifyWritable()
 }

@@ -121,6 +121,9 @@ type Generator struct {
 	// reqFree recycles request records (and their once-built handler
 	// closures) so a steady-state request costs no heap allocation.
 	reqFree []*request
+	// reqPool recycles the ReqMsg wire records; the server releases them
+	// after admission.
+	reqPool cnet.MsgPool[server.ReqMsg]
 }
 
 // NewGenerator attaches a client driver to the network as node id.
@@ -259,13 +262,18 @@ func reqCompleteTimeout(arg any) {
 }
 
 func (r *request) onMessage(c cnet.Conn, m cnet.Message) {
-	resp, ok := m.(server.RespMsg)
-	if !ok || r.done {
+	resp, ok := m.(*server.RespMsg)
+	if !ok {
+		return
+	}
+	respOK := resp.OK
+	resp.Release() // final consumer: recycle into the server's pool
+	if r.done {
 		return
 	}
 	r.done = true
 	g := r.g
-	if resp.OK {
+	if respOK {
 		g.rec.Succeeded++
 		g.rec.Throughput.Add(g.sim.Now(), 1)
 		g.rec.latencySum += g.sim.Now() - r.now
@@ -296,7 +304,9 @@ func (r *request) dialResult(c cnet.Conn, err error) {
 		return
 	}
 	r.conn = c
-	c.TrySend(server.ReqMsg{ID: r.id, Doc: r.doc}, 256)
+	req := server.NewReqMsg(&r.g.reqPool)
+	req.ID, req.Doc = r.id, r.doc
+	c.TrySend(req, 256)
 	r.refs++
 	r.g.sim.AfterArg(r.g.cfg.CompleteTimeout, reqCompleteTimeout, r)
 	r.unref()

@@ -21,9 +21,9 @@ func fakeServer(s *sim.Sim, net *simnet.Network, id cnet.NodeID, delay time.Dura
 		ifc.Listen(server.PortHTTP, func(c cnet.Conn) cnet.StreamHandlers {
 			return cnet.StreamHandlers{
 				OnMessage: func(c cnet.Conn, m cnet.Message) {
-					req := m.(server.ReqMsg)
+					req := m.(*server.ReqMsg)
 					s.After(delay, func() {
-						c.TrySend(server.RespMsg{ID: req.ID, OK: true}, 27*1024)
+						c.TrySend(&server.RespMsg{ID: req.ID, OK: true}, 27*1024)
 					})
 				},
 			}
@@ -79,7 +79,7 @@ func TestRoundRobinSpreadsTargets(t *testing.T) {
 		ifc.Listen(server.PortHTTP, func(c cnet.Conn) cnet.StreamHandlers {
 			return cnet.StreamHandlers{OnMessage: func(c cnet.Conn, m cnet.Message) {
 				counts[i]++
-				c.TrySend(server.RespMsg{OK: true}, 1024)
+				c.TrySend(&server.RespMsg{OK: true}, 1024)
 			}}
 		})
 	}
