@@ -11,7 +11,7 @@ import (
 	"press/internal/sim"
 )
 
-// benchReport is the BENCH_5.json schema: the repo's standing performance
+// benchReport is the BENCH_6.json schema: the repo's standing performance
 // baseline, written by `reproduce -bench` and archived by the bench-smoke
 // CI job so kernel regressions show up as a diffable artifact. When the
 // prior baseline (-bench-base) is readable, a vs_base block records the
@@ -50,6 +50,18 @@ type benchReport struct {
 		WallSeconds float64 `json:"wall_seconds"`
 		Episodes    int     `json:"episodes"`
 	} `json:"campaign"`
+
+	// WarmFork compares a chaos campaign that re-warms the world per seed
+	// (cold start) against the same campaign forked from one warm
+	// snapshot. Serial (one worker), so the speedup is the sim-work ratio,
+	// not a parallelism artifact.
+	WarmFork struct {
+		Seeds           int     `json:"seeds"`
+		SnapshotBytes   int     `json:"snapshot_bytes"`
+		ColdWallSeconds float64 `json:"cold_wall_seconds"`
+		WarmWallSeconds float64 `json:"warm_wall_seconds"`
+		Speedup         float64 `json:"speedup"`
+	} `json:"warm_fork"`
 
 	// VsBase compares this run against the previous checked-in baseline
 	// (nil when the base file is absent or unreadable).
@@ -185,11 +197,67 @@ func benchCampaign(rep *benchReport, fast bool, seed int64) error {
 	return nil
 }
 
+// benchWarmFork times the same COOP chaos campaign twice on the serial
+// default engine: cold (every seed builds and re-warms its own world)
+// and warm-forked (one world warmed and snapshotted once, every seed
+// rehydrated from it). The profile is fixed — a long warm ramp and a
+// short fault horizon, the shape warm-forking exists for — so the
+// speedup is comparable across baselines regardless of -fast.
+func benchWarmFork(rep *benchReport, seed int64) error {
+	o := press.FastOptions(seed)
+	o.Rate = 100
+	o.Warmup = 10 * time.Minute
+	rc := press.ChaosRunConfig{
+		Settle:       10 * time.Second,
+		DrainGrace:   45 * time.Second,
+		ResetLimit:   60 * time.Second,
+		FinalObserve: 15 * time.Second,
+	}
+	cfg := press.ChaosCampaignConfig{
+		Seeds: press.ChaosSeeds(8),
+		Gen: press.ChaosGenConfig{
+			Horizon:   time.Minute,
+			MinActive: 15 * time.Second,
+			MaxActive: 40 * time.Second,
+			MaxFaults: 6,
+		},
+		Run: rc,
+	}
+	prev := press.SetWorkers(1)
+	defer press.SetWorkers(prev)
+
+	press.ResetCaches()
+	start := time.Now()
+	press.RunChaosCampaign(press.COOP, o, cfg)
+	cold := time.Since(start).Seconds()
+
+	press.ResetCaches()
+	start = time.Now()
+	if _, err := press.RunChaosCampaignForked(press.COOP, o, cfg); err != nil {
+		return err
+	}
+	warm := time.Since(start).Seconds()
+
+	// Memo hit: the forked campaign above already captured this snapshot.
+	snap, err := press.WarmChaosSnapshot(press.COOP, o, rc)
+	if err != nil {
+		return err
+	}
+	rep.WarmFork.Seeds = len(cfg.Seeds)
+	rep.WarmFork.SnapshotBytes = snap.Size()
+	rep.WarmFork.ColdWallSeconds = cold
+	rep.WarmFork.WarmWallSeconds = warm
+	if warm > 0 {
+		rep.WarmFork.Speedup = cold / warm
+	}
+	return nil
+}
+
 // runBench executes the -bench mode: measure, print a summary, write the
 // JSON baseline. Returns the process exit code.
 func runBench(fast bool, seed int64, out, basePath string) int {
 	rep := &benchReport{
-		Schema:    "press-bench/5",
+		Schema:    "press-bench/6",
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Fast:      fast,
 		Seed:      seed,
@@ -211,6 +279,15 @@ func runBench(fast bool, seed int64, out, basePath string) int {
 		return 1
 	}
 	fmt.Printf("  %d episodes in %.2fs\n", rep.Campaign.Episodes, rep.Campaign.WallSeconds)
+
+	fmt.Println("bench: warm-fork vs cold-start chaos campaign (serial) ...")
+	if err := benchWarmFork(rep, seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("  %d seeds: cold %.2fs, warm-forked %.2fs (%.2fx, snapshot %d bytes)\n",
+		rep.WarmFork.Seeds, rep.WarmFork.ColdWallSeconds, rep.WarmFork.WarmWallSeconds,
+		rep.WarmFork.Speedup, rep.WarmFork.SnapshotBytes)
 
 	if cmp := compareBase(rep, basePath); cmp != nil {
 		rep.VsBase = cmp

@@ -6,8 +6,9 @@
 //
 //	reproduce [-fig all|1a|1b|2|4|6|7|8|9a|9b|10|t1|t2] [-fast] [-seed N] [-o file] [-workers N]
 //	reproduce -chaos [-seeds N] [-version FME] [-shrink] [-repro-dir dir] [-fast]
+//	reproduce -chaos [-snapshot file.snap | -from-snapshot file.snap] ...
 //	reproduce -chaos-replay file.json
-//	reproduce -bench [-bench-out BENCH_5.json] [-bench-base BENCH_4.json] [-fast]
+//	reproduce -bench [-bench-out BENCH_6.json] [-bench-base BENCH_5.json] [-fast]
 //
 // Any mode accepts -cpuprofile/-memprofile/-trace to capture a pprof CPU
 // profile, a pprof allocation profile, or a runtime execution trace of
@@ -27,6 +28,14 @@
 // written as runnable repro files; the exit status is non-zero if any
 // seed violates. -chaos-replay re-executes such a repro file and reports
 // whether the recorded violation still reproduces.
+//
+// -snapshot warms the campaign's world once, writes the warm snapshot to
+// the named file, and runs the campaign warm-forked from it (every seed
+// rehydrates an independent copy instead of re-warming). -from-snapshot
+// skips the warm ramp entirely and forks the campaign from a previously
+// written snapshot file; the snapshot's envelope supplies the version
+// and world options, so -version/-fast are ignored. Snapshot-backed
+// campaigns are supported on the INDEP and COOP versions.
 package main
 
 import (
@@ -51,9 +60,11 @@ func main() {
 	shrink := flag.Bool("shrink", true, "chaos: shrink violating schedules before writing repros")
 	reproDir := flag.String("repro-dir", ".", "chaos: directory for violation repro files")
 	replay := flag.String("chaos-replay", "", "replay a chaos repro file and exit")
+	snapOut := flag.String("snapshot", "", "chaos: warm once, write the warm snapshot here, fork the campaign from it")
+	snapIn := flag.String("from-snapshot", "", "chaos: fork the campaign from this snapshot file instead of warming")
 	bench := flag.Bool("bench", false, "run the kernel/episode/campaign benchmark and write a JSON baseline")
-	benchOut := flag.String("bench-out", "BENCH_5.json", "bench: output path for the JSON baseline")
-	benchBase := flag.String("bench-base", "BENCH_4.json", "bench: prior baseline to embed a comparison against (absent file = no comparison)")
+	benchOut := flag.String("bench-out", "BENCH_6.json", "bench: output path for the JSON baseline")
+	benchBase := flag.String("bench-base", "BENCH_5.json", "bench: prior baseline to embed a comparison against (absent file = no comparison)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	traceFlag := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -80,7 +91,7 @@ func main() {
 		exit(runBench(*fast, *seed, *benchOut, *benchBase))
 	}
 	if *chaosMode {
-		exit(runChaosCampaign(press.Version(*version), *seeds, *fast, *seed, *shrink, *reproDir))
+		exit(runChaosCampaign(press.Version(*version), *seeds, *fast, *seed, *shrink, *reproDir, *snapOut, *snapIn))
 	}
 
 	var o press.Options
@@ -156,19 +167,59 @@ func main() {
 
 // runChaosCampaign executes the -chaos mode and returns the exit code:
 // 0 when every seed satisfies the invariant catalog, 1 otherwise (with a
-// repro file written per violating seed).
-func runChaosCampaign(v press.Version, nSeeds int, fast bool, seed int64, shrink bool, reproDir string) int {
+// repro file written per violating seed). A non-empty snapOut or snapIn
+// switches to the warm-fork path: one warmed world is captured (or read
+// from snapIn) and every seed forks an independent copy of it.
+func runChaosCampaign(v press.Version, nSeeds int, fast bool, seed int64, shrink bool, reproDir, snapOut, snapIn string) int {
 	var o press.Options
 	if fast {
 		o = press.FastOptions(seed)
 	} else {
 		o = press.Options{Seed: seed}
 	}
-	start := time.Now()
-	sum := press.RunChaosCampaign(v, o, press.ChaosCampaignConfig{
+	cfg := press.ChaosCampaignConfig{
 		Seeds:  press.ChaosSeeds(nSeeds),
 		Shrink: shrink,
-	})
+	}
+	start := time.Now()
+	var sum press.ChaosCampaignSummary
+	switch {
+	case snapIn != "":
+		data, err := os.ReadFile(snapIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		snap, err := press.LoadSnapshot(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("forking campaign from %s: %s @ %s (%d bytes, hash %.12s)\n",
+			snapIn, snap.Version, snap.At, snap.Size(), snap.Hash())
+		if sum, err = press.RunChaosCampaignFromSnapshot(snap, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	case snapOut != "":
+		snap, err := press.WarmChaosSnapshot(v, o, press.ChaosRunConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := os.WriteFile(snapOut, snap.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("wrote %s: %s @ %s (%d bytes, hash %.12s)\n",
+			snapOut, snap.Version, snap.At, snap.Size(), snap.Hash())
+		if sum, err = press.RunChaosCampaignFromSnapshot(snap, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	default:
+		sum = press.RunChaosCampaign(v, o, cfg)
+	}
 	fmt.Printf("%s(campaign took %.1fs)\n", sum, time.Since(start).Seconds())
 
 	code := 0

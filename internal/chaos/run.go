@@ -6,7 +6,6 @@ import (
 	"sync"
 	"time"
 
-	"press/internal/cnet"
 	"press/internal/faults"
 	"press/internal/harness"
 	"press/internal/metrics"
@@ -133,106 +132,12 @@ func (r Result) Serialize() []byte {
 func RunUncached(v harness.Version, o harness.Options, sched Schedule, rc RunConfig) (Result, error) {
 	rc = rc.withDefaults()
 	sched = sched.Canonical()
-	res := Result{Version: v, Schedule: sched}
 	if err := sched.Validate(); err != nil {
-		return res, err
+		return Result{Version: v, Schedule: sched}, err
 	}
-
-	c := harness.Build(v, o)
-	res.Log = c.Log
-	res.Nodes = len(c.Machines)
-
-	c.Gen.Start()
-	c.Sim.RunFor(c.Opts.Warmup + rc.Settle)
-	t0 := c.Sim.Now()
-	res.Start = t0
-
-	// Arm the whole schedule up front; the injector enforces slot
-	// conflicts, TargetHealthy skips arrivals whose target an earlier
-	// fault already took out (a crashed node cannot also lose its link).
-	actives := make([]*faults.Active, len(sched))
-	for i := range sched {
-		i, e := i, sched[i]
-		c.Sim.At(t0+e.At, func() {
-			if !c.Injector.Applicable(e.Fault) || !harness.TargetHealthy(c, e.Fault, e.Component) {
-				res.Skipped = append(res.Skipped, fmt.Sprintf("%s: target unavailable", e))
-				return
-			}
-			var a *faults.Active
-			var err error
-			if e.Flapping() {
-				a, err = c.Injector.InjectFlap(e.Fault, e.Component, faults.Flap{On: e.FlapOn, Off: e.FlapOff})
-			} else {
-				a, err = c.Injector.Inject(e.Fault, e.Component)
-			}
-			if err != nil {
-				res.Skipped = append(res.Skipped, fmt.Sprintf("%s: %v", e, err))
-				return
-			}
-			actives[i] = a
-		})
-		c.Sim.At(t0+e.End(), func() {
-			if actives[i] != nil {
-				_ = actives[i].Repair()
-				actives[i] = nil
-			}
-		})
-	}
-
-	c.Sim.RunUntil(t0 + sched.Horizon() + rc.DrainGrace)
-
-	// Recovery: self-reintegration first, then up to two operator
-	// rounds (§3's reset, compounded faults may need a second).
-	for round := 0; round < 2 && !c.Reintegrated(); round++ {
-		res.Resets++
-		c.OperatorReset()
-		deadline := c.Sim.Now() + rc.ResetLimit
-		for c.Sim.Now() < deadline && !c.Reintegrated() {
-			c.Sim.RunFor(2 * time.Second)
-		}
-	}
-	res.Reintegrated = c.Reintegrated()
-
-	c.Sim.RunFor(rc.FinalObserve)
-	res.End = c.Sim.Now()
-	c.Gen.Stop()
-	// Let in-flight requests reach their 2s-connect/6s-complete verdicts
-	// so the conservation counters balance.
-	c.Sim.RunFor(10 * time.Second)
-
-	res.Offered = c.Rec.Offered
-	res.Succeeded = c.Rec.Succeeded
-	res.Failed = c.Rec.Failed
-	res.Availability = c.Rec.Availability(res.Start, res.End)
-	res.Floor = analyticFloor(sched, res.End-res.Start, rc)
-	res.Series = c.Rec.Throughput
-
-	for i, m := range c.Machines {
-		if m.Up() {
-			res.LiveNodes++
-		}
-		if c.Version.Cooperative() {
-			views := 0
-			if srv := c.Server(i); srv != nil {
-				views = len(srv.View())
-			}
-			res.ViewSizes = append(res.ViewSizes, views)
-		}
-		if srv := c.Server(i); srv != nil {
-			for j := range c.Machines {
-				if i == j {
-					continue
-				}
-				if q := srv.SendQueueLen(cnet.NodeID(j)); q > res.SendQueueMax {
-					res.SendQueueMax = q
-				}
-			}
-		}
-	}
-	res.ActiveFaults = c.Injector.ActiveCount()
-	res.FMEActions = c.Log.Between(t0, res.End).Filter("", metrics.EvFMEAction).Count()
-	res.FMEMisses = fmeMisses(c, sched, t0)
-	return res, nil
+	r := newRunner(v, o, sched, rc)
+	r.advance(-1)
+	return r.res, nil
 }
 
 // fmeMisses checks the FME bound: on FME-bearing versions, a steady

@@ -1,0 +1,329 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"press/internal/cnet"
+	"press/internal/faults"
+	"press/internal/harness"
+	"press/internal/metrics"
+	"press/internal/sim"
+	"press/internal/snapio"
+)
+
+// The runner is RunUncached's control flow turned into an explicit state
+// machine so a run can stop at ANY simulated instant, be serialized into
+// a snapshot, and resume byte-identically in another world. The model:
+// the run is always "executing toward target"; when the clock reaches
+// the target, the pending phase transition runs and picks the next
+// target. advance(limit) stops BEFORE the transition when the limit is
+// reached, which makes every stop point (including the warm-fork point
+// at the end of warmup+settle, just before the schedule arms) a
+// pre-transition instant: the transition replays identically on resume.
+const (
+	phWarmup     uint8 = iota // load ramping; transition arms the schedule
+	phDrain                   // schedule playing out + drain grace; transition judges recovery
+	phPoll                    // 2s reintegration poll after an operator reset
+	phFinal                   // measured quiet span; transition stops the generator
+	phSettleReqs              // in-flight requests reach their verdicts; transition assembles
+	phDone
+)
+
+// settleSpan lets in-flight requests reach their 2s-connect/6s-complete
+// verdicts after the generator stops so the conservation counters
+// balance.
+const settleSpan = 10 * time.Second
+
+type runner struct {
+	c     *harness.Cluster
+	sched Schedule
+	rc    RunConfig
+	res   Result
+
+	t0       time.Duration // schedule t=0 on the sim clock
+	deadline time.Duration // current operator-reset wait bound
+	target   time.Duration // absolute time of the next transition
+	phase    uint8
+
+	// Per-schedule-entry state, allocated by arm. The timers are retained
+	// (unlike the original fire-and-forget Sim.At calls) so a snapshot can
+	// claim them from the pending table and a restore can re-arm them at
+	// their exact kernel slots.
+	actives []*faults.Active
+	injT    []sim.Timer
+	repT    []sim.Timer
+}
+
+// newRunner builds and starts one world. sched must already be
+// canonical and validated (nil is fine for a schedule-less warm world).
+func newRunner(v harness.Version, o harness.Options, sched Schedule, rc RunConfig) *runner {
+	r := &runner{sched: sched, rc: rc}
+	r.res = Result{Version: v, Schedule: sched}
+	r.c = harness.Build(v, o)
+	r.c.Gen.Start()
+	r.phase = phWarmup
+	r.target = r.c.Opts.Warmup + rc.Settle
+	return r
+}
+
+// advance drives the run forward. limit < 0 means to completion; a
+// non-negative limit stops the clock there, before any transition due
+// at that instant.
+func (r *runner) advance(limit time.Duration) {
+	for r.phase != phDone {
+		now := r.c.Sim.Now()
+		if limit >= 0 && now >= limit {
+			return
+		}
+		if now < r.target {
+			stop := r.target
+			if limit >= 0 && limit < stop {
+				stop = limit
+			}
+			r.c.Sim.RunUntil(stop)
+			if r.c.Sim.Now() < r.target {
+				return // stopped mid-phase at the limit
+			}
+			if limit >= 0 && r.c.Sim.Now() >= limit {
+				return // reached the target AND the limit: pre-transition stop
+			}
+		}
+		r.transition()
+	}
+}
+
+// done reports whether the run has fully completed (res is final).
+func (r *runner) done() bool { return r.phase == phDone }
+
+func (r *runner) transition() {
+	switch r.phase {
+	case phWarmup:
+		r.arm()
+	case phDrain:
+		r.verdict()
+	case phPoll:
+		r.pollCheck()
+	case phFinal:
+		r.res.End = r.c.Sim.Now()
+		r.c.Gen.Stop()
+		r.phase = phSettleReqs
+		r.target = r.c.Sim.Now() + settleSpan
+	case phSettleReqs:
+		r.assemble()
+		r.phase = phDone
+	}
+}
+
+// arm schedules the whole fault load up front, exactly as the paper's
+// driver does; the injector enforces slot conflicts and TargetHealthy
+// skips arrivals whose target an earlier fault already took out.
+func (r *runner) arm() {
+	t0 := r.c.Sim.Now()
+	r.t0 = t0
+	r.res.Start = t0
+	r.actives = make([]*faults.Active, len(r.sched))
+	r.injT = make([]sim.Timer, len(r.sched))
+	r.repT = make([]sim.Timer, len(r.sched))
+	for i := range r.sched {
+		i, e := i, r.sched[i]
+		r.injT[i] = r.c.Sim.At(t0+e.At, func() { r.fireInject(i) })
+		r.repT[i] = r.c.Sim.At(t0+e.End(), func() { r.fireRepair(i) })
+	}
+	r.phase = phDrain
+	r.target = t0 + r.sched.Horizon() + r.rc.DrainGrace
+}
+
+func (r *runner) fireInject(i int) {
+	e := r.sched[i]
+	if !r.c.Injector.Applicable(e.Fault) || !harness.TargetHealthy(r.c, e.Fault, e.Component) {
+		r.res.Skipped = append(r.res.Skipped, fmt.Sprintf("%s: target unavailable", e))
+		return
+	}
+	var a *faults.Active
+	var err error
+	if e.Flapping() {
+		a, err = r.c.Injector.InjectFlap(e.Fault, e.Component, faults.Flap{On: e.FlapOn, Off: e.FlapOff})
+	} else {
+		a, err = r.c.Injector.Inject(e.Fault, e.Component)
+	}
+	if err != nil {
+		r.res.Skipped = append(r.res.Skipped, fmt.Sprintf("%s: %v", e, err))
+		return
+	}
+	r.actives[i] = a
+}
+
+func (r *runner) fireRepair(i int) {
+	if r.actives[i] != nil {
+		_ = r.actives[i].Repair()
+		r.actives[i] = nil
+	}
+}
+
+// verdict runs at drain end and after each reset round: self-
+// reintegration first, then up to two operator rounds (§3's reset;
+// compound faults may legitimately need a second).
+func (r *runner) verdict() {
+	if r.res.Resets < 2 && !r.c.Reintegrated() {
+		r.res.Resets++
+		r.c.OperatorReset()
+		r.deadline = r.c.Sim.Now() + r.rc.ResetLimit
+		r.pollCheck()
+		return
+	}
+	r.res.Reintegrated = r.c.Reintegrated()
+	r.phase = phFinal
+	r.target = r.c.Sim.Now() + r.rc.FinalObserve
+}
+
+// pollCheck decides whether to keep polling for reintegration (2s
+// steps, the original inner loop) or hand the round back to verdict.
+func (r *runner) pollCheck() {
+	if r.c.Sim.Now() < r.deadline && !r.c.Reintegrated() {
+		r.phase = phPoll
+		r.target = r.c.Sim.Now() + 2*time.Second
+		return
+	}
+	r.verdict()
+}
+
+// assemble snapshots every probe the invariant catalog needs, in the
+// original RunUncached order.
+func (r *runner) assemble() {
+	c := r.c
+	res := &r.res
+	res.Log = c.Log
+	res.Nodes = len(c.Machines)
+	res.Offered = c.Rec.Offered
+	res.Succeeded = c.Rec.Succeeded
+	res.Failed = c.Rec.Failed
+	res.Availability = c.Rec.Availability(res.Start, res.End)
+	res.Floor = analyticFloor(r.sched, res.End-res.Start, r.rc)
+	res.Series = c.Rec.Throughput
+
+	for i, m := range c.Machines {
+		if m.Up() {
+			res.LiveNodes++
+		}
+		if c.Version.Cooperative() {
+			views := 0
+			if srv := c.Server(i); srv != nil {
+				views = len(srv.View())
+			}
+			res.ViewSizes = append(res.ViewSizes, views)
+		}
+		if srv := c.Server(i); srv != nil {
+			for j := range c.Machines {
+				if i == j {
+					continue
+				}
+				if q := srv.SendQueueLen(cnet.NodeID(j)); q > res.SendQueueMax {
+					res.SendQueueMax = q
+				}
+			}
+		}
+	}
+	res.ActiveFaults = c.Injector.ActiveCount()
+	res.FMEActions = c.Log.Between(r.t0, res.End).Filter("", metrics.EvFMEAction).Count()
+	res.FMEMisses = fmeMisses(c, r.sched, r.t0)
+}
+
+// encTimer claims one retained schedule timer from the pending table and
+// writes its kernel slot.
+func (r *runner) encTimer(ctx *snapio.Ctx, t sim.Timer, what string, i int) {
+	e := ctx.Enc
+	at, seq, ok := t.Key()
+	e.Bool(ok)
+	if !ok {
+		return
+	}
+	e.Dur(at)
+	e.U64(seq)
+	claimed := ctx.ClaimWhere(func(ev snapio.PendingEvent) bool {
+		return ev.At == at && ev.Seq == seq
+	})
+	if len(claimed) != 1 {
+		snapio.Failf("chaos: entry %d %s timer not in pending table", i, what)
+	}
+}
+
+// SaveExtra serializes the runner's driver state into the world stream's
+// extra slot (it implements snapshot.Extra). The per-entry section is
+// written only once the schedule has armed; an un-armed (warm-fork)
+// snapshot carries no schedule state at all, which is what lets a fork
+// substitute a different schedule.
+func (r *runner) SaveExtra(ctx *snapio.Ctx) {
+	e := ctx.Enc
+	e.Int(int(r.phase))
+	e.Dur(r.target)
+	e.Dur(r.t0)
+	e.Dur(r.deadline)
+	e.Dur(r.res.Start)
+	e.Dur(r.res.End)
+	e.Int(r.res.Resets)
+	e.Bool(r.res.Reintegrated)
+	e.Int(len(r.res.Skipped))
+	for _, s := range r.res.Skipped {
+		e.Str(s)
+	}
+	armed := r.phase != phWarmup
+	e.Bool(armed)
+	if !armed {
+		return
+	}
+	e.U64(r.sched.Hash())
+	for i := range r.sched {
+		r.encTimer(ctx, r.injT[i], "inject", i)
+		r.encTimer(ctx, r.repT[i], "repair", i)
+		e.Bool(r.actives[i] != nil)
+	}
+}
+
+// loadExtra mirrors SaveExtra against a restored cluster: pending
+// inject/repair fires re-arm at their exact kernel slots as fresh
+// closures, and each entry's Active handle re-links to the injector
+// record faults.LoadState rebuilt.
+func (r *runner) loadExtra(ctx *snapio.Ctx) {
+	d := ctx.Dec
+	r.phase = uint8(d.Int())
+	r.target = d.Dur()
+	r.t0 = d.Dur()
+	r.deadline = d.Dur()
+	r.res.Start = d.Dur()
+	r.res.End = d.Dur()
+	r.res.Resets = d.Int()
+	r.res.Reintegrated = d.Bool()
+	for k := d.Count(1 << 16); k > 0; k-- {
+		r.res.Skipped = append(r.res.Skipped, d.Str())
+	}
+	if !d.Bool() {
+		return // un-armed: this world accepts any schedule
+	}
+	if h := d.U64(); h != r.sched.Hash() {
+		snapio.Failf("chaos: snapshot armed with schedule %016x; cannot resume it as %016x", h, r.sched.Hash())
+	}
+	r.actives = make([]*faults.Active, len(r.sched))
+	r.injT = make([]sim.Timer, len(r.sched))
+	r.repT = make([]sim.Timer, len(r.sched))
+	decT := func(fn func()) sim.Timer {
+		if !d.Bool() {
+			return sim.Timer{}
+		}
+		at := d.Dur()
+		seq := d.U64()
+		return r.c.Sim.RestoreAt(at, seq, fn)
+	}
+	for i := range r.sched {
+		i, e := i, r.sched[i]
+		r.injT[i] = decT(func() { r.fireInject(i) })
+		r.repT[i] = decT(func() { r.fireRepair(i) })
+		if d.Bool() {
+			a := r.c.Injector.ActiveAt(e.Fault, e.Component)
+			if a == nil {
+				snapio.Failf("chaos: entry %d's active fault %v/%d missing after restore", i, e.Fault, e.Component)
+			}
+			r.actives[i] = a
+		}
+	}
+}

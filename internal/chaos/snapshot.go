@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"press/internal/harness"
+	"press/internal/snapio"
+	"press/internal/snapshot"
+)
+
+// Warm-fork campaigns: every seed of a campaign shares one world warmed
+// to the pre-arm point (warmup + settle). That world is captured once as
+// a snapshot and each seed forks an independent copy and arms its own
+// schedule — the expensive warm ramp is paid once instead of per seed.
+// A fork that runs a schedule produces the byte-identical Result the
+// cold RunUncached path produces for the same inputs, which is what the
+// equivalence tests pin.
+
+// WarmSnapshot builds, warms and captures one world for (v, o),
+// memoized on the harness engine's snapshot table (keyed separately
+// from the episode/campaign caches; the snapshot hash itself is the
+// content address downstream memo keys compose with). The capture point
+// is warmup + settle, immediately before a schedule would arm, so the
+// snapshot is schedule-free and any schedule can be forked onto it.
+func WarmSnapshot(v harness.Version, o harness.Options, rc RunConfig) (*snapshot.Snap, error) {
+	rc = rc.withDefaults()
+	key := fmt.Sprintf("warm|%s|%+v|%v", v, o, rc.Settle)
+	val, err := harness.SnapMemoized(key, func() (any, error) {
+		r := newRunner(v, o, nil, rc)
+		r.advance(r.target)
+		return snapshot.Take(r.c, r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return val.(*snapshot.Snap), nil
+}
+
+// RunWithSnapshotAt runs the schedule cold, pausing once when the sim
+// clock reaches the absolute time at to capture a snapshot, then
+// continues to completion. The pause is observationally free: the
+// returned Result is byte-identical to an uninterrupted RunUncached.
+func RunWithSnapshotAt(v harness.Version, o harness.Options, sched Schedule, rc RunConfig, at time.Duration) (Result, *snapshot.Snap, error) {
+	rc = rc.withDefaults()
+	sched = sched.Canonical()
+	if err := sched.Validate(); err != nil {
+		return Result{Version: v, Schedule: sched}, nil, err
+	}
+	r := newRunner(v, o, sched, rc)
+	r.advance(at)
+	snap, err := snapshot.Take(r.c, r)
+	if err != nil {
+		return Result{Version: v, Schedule: sched}, nil, err
+	}
+	r.advance(-1)
+	return r.res, snap, nil
+}
+
+// ResumeUncached restores a run from the snapshot and plays it to
+// completion, bypassing every memo (the equivalence tests need real
+// restored executions, not cache hits).
+func ResumeUncached(snap *snapshot.Snap, sched Schedule, rc RunConfig) (Result, error) {
+	rc = rc.withDefaults()
+	sched = sched.Canonical()
+	if err := sched.Validate(); err != nil {
+		return Result{Version: snap.Version, Schedule: sched}, err
+	}
+	r, err := restoreRunner(snap, sched, rc)
+	if err != nil {
+		return Result{Version: snap.Version, Schedule: sched}, err
+	}
+	r.advance(-1)
+	return r.res, nil
+}
+
+// restoreRunner rehydrates a runner from a snapshot with the given
+// schedule. If the snapshot was taken pre-arm the schedule arms on the
+// restored world; if it was taken mid-run the schedule must be the one
+// the snapshot was armed with.
+func restoreRunner(snap *snapshot.Snap, sched Schedule, rc RunConfig) (*runner, error) {
+	r := &runner{sched: sched, rc: rc}
+	r.res = Result{Version: snap.Version, Schedule: sched}
+	_, err := snap.Restore(func(c *harness.Cluster, ctx *snapio.Ctx) {
+		r.c = c
+		r.loadExtra(ctx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RunFromSnapshot forks one world from the snapshot, plays the schedule
+// to completion, and returns the Result. Memoized on the engine's
+// snapshot table under (snapshot hash, schedule hash, run config) — a
+// key that can never alias the cold-start caches, whose keys have no
+// content-hash dimension.
+func RunFromSnapshot(snap *snapshot.Snap, sched Schedule, rc RunConfig) (Result, error) {
+	rc = rc.withDefaults()
+	sched = sched.Canonical()
+	if err := sched.Validate(); err != nil {
+		return Result{Version: snap.Version, Schedule: sched}, err
+	}
+	key := fmt.Sprintf("fork|%s|%016x|%+v", snap.Hash(), sched.Hash(), rc)
+	val, err := harness.SnapMemoized(key, func() (any, error) {
+		r, err := restoreRunner(snap, sched, rc)
+		if err != nil {
+			return Result{}, err
+		}
+		r.advance(-1)
+		if !r.done() {
+			return Result{}, fmt.Errorf("chaos: forked run stalled in phase %d", r.phase)
+		}
+		return r.res, nil
+	})
+	if err != nil {
+		return Result{Version: snap.Version, Schedule: sched}, err
+	}
+	return val.(Result), nil
+}
+
+// RunCampaignForked is the warm-fork campaign: one world is warmed and
+// captured once, then every seed forks an independent copy and arms the
+// schedule Generate derives from that seed. Unlike RunCampaign — where
+// each seed also reseeds the world itself — every fork shares the base
+// world, so the seeds vary only the fault load. Each outcome records
+// the base world's options: replaying its schedule cold against them
+// (RunUncached) reproduces the forked result byte-identically.
+func RunCampaignForked(v harness.Version, o harness.Options, cfg CampaignConfig) (CampaignSummary, error) {
+	// Resolve the offered load exactly as RunCampaign does, so the forked
+	// and cold campaigns run identical worlds.
+	if o.Rate <= 0 {
+		base := o
+		base.Seed = 1
+		o.Rate = 0.9 * harness.Saturation(v, base)
+	}
+	snap, err := WarmSnapshot(v, o, cfg.Run)
+	if err != nil {
+		return CampaignSummary{Version: v}, err
+	}
+	return RunCampaignFromSnapshot(snap, cfg)
+}
+
+// RunCampaignFromSnapshot plays a campaign against an already-captured
+// warm snapshot (one taken by WarmSnapshot, possibly serialized to disk
+// and loaded back in a later process). The snapshot's envelope supplies
+// the version, the world options and the resolved offered load.
+func RunCampaignFromSnapshot(snap *snapshot.Snap, cfg CampaignConfig) (CampaignSummary, error) {
+	v := snap.Version
+	o := snap.Opts
+	o.Rate = snap.Rate // pin the resolved load so a cold replay matches
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = Seeds(4)
+	}
+	invs := cfg.Invariants
+	if invs == nil {
+		invs = DefaultInvariants()
+	}
+
+	sum := CampaignSummary{Version: v, Outcomes: make([]SeedOutcome, len(cfg.Seeds))}
+	var wg sync.WaitGroup
+	for i, seed := range cfg.Seeds {
+		i, seed := i, seed
+		wg.Add(1)
+		// Orchestration-only: RunFromSnapshot/Shrink take pool slots; the
+		// launcher goroutine itself never simulates.
+		go func() { //availlint:allow simgoroutine bounded by the harness worker pool
+			defer wg.Done()
+			oc := &sum.Outcomes[i]
+			oc.Seed = seed
+			genOpts := o
+			genOpts.Seed = seed
+			// The schedule comes from the seed (same generation as
+			// RunCampaign); the world it runs against is the shared base,
+			// so that is what the outcome records for replay.
+			oc.Options = o
+			oc.Schedule = Generate(seed, v, genOpts, cfg.Gen)
+			oc.Result, oc.Err = RunFromSnapshot(snap, oc.Schedule, cfg.Run)
+			if oc.Err != nil {
+				return
+			}
+			oc.Violations = Check(&oc.Result, invs)
+			if len(oc.Violations) > 0 && cfg.Shrink {
+				min, viol, stats, err := Shrink(v, o, cfg.Run, oc.Schedule, invs)
+				if err == nil {
+					oc.Minimal, oc.MinimalViol, oc.Stats = min, viol, stats
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return sum, nil
+}

@@ -1,0 +1,50 @@
+package clock
+
+import "time"
+
+// Snapshot support for FuncTicker. A ticker's pending one-shot timer is
+// owned by the underlying Clock; snapshot code saves its identity
+// through PendingTimer, and on restore rebuilds the ticker without
+// arming it (RestoreFuncTicker) then reattaches the re-armed timer with
+// AdoptTimer. FireFunc exposes the once-bound dispatch closure so the
+// timer's owner can re-arm it pointing at this ticker.
+
+// PendingTimer returns the ticker's current underlying timer handle
+// (nil when stopped or when the last firing has not rearmed — e.g. the
+// fire call sits in a process mailbox).
+func (t *FuncTicker) PendingTimer() Timer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.timer
+}
+
+// Stopped reports whether Stop ended the loop.
+func (t *FuncTicker) Stopped() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stopped
+}
+
+// RestoreFuncTicker rebuilds a ticker from snapshot state without
+// scheduling anything. The caller re-arms the pending fire (if any was
+// saved) through the clock's own restore path and hands the handle to
+// AdoptTimer.
+func RestoreFuncTicker(c Clock, period time.Duration, fn func(), stopped bool) *FuncTicker {
+	if fn == nil {
+		panic("clock: nil ticker function")
+	}
+	t := &FuncTicker{c: c, period: period, fn: fn, stopped: stopped}
+	t.fireFn = t.fire
+	return t
+}
+
+// FireFunc returns the bound dispatch closure a restored pending timer
+// must invoke.
+func (t *FuncTicker) FireFunc() func() { return t.fireFn }
+
+// AdoptTimer attaches a restored pending timer handle.
+func (t *FuncTicker) AdoptTimer(timer Timer) {
+	t.mu.Lock()
+	t.timer = timer
+	t.mu.Unlock()
+}

@@ -313,17 +313,45 @@ func (a *Active) apply() {
 	in, t, c := a.in, a.Type, a.Component
 	switch t {
 	case LinkDown:
-		ifc := in.t.Machines[c].Iface()
-		ifc.SetLink(false)
-		a.undo = func() { ifc.SetLink(true) }
+		in.t.Machines[c].Iface().SetLink(false)
 	case SwitchDown:
 		in.t.Net.SetSwitch(false)
-		a.undo = func() { in.t.Net.SetSwitch(true) }
+	case SCSITimeout:
+		in.t.Machines[c/2].Disks().Disks()[c%2].SetFaulty(true)
+	case NodeCrash:
+		in.t.Machines[c].Crash()
+	case NodeFreeze:
+		in.t.Machines[c].Freeze()
+	case AppCrash:
+		in.t.Machines[c].KillProc(in.t.AppProc)
+	case AppHang:
+		in.t.Machines[c].Proc(in.t.AppProc).Hang()
+	case FrontendFailure:
+		if in.t.Frontend == nil {
+			panic("faults: no front-end to fail")
+		}
+		in.t.Frontend.Crash()
+	default:
+		panic(fmt.Sprintf("faults: unknown type %v", t))
+	}
+	a.undo = in.undoFor(t, c)
+	in.emit(metrics.KFaultInject, c, a.detail())
+}
+
+// undoFor builds the repair closure for one fault slot against current
+// targets. Shared by apply and the snapshot restore path (which must
+// rebuild undo for an applied fault without re-imposing its effect).
+func (in *Injector) undoFor(t Type, c int) func() {
+	switch t {
+	case LinkDown:
+		ifc := in.t.Machines[c].Iface()
+		return func() { ifc.SetLink(true) }
+	case SwitchDown:
+		return func() { in.t.Net.SetSwitch(true) }
 	case SCSITimeout:
 		m := in.t.Machines[c/2]
 		d := m.Disks().Disks()[c%2]
-		d.SetFaulty(true)
-		a.undo = func() {
+		return func() {
 			d.SetFaulty(false)
 			// Repair crews boot the node back if it was taken offline
 			// (e.g. by FME's fault-model translation).
@@ -333,30 +361,21 @@ func (a *Active) apply() {
 		}
 	case NodeCrash:
 		m := in.t.Machines[c]
-		m.Crash()
-		a.undo = func() { m.Restart() }
+		return func() { m.Restart() }
 	case NodeFreeze:
 		m := in.t.Machines[c]
-		m.Freeze()
-		a.undo = func() { m.Unfreeze() }
+		return func() { m.Unfreeze() }
 	case AppCrash:
 		m := in.t.Machines[c]
-		m.KillProc(in.t.AppProc)
-		a.undo = func() { m.StartProc(in.t.AppProc) }
+		return func() { m.StartProc(in.t.AppProc) }
 	case AppHang:
 		p := in.t.Machines[c].Proc(in.t.AppProc)
-		p.Hang()
-		a.undo = func() { p.Unhang() }
+		return func() { p.Unhang() }
 	case FrontendFailure:
-		if in.t.Frontend == nil {
-			panic("faults: no front-end to fail")
-		}
-		in.t.Frontend.Crash()
-		a.undo = func() { in.t.Frontend.Restart() }
+		return func() { in.t.Frontend.Restart() }
 	default:
 		panic(fmt.Sprintf("faults: unknown type %v", t))
 	}
-	in.emit(metrics.KFaultInject, c, a.detail())
 }
 
 // unapply reverses the current application.

@@ -44,6 +44,8 @@ type Engine struct {
 	campMemo map[string]*campEntry
 	satMu    sync.Mutex
 	satMemo  map[string]*satEntry
+	snapMu   sync.Mutex
+	snapMemo map[string]*snapEntry
 }
 
 // NewEngine returns an engine bounded to the given number of concurrent
@@ -57,6 +59,7 @@ func NewEngine(workers int) *Engine {
 		epMemo:   map[string]*epEntry{},
 		campMemo: map[string]*campEntry{},
 		satMemo:  map[string]*satEntry{},
+		snapMemo: map[string]*snapEntry{},
 	}
 	e.poolCond = sync.NewCond(&e.poolMu)
 	return e
@@ -146,6 +149,48 @@ func (e *Engine) ResetMemos() {
 	e.satMu.Lock()
 	e.satMemo = map[string]*satEntry{}
 	e.satMu.Unlock()
+	e.snapMu.Lock()
+	e.snapMemo = map[string]*snapEntry{}
+	e.snapMu.Unlock()
+}
+
+// snapEntry is one singleflight slot in the snapshot-keyed memo table —
+// separate from the episode/campaign/saturation tables so snapshot-based
+// runs can never alias a cold-start cache entry (and so the 3-way
+// MemoStats hygiene contract stays intact).
+type snapEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// SnapMemoized returns the memoized value for key, computing it at most
+// once per engine. compute runs while holding one worker-pool slot, so it
+// must not re-enter RunOnPool (or any pool-holding entry point): with a
+// 1-slot pool that nesting would deadlock.
+func (e *Engine) SnapMemoized(key string, compute func() (any, error)) (any, error) {
+	e.snapMu.Lock()
+	if m, ok := e.snapMemo[key]; ok {
+		e.snapMu.Unlock()
+		<-m.done
+		return m.val, m.err
+	}
+	m := &snapEntry{done: make(chan struct{})}
+	e.snapMemo[key] = m
+	e.snapMu.Unlock()
+
+	e.acquireSlot()
+	m.val, m.err = compute()
+	e.releaseSlot()
+	close(m.done)
+	return m.val, m.err
+}
+
+// SnapMemoStats reports how many snapshot-keyed results are memoized.
+func (e *Engine) SnapMemoStats() int {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	return len(e.snapMemo)
 }
 
 // episodeKey identifies one memoizable episode. Options and
@@ -288,3 +333,11 @@ func ResetMemos() { defaultEngine.ResetMemos() }
 func RunEpisode(v Version, o Options, f faults.Type, comp int, sched EpisodeSchedule) (Episode, error) {
 	return defaultEngine.RunEpisode(v, o, f, comp, sched)
 }
+
+// SnapMemoized memoizes on the default engine's snapshot table.
+func SnapMemoized(key string, compute func() (any, error)) (any, error) {
+	return defaultEngine.SnapMemoized(key, compute)
+}
+
+// SnapMemoStats reports the default engine's snapshot-memo size.
+func SnapMemoStats() int { return defaultEngine.SnapMemoStats() }

@@ -22,6 +22,7 @@ import (
 	"press/internal/sim"
 	"press/internal/simdisk"
 	"press/internal/simnet"
+	"press/internal/snapio"
 	"press/internal/trace"
 	"press/internal/workload"
 )
@@ -205,10 +206,13 @@ type Cluster struct {
 	Gen *workload.Generator
 
 	servers []**server.Server
+	srvCfgs []server.Config
 	fe      **frontend.Frontend
 	feb     **frontend.Frontend
 	standby **frontend.Standby
-	offered float64
+
+	genTargets []cnet.NodeID
+	offered    float64
 }
 
 // Offered returns the offered load the cluster was built with.
@@ -259,7 +263,29 @@ func Build(v Version, o Options) *Cluster { return defaultEngine.Build(v, o) }
 // the auto-resolving saturation probe is memoized on this engine.
 func (e *Engine) Build(v Version, o Options) *Cluster {
 	o = o.withDefaults()
+	c := buildWorld(v, o, false)
+	rate := o.Rate
+	if rate <= 0 {
+		rate = 0.9 * e.Saturation(v, o)
+	}
+	c.attachWorkload(rate)
+	return c
+}
+
+// buildWorld constructs the topology: simulator, network, machines,
+// processes, injector — everything except the load generator. cold
+// registers processes without booting them (the snapshot restore path:
+// the rehydrated state arrives afterwards, and a virgin kernel must see
+// no stray boot events).
+func buildWorld(v Version, o Options, cold bool) *Cluster {
 	t := versionTraits(v)
+	addProc := func(m *machine.Machine, name string, start func(*machine.Env)) {
+		if cold {
+			m.AddProcCold(name, start)
+		} else {
+			m.AddProc(name, start)
+		}
+	}
 	s := sim.New(o.Seed)
 	log := &metrics.Log{}
 	net := simnet.New(s, simnet.DefaultConfig(), log)
@@ -286,7 +312,7 @@ func (e *Engine) Build(v Version, o Options) *Cluster {
 		var pub *membership.Published
 		if t.memb {
 			pub = &membership.Published{}
-			m.AddProc("membd", func(env *machine.Env) {
+			addProc(m, "membd", func(env *machine.Env) {
 				membership.NewDaemon(membership.Config{
 					Self:     ids[i],
 					HBPeriod: o.HeartbeatPeriod,
@@ -295,7 +321,7 @@ func (e *Engine) Build(v Version, o Options) *Cluster {
 			})
 		}
 		if t.fe {
-			m.AddProc("icmp", func(env *machine.Env) { frontend.NewPingResponder(env) })
+			addProc(m, "icmp", func(env *machine.Env) { frontend.NewPingResponder(env) })
 		}
 
 		holder := new(*server.Server)
@@ -314,7 +340,8 @@ func (e *Engine) Build(v Version, o Options) *Cluster {
 			qc := qmon.DefaultConfig()
 			cfg.QMon = &qc
 		}
-		m.AddProc("press", func(env *machine.Env) {
+		c.srvCfgs = append(c.srvCfgs, cfg)
+		addProc(m, "press", func(env *machine.Env) {
 			var mv server.MembershipView
 			if pub != nil {
 				mv = membership.NewClient(env, pub, time.Second)
@@ -323,7 +350,7 @@ func (e *Engine) Build(v Version, o Options) *Cluster {
 		})
 
 		if t.fme {
-			m.AddProc("fme", func(env *machine.Env) {
+			addProc(m, "fme", func(env *machine.Env) {
 				fme.NewDaemon(fme.Config{
 					Self:        ids[i],
 					ProbePeriod: o.HeartbeatPeriod,
@@ -348,7 +375,7 @@ func (e *Engine) Build(v Version, o Options) *Cluster {
 		}
 		c.FEMach = machine.New(s, net, feNodeID, nil, log)
 		c.fe = new(*frontend.Frontend)
-		c.FEMach.AddProc("frontend", func(env *machine.Env) {
+		addProc(c.FEMach, "frontend", func(env *machine.Env) {
 			*c.fe = frontend.New(feCfg, env)
 		})
 		targets = []cnet.NodeID{feNodeID}
@@ -357,16 +384,16 @@ func (e *Engine) Build(v Version, o Options) *Cluster {
 			// Primary/standby pair behind a virtual address (§4.1's
 			// "redundant front-end, heartbeats, and IP take-over").
 			net.SetAlias(feVIP, feNodeID)
-			c.FEMach.AddProc("fepair", func(env *machine.Env) { frontend.NewPairResponder(env) })
+			addProc(c.FEMach, "fepair", func(env *machine.Env) { frontend.NewPairResponder(env) })
 			c.FEBackup = machine.New(s, net, feBackupID, nil, log)
 			c.feb = new(*frontend.Frontend)
 			c.standby = new(*frontend.Standby)
 			backupCfg := feCfg
 			backupCfg.Self = feBackupID
-			c.FEBackup.AddProc("frontend", func(env *machine.Env) {
+			addProc(c.FEBackup, "frontend", func(env *machine.Env) {
 				*c.feb = frontend.New(backupCfg, env)
 			})
-			c.FEBackup.AddProc("standby", func(env *machine.Env) {
+			addProc(c.FEBackup, "standby", func(env *machine.Env) {
 				*c.standby = frontend.NewStandby(frontend.StandbyConfig{
 					Self:     feBackupID,
 					Primary:  feNodeID,
@@ -384,18 +411,44 @@ func (e *Engine) Build(v Version, o Options) *Cluster {
 		AppProc:  "press",
 	})
 
-	rate := o.Rate
-	if rate <= 0 {
-		rate = 0.9 * e.Saturation(v, o)
-	}
+	c.genTargets = targets
+	return c
+}
+
+// attachWorkload finishes a built world with its load generator at the
+// resolved offered rate.
+func (c *Cluster) attachWorkload(rate float64) {
 	c.offered = rate
 	c.Rec = workload.NewRecorder()
-	c.Gen = workload.NewGenerator(s, net, clientNodeID, workload.Config{
+	c.Gen = workload.NewGenerator(c.Sim, c.Net, clientNodeID, workload.Config{
 		Rate:    rate,
-		Targets: targets,
-		Catalog: cat,
-		RampUp:  o.Warmup,
+		Targets: c.genTargets,
+		Catalog: c.Catalog,
+		RampUp:  c.Opts.Warmup,
 	}, c.Rec)
+}
+
+// snapshotSupported reports whether the snapshot engine covers this
+// version (phase 1: the plain independent and base cooperative worlds —
+// no front-end tier, membership, qmon, or FME daemons yet).
+func snapshotSupported(t traits) bool {
+	return t == traits{} || t == (traits{cooperative: true, ring: true})
+}
+
+// BuildForRestore constructs a cold world ready for RestoreWorld: same
+// topology as Build, but no process boots the virgin kernel, and the
+// offered rate must already be resolved (it is recorded in the snapshot
+// envelope — the saturation probe must not rerun).
+func BuildForRestore(v Version, o Options, rate float64) *Cluster {
+	o = o.withDefaults()
+	if !snapshotSupported(versionTraits(v)) {
+		snapio.Failf("harness: version %s not supported by snapshots (phase 1: INDEP, COOP)", v)
+	}
+	if rate <= 0 {
+		snapio.Failf("harness: BuildForRestore needs a resolved rate, got %v", rate)
+	}
+	c := buildWorld(v, o, true)
+	c.attachWorkload(rate)
 	return c
 }
 

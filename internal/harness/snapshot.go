@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"time"
+
+	"press/internal/server"
+	"press/internal/snapio"
+)
+
+// World serialization: the harness owns the section order because it is
+// the only layer that sees every subsystem. The envelope (magic, format
+// version, options, offered rate) is written by internal/snapshot; this
+// file serializes everything inside one built world, in an order chosen
+// so that save and load read the same linear byte stream:
+//
+//	metrics log → network core → machines → per-node server sections →
+//	workload → fault injector → disks → caller extra → network pending
+//	events → connection tables → kernel counters.
+//
+// The network core comes first because it registers every interface's
+// connection halves in ctx.Conns in deterministic order; the pending and
+// connection tables come last because by then every owner (dial records,
+// disk operations, requests) has registered in ctx.Owners; the kernel
+// counters come very last so SetCounters overwrites whatever bookkeeping
+// the re-arming of events touched.
+
+// Per-node server section tags. A node whose press process died keeps a
+// stale *Server holder that OperatorReset and the chaos result assembly
+// still read; it is saved as a husk (observable accessors only).
+const (
+	srvNone = iota // holder is nil (never booted)
+	srvLive        // press alive: full state
+	srvHusk        // press dead: stats, view, queue lengths
+)
+
+// SaveWorld serializes the cluster's complete dynamic state. extra, when
+// non-nil, is invoked between the subsystem sections and the network
+// tables — the slot where a driver (the chaos runner) saves its own
+// pending timers, which must still claim from the pending table.
+func (c *Cluster) SaveWorld(ctx *snapio.Ctx, extra func(*snapio.Ctx)) {
+	if !snapshotSupported(c.Traits) {
+		snapio.Failf("harness: version %s not supported by snapshots (phase 1: INDEP, COOP)", c.Version)
+	}
+
+	var evs []snapio.PendingEvent
+	c.Sim.VisitPending(func(at time.Duration, seq uint64, afn func(any), arg any, fn func()) {
+		evs = append(evs, snapio.PendingEvent{At: at, Seq: seq, AFn: afn, Arg: arg, Fn: fn})
+	})
+	ctx.SetPending(evs)
+
+	c.Log.SaveState(ctx)
+	c.Net.SaveCore(ctx)
+	for _, m := range c.Machines {
+		m.SaveState(ctx)
+	}
+	e := ctx.Enc
+	for i, m := range c.Machines {
+		srv := *c.servers[i]
+		p := m.Proc("press")
+		switch {
+		case srv == nil:
+			e.Int(srvNone)
+		case p != nil && p.Alive():
+			e.Int(srvLive)
+			srv.SaveState(ctx)
+		default:
+			e.Int(srvHusk)
+			srv.SaveHusk(ctx)
+		}
+	}
+	c.Gen.SaveState(ctx)
+	c.Injector.SaveState(ctx)
+	for _, m := range c.Machines {
+		m.Disks().SaveState(ctx)
+	}
+	if extra != nil {
+		extra(ctx)
+	}
+	c.Net.SavePending(ctx)
+	c.Net.SaveConns(ctx)
+
+	if un := ctx.Unclaimed(); len(un) > 0 {
+		ev := un[0]
+		name := snapio.FnName(ev.AFn)
+		if ev.AFn == nil {
+			name = snapio.FnName(ev.Fn)
+		}
+		snapio.Failf("harness: %d unclaimed pending events after save; first %s at %v seq %d",
+			len(un), name, ev.At, ev.Seq)
+	}
+
+	now, seq, fired, maxQ := c.Sim.Counters()
+	e.Dur(now)
+	e.U64(seq)
+	e.U64(fired)
+	e.Int(maxQ)
+}
+
+// RestoreWorld builds a cold world and rehydrates SaveWorld's stream
+// into it. extra mirrors SaveWorld's hook and runs at the same stream
+// position. The returned cluster continues byte-identically to the one
+// that was saved.
+func RestoreWorld(v Version, o Options, rate float64, ctx *snapio.Ctx, extra func(*Cluster, *snapio.Ctx)) *Cluster {
+	c := BuildForRestore(v, o, rate)
+	if n := c.Sim.Pending(); n != 0 {
+		snapio.Failf("harness: cold world booted %d stray kernel events", n)
+	}
+
+	c.Log.LoadState(ctx)
+	c.Net.LoadCore(ctx)
+	for _, m := range c.Machines {
+		m.LoadState(ctx)
+	}
+	d := ctx.Dec
+	for i, m := range c.Machines {
+		switch tag := d.Int(); tag {
+		case srvNone:
+		case srvLive:
+			*c.servers[i] = server.Restore(c.srvCfgs[i], m.RestoreEnv("press"), m.Disks(), nil, ctx)
+		case srvHusk:
+			*c.servers[i] = server.RestoreHusk(ctx)
+		default:
+			snapio.Failf("harness: bad server section tag %d for node %d", tag, i)
+		}
+	}
+	for _, m := range c.Machines {
+		m.FinishRestore(ctx)
+	}
+	c.Gen.LoadState(ctx)
+	c.Injector.LoadState(ctx)
+	for _, m := range c.Machines {
+		m.Disks().LoadState(ctx)
+	}
+	if extra != nil {
+		extra(c, ctx)
+	}
+	c.Net.LoadPending(ctx)
+	c.Net.LoadConns(ctx)
+
+	now := d.Dur()
+	seq := d.U64()
+	fired := d.U64()
+	maxQ := d.Int()
+	c.Sim.SetCounters(now, seq, fired, maxQ)
+	return c
+}

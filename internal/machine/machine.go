@@ -54,6 +54,14 @@ type Machine struct {
 	dialFree  []*dialRec
 	closeFree []*closeRec
 	timerFree []*timerRec
+
+	// dials is the registry of in-flight dial records (issued, result not
+	// yet delivered), kept so snapshots can enumerate them. Registered in
+	// Env.Dial, removed when the record is released.
+	dials []*dialRec
+
+	// rst holds machine-level restore scratch; nil outside a restore.
+	rst *machineRestore
 }
 
 // New attaches a machine to the network. disks may be nil for hosts
@@ -90,15 +98,24 @@ func (m *Machine) Up() bool { return m.state == simnet.NodeUp }
 // every (re)start, so components rebuild all state from scratch exactly
 // like a restarted Unix process.
 func (m *Machine) AddProc(name string, start func(env *Env)) *Proc {
+	p := m.AddProcCold(name, start)
+	if m.state == simnet.NodeUp {
+		p.boot()
+	}
+	return p
+}
+
+// AddProcCold registers a process without booting it: the snapshot
+// restore path builds the full topology first (so no stray boot events
+// reach a virgin kernel) and rehydrates process state afterwards. The
+// start function still serves future restarts.
+func (m *Machine) AddProcCold(name string, start func(env *Env)) *Proc {
 	if _, dup := m.procs[name]; dup {
 		panic("machine: duplicate proc " + name)
 	}
 	p := &Proc{m: m, name: name, start: start}
 	m.procs[name] = p
 	m.order = append(m.order, name)
-	if m.state == simnet.NodeUp {
-		p.boot()
-	}
 	return p
 }
 
@@ -204,6 +221,14 @@ type Proc struct {
 	resume      resumeRec
 	env         *Env
 	conns       []simnet.StreamConn
+
+	// timerSeq numbers every proc-clock timer ever armed, monotonically
+	// across incarnations, giving components a serializable identity for
+	// retained timer handles.
+	timerSeq uint64
+
+	// rst holds restore-only scratch state; nil outside a restore.
+	rst *procRestore
 }
 
 // call is one mailbox entry. Stream/datagram/dial callbacks at packet
@@ -224,6 +249,13 @@ type call struct {
 	m    cnet.Message
 	from cnet.NodeID
 	err  error
+
+	// Snapshot tags: enough identity to rebuild the entry's callback on
+	// restore (the function values themselves cannot be serialized).
+	// dial distinguishes a dial result from an OnClose — both post rfn.
+	dial bool
+	to   cnet.NodeID // dial destination
+	port string      // dgram port / dial port
 }
 
 func (c *call) dispatch() {
@@ -520,6 +552,9 @@ type dialRec struct {
 	result func(cnet.Conn, error)
 	wr     *wrapRec
 	cb     func(cnet.Conn, error)
+	to     cnet.NodeID // snapshot identity of the dial
+	port   string
+	slot   int // index in Machine.dials while in flight
 }
 
 func (m *Machine) getDial() *dialRec {
@@ -550,14 +585,23 @@ func (m *Machine) getDial() *dialRec {
 		} else {
 			mm.putWrap(r.wr)
 		}
-		e.p.postCall(call{rfn: r.result, env: e, c: c, err: err})
+		e.p.postCall(call{rfn: r.result, env: e, c: c, err: err, dial: true, to: r.to, port: r.port})
 		mm.putDial(r)
 	}
 	return r
 }
 
 func (m *Machine) putDial(r *dialRec) {
+	if r.slot >= 0 && r.slot < len(m.dials) && m.dials[r.slot] == r {
+		last := len(m.dials) - 1
+		moved := m.dials[last]
+		m.dials[r.slot] = moved
+		moved.slot = r.slot
+		m.dials[last] = nil
+		m.dials = m.dials[:last]
+	}
 	r.e, r.result, r.wr = nil, nil, nil
+	r.to, r.port, r.slot = cnet.None, "", -1
 	m.dialFree = append(m.dialFree, r)
 }
 
@@ -604,8 +648,9 @@ func (m *Machine) putClose(r *closeRec) {
 // death of its incarnation). Stopped timers leak their record to the GC,
 // which is rare and harmless.
 type timerRec struct {
-	e  *Env
-	fn func()
+	e      *Env
+	fn     func()
+	serial uint64
 }
 
 func (m *Machine) getTimer() *timerRec {
@@ -619,7 +664,7 @@ func (m *Machine) getTimer() *timerRec {
 }
 
 func (m *Machine) putTimer(r *timerRec) {
-	r.e, r.fn = nil, nil
+	r.e, r.fn, r.serial = nil, nil, 0
 	m.timerFree = append(m.timerFree, r)
 }
 
@@ -645,6 +690,10 @@ type Env struct {
 	rand        *rand.Rand
 	dgramPorts  []string
 	listenPorts []string
+
+	// dgramH keeps the raw component handler per bound port so snapshot
+	// restore can rebuild pending mailbox datagram entries.
+	dgramH map[string]func(from cnet.NodeID, m cnet.Message)
 }
 
 func (e *Env) live() bool { return e.p.alive && e.p.incarnation == e.inc }
@@ -728,11 +777,15 @@ func (e *Env) BindDatagram(port string, h func(from cnet.NodeID, m cnet.Message)
 		return
 	}
 	e.dgramPorts = append(e.dgramPorts, port)
+	if e.dgramH == nil {
+		e.dgramH = make(map[string]func(cnet.NodeID, cnet.Message))
+	}
+	e.dgramH[port] = h
 	e.p.m.iface.BindDatagram(port, func(from cnet.NodeID, m cnet.Message) {
 		if !e.live() || !e.p.runnable() {
 			return
 		}
-		e.p.postCall(call{dfn: h, env: e, from: from, m: m})
+		e.p.postCall(call{dfn: h, env: e, from: from, m: m, port: port})
 	})
 }
 
@@ -745,6 +798,10 @@ func (e *Env) Dial(to cnet.NodeID, class cnet.Class, port string, h cnet.StreamH
 	wr.e, wr.h = e, h
 	dr := e.p.m.getDial()
 	dr.e, dr.result, dr.wr = e, result, wr
+	dr.to, dr.port = to, port
+	dr.slot = len(e.p.m.dials)
+	e.p.m.dials = append(e.p.m.dials, dr)
+	e.p.m.iface.Network().SetNextDialOwner(dr)
 	e.p.m.iface.Dial(to, class, port, wr.w, dr.cb)
 }
 
@@ -782,8 +839,9 @@ func (pc procClock) AfterFunc(d time.Duration, fn func()) clock.Timer {
 		return deadTimer{}
 	}
 	r := e.p.m.getTimer()
-	r.e, r.fn = e, fn
-	return e.p.m.sim.AfterArg(d, procTimerFire, r)
+	e.p.timerSeq++
+	r.e, r.fn, r.serial = e, fn, e.p.timerSeq
+	return procTimer{t: e.p.m.sim.AfterArg(d, procTimerFire, r), serial: r.serial}
 }
 
 // Every delivers a periodic callback through the process mailbox. The
@@ -797,6 +855,23 @@ func (pc procClock) Every(d time.Duration, fn func()) clock.Ticker {
 	}
 	return clock.NewFuncTicker(pc, d, fn)
 }
+
+// procTimer is the handle AfterFunc returns: the kernel timer plus the
+// proc-scoped serial snapshots use to re-identify pending timers. It
+// holds the concrete kernel handle — not a clock.Timer interface — so
+// returning it costs one interface allocation, not two (the heartbeat
+// rearm path is allocation-budgeted). The zero kernel handle is inert,
+// which is exactly what a restored fire-in-mailbox/spent handle needs.
+type procTimer struct {
+	t      sim.Timer
+	serial uint64
+}
+
+func (t procTimer) Stop() bool { return t.t.Stop() }
+
+// TimerSerial exposes the serial; components assert for it structurally
+// (interface{ TimerSerial() uint64 }) when saving retained handles.
+func (t procTimer) TimerSerial() uint64 { return t.serial }
 
 type deadTimer struct{}
 

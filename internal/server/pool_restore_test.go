@@ -1,0 +1,34 @@
+package server_test
+
+import (
+	"testing"
+
+	"press/internal/cnet"
+	"press/internal/server"
+)
+
+// TestPoolLessRecordsStayOutOfPools pins the free-list audit's MsgPool
+// rule: cnet.MsgPool free lists carry no generation counters, so they
+// must never receive records they did not hand out. Snapshot restore
+// leans on this — every wire message decoded from a blob is rebuilt as a
+// plain pool-less record (home unset), and its eventual Release has to
+// be a GC-leak no-op rather than an insertion of a foreign record into
+// the restored server's (independently refilling) pools.
+func TestPoolLessRecordsStayOutOfPools(t *testing.T) {
+	var pool cnet.MsgPool[server.ReqMsg]
+	pooled := server.NewReqMsg(&pool)
+	pooled.Release()
+
+	foreign := &server.ReqMsg{ID: 9} // what MsgCodec.Decode produces
+	foreign.Release()                // no home pool: must be a no-op
+
+	if got := pool.Get(); got != pooled {
+		t.Fatalf("pool handed out %p, want the released record %p", got, pooled)
+	}
+	if got := pool.Get(); got == foreign {
+		t.Fatal("a pool-less record entered the free list on Release")
+	}
+	if foreign.ID != 9 {
+		t.Fatalf("no-op Release zeroed the record (ID=%d)", foreign.ID)
+	}
+}

@@ -245,45 +245,77 @@ type diskOp struct {
 	bounce  func()        // server context: finish the read
 	notify  func()        // disk context: queue space freed
 	requeue func()        // server context: retry the submission
+
+	// Snapshot identity: slot indexes s.diskOps while the op is live, and
+	// the bounce/requeue timer handles are retained so their serials can
+	// be re-claimed on restore.
+	slot     int
+	bounceT  timerHandle
+	requeueT timerHandle
 }
 
 func (s *Server) getDiskOp() *diskOp {
+	var op *diskOp
 	if n := len(s.diskFree); n > 0 {
-		op := s.diskFree[n-1]
+		op = s.diskFree[n-1]
 		s.diskFree = s.diskFree[:n-1]
-		return op
+	} else {
+		op = &diskOp{s: s}
+		op.onDone = func(ok bool) {
+			// Disk completions arrive from the disk subsystem's context;
+			// bounce them through the mailbox. The handle is retained only
+			// in snapshot-tagged (sim) worlds: there the disk context is the
+			// single sim goroutine, while on a live stack this closure runs
+			// on a real timer goroutine and the write would race putDiskOp.
+			op.ok = ok
+			t := op.s.env.Clock().AfterFunc(0, op.bounce)
+			if op.s.diskTag != nil {
+				op.bounceT = t
+			}
+		}
+		op.bounce = func() { op.s.diskDone(op) }
+		op.notify = func() {
+			// Queue space freed: unblock the main thread, then retry this same
+			// operation as its own work item.
+			op.s.env.Resume()
+			t := op.s.env.Clock().AfterFunc(0, op.requeue)
+			if op.s.diskTag != nil {
+				op.requeueT = t
+			}
+		}
+		op.requeue = func() { op.s.diskRead(op) }
 	}
-	op := &diskOp{s: s}
-	op.onDone = func(ok bool) {
-		// Disk completions arrive from the disk subsystem's context;
-		// bounce them through the mailbox.
-		op.ok = ok
-		op.s.env.Clock().AfterFunc(0, op.bounce)
-	}
-	op.bounce = func() { op.s.diskDone(op) }
-	op.notify = func() {
-		// Queue space freed: unblock the main thread, then retry this same
-		// operation as its own work item.
-		op.s.env.Resume()
-		op.s.env.Clock().AfterFunc(0, op.requeue)
-	}
-	op.requeue = func() { op.s.diskRead(op) }
+	op.slot = len(s.diskOps)
+	s.diskOps = append(s.diskOps, op)
 	return op
 }
 
 func (s *Server) putDiskOp(op *diskOp) {
+	last := len(s.diskOps) - 1
+	moved := s.diskOps[last]
+	s.diskOps[op.slot] = moved
+	moved.slot = op.slot
+	s.diskOps[last] = nil
+	s.diskOps = s.diskOps[:last]
 	op.st = nil
 	op.peerServe = false
+	op.bounceT, op.requeueT = nil, nil
 	s.diskFree = append(s.diskFree, op)
 }
 
 // diskRead submits a read, blocking the main thread (Stall) when the disk
 // queue is full — the behaviour at the heart of Figure 4.
 func (s *Server) diskRead(op *diskOp) {
+	if s.diskTag != nil {
+		s.diskTag.SetNextOwner(op)
+	}
 	if s.disk.Read(diskKey(op.doc), op.onDone) {
 		return
 	}
 	s.env.Stall()
+	if s.diskTag != nil {
+		s.diskTag.SetNextOwner(op)
+	}
 	s.disk.NotifySpace(op.notify)
 }
 
@@ -365,7 +397,7 @@ func (s *Server) finish(st *reqState, responded bool) {
 		// close can still remove a waiter in between.
 		op := s.getAdmitOp()
 		op.conn, op.msg = next.conn, next.msg
-		s.env.Clock().AfterFunc(0, op.run)
+		op.runT = s.env.Clock().AfterFunc(0, op.run)
 	}
 }
 
@@ -375,22 +407,48 @@ type admitOp struct {
 	conn cnet.Conn
 	msg  *ReqMsg
 	run  func()
+
+	// Snapshot identity: slot indexes s.admitOps while live; runT is the
+	// retained deferred-admission timer handle.
+	slot int
+	runT timerHandle
 }
 
 func (s *Server) getAdmitOp() *admitOp {
+	var op *admitOp
 	if n := len(s.admitFree); n > 0 {
-		op := s.admitFree[n-1]
+		op = s.admitFree[n-1]
 		s.admitFree = s.admitFree[:n-1]
-		return op
+	} else {
+		op = &admitOp{s: s}
+		op.run = func() {
+			s := op.s
+			conn, msg := op.conn, op.msg
+			s.putAdmitOp(op)
+			s.env.Charge(s.cfg.Cost.Accept)
+			s.admit(conn, msg)
+		}
 	}
-	op := &admitOp{s: s}
-	op.run = func() {
-		s := op.s
-		conn, msg := op.conn, op.msg
-		op.conn, op.msg = nil, nil
-		s.admitFree = append(s.admitFree, op)
-		s.env.Charge(s.cfg.Cost.Accept)
-		s.admit(conn, msg)
-	}
+	op.slot = len(s.admitOps)
+	s.admitOps = append(s.admitOps, op)
 	return op
 }
+
+func (s *Server) putAdmitOp(op *admitOp) {
+	last := len(s.admitOps) - 1
+	moved := s.admitOps[last]
+	s.admitOps[op.slot] = moved
+	moved.slot = op.slot
+	s.admitOps[last] = nil
+	s.admitOps = s.admitOps[:last]
+	op.conn, op.msg, op.runT = nil, nil, nil
+	s.admitFree = append(s.admitFree, op)
+}
+
+// RestoreDiskDone re-supplies the disk completion callback when this op
+// is restored from a snapshot (simdisk's ReadOwner, asserted structurally).
+func (op *diskOp) RestoreDiskDone() func(ok bool) { return op.onDone }
+
+// RestoreDiskNotify re-supplies the space-wait callback when this op is
+// restored from a snapshot (simdisk's SpaceOwner).
+func (op *diskOp) RestoreDiskNotify() func() { return op.notify }

@@ -62,6 +62,15 @@ type Server struct {
 	diskFree  []*diskOp
 	admitFree []*admitOp
 
+	// Live pooled continuations, indexed by their slot fields so snapshots
+	// can enumerate in-flight work deterministically.
+	diskOps  []*diskOp
+	admitOps []*admitOp
+
+	// diskTag, when the disk subsystem supports it, tags every Read and
+	// NotifySpace with the owning diskOp for snapshot identity.
+	diskTag interface{ SetNextOwner(owner any) }
+
 	// Per-send message pools (see messages.go): the final consumer
 	// releases each record back to its sender's pool.
 	respPool   cnet.MsgPool[RespMsg]
@@ -94,6 +103,15 @@ type reqState struct {
 // New constructs and starts a PRESS server process on env. memb may be
 // nil (no external membership service); disk must serve every document.
 func New(cfg Config, env cnet.Env, disk DiskArray, memb MembershipView) *Server {
+	s := newServer(cfg, env, disk, memb)
+	s.start()
+	return s
+}
+
+// newServer builds the server without starting it (no listens, no
+// timers, no join protocol) — shared by New and the snapshot Restore
+// path.
+func newServer(cfg Config, env cnet.Env, disk DiskArray, memb MembershipView) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:            cfg,
@@ -124,7 +142,9 @@ func New(cfg Config, env cnet.Env, disk DiskArray, memb MembershipView) *Server 
 			},
 		}, env.Rand())
 	}
-	s.start()
+	if dt, ok := disk.(interface{ SetNextOwner(owner any) }); ok {
+		s.diskTag = dt
+	}
 	return s
 }
 
@@ -149,17 +169,21 @@ func (s *Server) start() {
 			s.env.Send(n, cnet.ClassIntra, PortControl, JoinReqMsg{From: s.cfg.Self}, sizeControl)
 		}
 	}
-	s.joinTimer = s.env.Clock().AfterFunc(s.cfg.JoinTimeout, func() {
-		if s.joined {
-			return
-		}
-		s.adoptView(s.cfg.Nodes, "cold start")
-	})
+	s.joinTimer = s.env.Clock().AfterFunc(s.cfg.JoinTimeout, s.joinTimeout)
 
 	if s.memb != nil {
 		s.memb.Subscribe(s.reconcileMembership)
 	}
 	s.emit(metrics.KServerUp, int(s.cfg.Self), "cooperative")
+}
+
+// joinTimeout fires when no member answered the rejoin broadcast: this
+// is a cold start and the static configuration is adopted.
+func (s *Server) joinTimeout() {
+	if s.joined {
+		return
+	}
+	s.adoptView(s.cfg.Nodes, "cold start")
 }
 
 // adoptView installs a full view at join time.

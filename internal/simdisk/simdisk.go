@@ -92,8 +92,9 @@ func (d *Disk) serviceTime() time.Duration {
 }
 
 type op struct {
-	key  int
-	done func(ok bool)
+	key   int
+	done  func(ok bool)
+	owner any // snapshot identity, set via SetNextOwner
 }
 
 // Array is a node's disk subsystem: devices, helper threads, and the
@@ -106,13 +107,27 @@ type Array struct {
 	queue   []op
 	idle    int            // free helper threads
 	blocked map[*Disk][]op // threads captured by a faulty device, with their ops
-	onSpace []func()
+	onSpace []spaceCb
 	// spaceSpare is the previous onSpace backing array, swapped back in
 	// when finish drains the callbacks so steady-state NotifySpace
 	// registration allocates nothing.
-	spaceSpare []func()
+	spaceSpare []spaceCb
 	svcFree    []*svcOp // recycled in-service records
+
+	// nextOwner tags the next Read or NotifySpace with the record that
+	// owns its callback, for snapshot identity. Consumed by that call.
+	nextOwner any
 }
+
+// spaceCb is one registered NotifySpace callback plus its owner tag.
+type spaceCb struct {
+	fn    func()
+	owner any
+}
+
+// SetNextOwner tags the next Read or NotifySpace call with its owning
+// record so snapshots can serialize the callback as a reference.
+func (a *Array) SetNextOwner(owner any) { a.nextOwner = owner }
 
 // svcOp carries one in-service read through the sim kernel's pooled
 // argument timers, replacing a per-dispatch closure.
@@ -188,7 +203,8 @@ func (a *Array) Full() bool { return a.idle == 0 && len(a.queue) >= a.cfg.QueueC
 // operation — when the queue is full; the caller stalls and retries after
 // NotifySpace, exactly like the PRESS main thread.
 func (a *Array) Read(key int, done func(ok bool)) bool {
-	o := op{key: key, done: done}
+	o := op{key: key, done: done, owner: a.nextOwner}
+	a.nextOwner = nil
 	if a.idle > 0 {
 		a.start(o)
 		return true
@@ -202,7 +218,10 @@ func (a *Array) Read(key int, done func(ok bool)) bool {
 
 // NotifySpace registers a one-shot callback invoked the next time an
 // operation could be accepted again.
-func (a *Array) NotifySpace(fn func()) { a.onSpace = append(a.onSpace, fn) }
+func (a *Array) NotifySpace(fn func()) {
+	a.onSpace = append(a.onSpace, spaceCb{fn: fn, owner: a.nextOwner})
+	a.nextOwner = nil
+}
 
 // AnyFaulty reports whether any device is faulty.
 func (a *Array) AnyFaulty() bool {
@@ -266,9 +285,9 @@ func (a *Array) finish() {
 		// pattern) append into the spare array rather than a fresh one.
 		cbs := a.onSpace
 		a.onSpace = a.spaceSpare[:0]
-		for i, fn := range cbs {
-			cbs[i] = nil
-			fn()
+		for i, cb := range cbs {
+			cbs[i] = spaceCb{}
+			cb.fn()
 		}
 		a.spaceSpare = cbs[:0]
 	}

@@ -85,7 +85,17 @@ type Network struct {
 	dgramFree  []*dgramPkt
 	streamFree []*streamPkt
 	dialFree   []*dialOp
+
+	// nextDialOwner tags the next Dial's handshake record with the
+	// caller-side object that owns its callbacks, so snapshots can
+	// serialize an in-flight dial as a reference its owner resolves on
+	// restore. Consumed (and cleared) by the next Dial.
+	nextDialOwner any
 }
+
+// SetNextDialOwner tags the next Dial call on any interface of this
+// network with its owning record, for snapshot identity.
+func (n *Network) SetNextDialOwner(owner any) { n.nextDialOwner = owner }
 
 // New creates an empty network.
 func New(s *sim.Sim, cfg Config, log *metrics.Log) *Network {
@@ -203,6 +213,9 @@ type Iface struct {
 
 // ID returns the node this interface belongs to.
 func (i *Iface) ID() cnet.NodeID { return i.id }
+
+// Network returns the network this interface is attached to.
+func (i *Iface) Network() *Network { return i.net }
 
 // State returns the mirrored machine state.
 func (i *Iface) State() NodeState { return i.state }
@@ -376,6 +389,7 @@ type dialOp struct {
 	result func(cnet.Conn, error)
 	err    error // verdict delivered by dialFail
 	local  *half // verdict delivered by dialDone
+	owner  any   // snapshot identity, set via SetNextDialOwner
 }
 
 func (n *Network) newDialOp() *dialOp {
@@ -410,6 +424,7 @@ func (i *Iface) Dial(to cnet.NodeID, class cnet.Class, port string, h cnet.Strea
 	rtt := 2 * i.net.cfg.PropDelay
 	op := i.net.newDialOp()
 	op.i, op.dst, op.class, op.port, op.h, op.result = i, dst, class, port, h, result
+	op.owner, i.net.nextDialOwner = i.net.nextDialOwner, nil
 	if i.state != NodeUp {
 		op.fail(cnet.ErrTimeout, i.net.cfg.SynTimeout)
 		return

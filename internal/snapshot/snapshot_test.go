@@ -1,0 +1,139 @@
+package snapshot
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"press/internal/harness"
+)
+
+// fastOpts keeps the world small and pins the rate so Build never runs
+// the saturation probe.
+func fastOpts(seed int64) harness.Options {
+	o := harness.FastOptions(seed)
+	o.Rate = 100
+	return o
+}
+
+// dump renders everything observable about a cluster's dynamic state.
+func dump(c *harness.Cluster) string {
+	now, seq, fired, maxQ := c.Sim.Counters()
+	s := fmt.Sprintf("now=%v seq=%d fired=%d maxQ=%d\n", now, seq, fired, maxQ)
+	s += fmt.Sprintf("offered=%d succeeded=%d failed=%d connfail=%d compfail=%d\n",
+		c.Rec.Offered, c.Rec.Succeeded, c.Rec.Failed, c.Rec.ConnectFailures, c.Rec.CompleteFailures)
+	s += "throughput:" + c.Rec.Throughput.CSV() + "\n"
+	s += "offers:" + c.Rec.Offers.CSV() + "\n"
+	s += "failures:" + c.Rec.Failures.CSV() + "\n"
+	s += c.Log.Dump()
+	return s
+}
+
+// TestPlainWorldRoundTrip warms INDEP and COOP worlds, snapshots them,
+// and checks a restored world continues byte-identically to the
+// uninterrupted original.
+func TestPlainWorldRoundTrip(t *testing.T) {
+	for _, v := range []harness.Version{harness.VINDEP, harness.VCOOP} {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			t.Parallel()
+			o := fastOpts(1)
+			c := harness.Build(v, o)
+			c.Gen.Start()
+			c.Sim.RunUntil(o.Warmup)
+
+			snap, err := Take(c, nil)
+			if err != nil {
+				t.Fatalf("Take: %v", err)
+			}
+
+			// A second capture of the same moment must be byte-identical
+			// (taking a snapshot does not perturb the world).
+			again, err := Take(c, nil)
+			if err != nil {
+				t.Fatalf("second Take: %v", err)
+			}
+			if snap.Hash() != again.Hash() {
+				t.Fatalf("re-capture changed hash: %s vs %s", snap.Hash(), again.Hash())
+			}
+
+			horizon := o.Warmup + time.Minute
+			c.Sim.RunUntil(horizon)
+			want := dump(c)
+
+			r, err := snap.Restore(nil)
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if r.Sim.Now() != snap.At {
+				t.Fatalf("restored at %v, snapshot taken at %v", r.Sim.Now(), snap.At)
+			}
+			r.Sim.RunUntil(horizon)
+			got := dump(r)
+			if got != want {
+				t.Fatalf("restored world diverged from original\n--- original ---\n%s\n--- restored ---\n%s",
+					tail(want, 2000), tail(got, 2000))
+			}
+		})
+	}
+}
+
+func tail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "..." + s[len(s)-n:]
+}
+
+// TestLoadRoundTrip serializes a snapshot through Load and checks the
+// envelope and content address survive.
+func TestLoadRoundTrip(t *testing.T) {
+	o := fastOpts(2)
+	c := harness.Build(harness.VCOOP, o)
+	c.Gen.Start()
+	c.Sim.RunUntil(30 * time.Second)
+	snap, err := Take(c, nil)
+	if err != nil {
+		t.Fatalf("Take: %v", err)
+	}
+	re, err := Load(snap.Bytes())
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if re.Hash() != snap.Hash() {
+		t.Fatalf("hash changed across Load: %s vs %s", re.Hash(), snap.Hash())
+	}
+	if re.Version != snap.Version || re.Rate != snap.Rate || re.At != snap.At || re.Opts != snap.Opts {
+		t.Fatalf("envelope changed across Load: %+v vs %+v", re, snap)
+	}
+	if _, err := Load(snap.Bytes()[:8]); err == nil {
+		t.Fatalf("Load accepted a truncated blob")
+	}
+}
+
+// TestForkIndependence forks a warm snapshot twice and checks the forks
+// are fully independent worlds that evolve identically from identical
+// state.
+func TestForkIndependence(t *testing.T) {
+	o := fastOpts(3)
+	c := harness.Build(harness.VCOOP, o)
+	c.Gen.Start()
+	c.Sim.RunUntil(time.Minute)
+	snap, err := Take(c, nil)
+	if err != nil {
+		t.Fatalf("Take: %v", err)
+	}
+	eng := harness.NewEngine(2)
+	dumps := make([]string, 2)
+	err = snap.Fork(eng, 2, func(i int, fc *harness.Cluster) error {
+		fc.Sim.RunUntil(2 * time.Minute)
+		dumps[i] = dump(fc)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if dumps[0] != dumps[1] {
+		t.Fatalf("forks of the same snapshot diverged")
+	}
+}

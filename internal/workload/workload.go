@@ -121,6 +121,9 @@ type Generator struct {
 	// reqFree recycles request records (and their once-built handler
 	// closures) so a steady-state request costs no heap allocation.
 	reqFree []*request
+	// reqLive registers in-flight request records (launched, not yet
+	// recycled) so snapshots can enumerate them; slot-indexed.
+	reqLive []*request
 	// reqPool recycles the ReqMsg wire records; the server releases them
 	// after admission.
 	reqPool cnet.MsgPool[server.ReqMsg]
@@ -207,6 +210,8 @@ type request struct {
 
 	h      cnet.StreamHandlers
 	onDial func(cnet.Conn, error)
+
+	slot int // index in Generator.reqLive while in flight
 }
 
 func (g *Generator) newRequest() *request {
@@ -225,9 +230,16 @@ func (g *Generator) newRequest() *request {
 func (r *request) unref() {
 	r.refs--
 	if r.refs == 0 {
+		g := r.g
+		last := len(g.reqLive) - 1
+		moved := g.reqLive[last]
+		g.reqLive[r.slot] = moved
+		moved.slot = r.slot
+		g.reqLive[last] = nil
+		g.reqLive = g.reqLive[:last]
 		r.conn = nil
 		r.connectDeadline = sim.Timer{}
-		r.g.reqFree = append(r.g.reqFree, r)
+		g.reqFree = append(g.reqFree, r)
 	}
 }
 
@@ -327,7 +339,10 @@ func (g *Generator) launch() {
 	r.doc = g.cfg.Catalog.Sample(g.rng)
 	r.done = false
 	r.refs = 2 // connect deadline + dial result
+	r.slot = len(g.reqLive)
+	g.reqLive = append(g.reqLive, r)
 
 	r.connectDeadline = g.sim.AfterArg(g.cfg.ConnectTimeout, reqConnectTimeout, r)
+	g.iface.Network().SetNextDialOwner(r)
 	g.iface.Dial(target, cnet.ClassClient, server.PortHTTP, r.h, r.onDial)
 }
