@@ -2,22 +2,37 @@
 // suite (internal/lint) over the given packages — a multichecker for the
 // invariants every reproduced number depends on: sim-clock-only time
 // (wallclock), seeded-RNG discipline (globalrand), ordered map iteration
-// (maporder) and pool-mediated goroutine spawning (simgoroutine).
+// (maporder), pool-mediated goroutine spawning (simgoroutine), emit-path
+// formatting (sprintfemit), snapshot field coverage (snapfields), pooled
+// message ownership (poolsafety) and timer-handle retention (timerretain).
 //
 // Usage:
 //
 //	go run ./cmd/availlint ./...
 //	go run ./cmd/availlint -analyzers maporder,wallclock ./internal/harness
-//	go run ./cmd/availlint -vet ./...   # also run `go vet` on the patterns
+//	go run ./cmd/availlint -json ./... # machine-readable findings on stdout
+//	go run ./cmd/availlint -vet ./...  # also run `go vet` on the patterns
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure. Suppress a
-// finding with an `//availlint:allow <analyzer> <reason>` annotation on
-// or above the offending line; internal/clock, internal/livenet, cmd/
-// and examples/ are package-allowlisted for the SimOnly analyzers (see
-// lint.DefaultConfig).
+// Exit status: 0 means every selected analyzer is clean on every loaded
+// package; 1 means at least one finding (or a -vet failure) — the
+// findings themselves are on stdout; 2 means the run never happened:
+// bad -analyzers selection, or the packages failed to load/type-check.
+//
+// With -json, findings are emitted as a single JSON array of
+// {file, line, col, analyzer, message} objects (an empty array when
+// clean), one self-contained document suitable for CI annotation
+// tooling; the human summary line is suppressed. Exit semantics are
+// unchanged.
+//
+// Suppress a finding with an `//availlint:allow <analyzer> <reason>`
+// annotation on or above the offending line, or exempt a struct field
+// from snapfields with `//availlint:skipfield <field> <reason>`;
+// internal/clock, internal/livenet, cmd/ and examples/ are
+// package-allowlisted for the SimOnly analyzers (see lint.DefaultConfig).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,10 +41,20 @@ import (
 	"press/internal/lint"
 )
 
+// jsonDiag is the machine-readable finding shape emitted by -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	vet := flag.Bool("vet", false, "additionally run `go vet` on the same patterns")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	flag.Parse()
 
 	if *list {
@@ -57,8 +82,27 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, sel, lint.DefaultConfig())
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "availlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 
 	failed := len(diags) > 0
@@ -73,5 +117,7 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("availlint: %d packages clean\n", len(pkgs))
+	if !*asJSON {
+		fmt.Printf("availlint: %d packages clean\n", len(pkgs))
+	}
 }

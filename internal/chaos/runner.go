@@ -51,8 +51,8 @@ type runner struct {
 	// claim them from the pending table and a restore can re-arm them at
 	// their exact kernel slots.
 	actives []*faults.Active
-	injT    []sim.Timer
-	repT    []sim.Timer
+	injT    []sim.Timer //availlint:allow timerretain owned by this world's single driving goroutine; touched only between advance steps
+	repT    []sim.Timer //availlint:allow timerretain owned by this world's single driving goroutine; touched only between advance steps
 }
 
 // newRunner builds and starts one world. sched must already be

@@ -183,9 +183,9 @@ type slot struct {
 // independently (partial repair); the same slot can hold only one
 // active fault at a time.
 type Injector struct {
-	sim    *sim.Sim
-	log    *metrics.Log
-	t      Targets
+	sim    *sim.Sim     //availlint:skipfield sim kernel backlink; the restored injector is built over the restored kernel
+	log    *metrics.Log //availlint:skipfield log event-log backlink, wired by NewInjector
+	t      Targets      //availlint:skipfield t targets are construction config, identical across forks
 	active map[slot]*Active
 }
 
@@ -203,10 +203,10 @@ type Active struct {
 	Component int
 	Flap      Flap // zero for a steady fault
 
-	in       *Injector
-	undo     func() // reverses the applied effect; nil while in a flap's off phase
+	in       *Injector //availlint:skipfield in owner backlink, rebuilt by LoadState
+	undo     func()    // reverses the applied effect; nil while in a flap's off phase
 	timer    sim.Timer
-	repaired bool
+	repaired bool //availlint:skipfield repaired Repair removes the fault from the active map, so a serialized Active is never repaired
 }
 
 // Flapping reports whether this fault is an intermittent variant.

@@ -33,6 +33,27 @@ func TestSprintfemit(t *testing.T) {
 	runFixture(t, Sprintfemit, cover("sprintfemit/clean"))
 }
 
+func TestSnapfields(t *testing.T) {
+	runFixture(t, Snapfields, cover("snapfields/flagged"))
+	runFixture(t, Snapfields, cover("snapfields/skipfield"))
+	// The regression fixture reproduces the PR 6 bug class: a copy of a
+	// real snapshot type with a deliberately added unserialized field.
+	runFixture(t, Snapfields, cover("snapfields/regression"))
+}
+
+func TestPoolsafety(t *testing.T) {
+	runFixture(t, Poolsafety, cover("poolsafety/flagged"))
+	runFixture(t, Poolsafety, cover("poolsafety/clean"))
+	runFixture(t, Poolsafety, cover("poolsafety/allowed"))
+}
+
+func TestTimerretain(t *testing.T) {
+	runFixture(t, Timerretain, cover("timerretain/flagged"))
+	runFixture(t, Timerretain, cover("timerretain/allowed"))
+	runFixture(t, Timerretain, cover("timerretain/simonly"))
+	runFixture(t, Timerretain, cover("timerretain/wall"))
+}
+
 // TestAllowedPackageClassification pins the real repo policy: the
 // packages that host wall-clock and live-network code on purpose are
 // exempt; the simulation core is not.
@@ -66,8 +87,8 @@ func TestAllowedPackageClassification(t *testing.T) {
 // TestByName covers analyzer selection, including the error path.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 8, nil", len(all), err)
 	}
 	two, err := ByName("maporder, wallclock")
 	if err != nil || len(two) != 2 || two[0].Name != "maporder" || two[1].Name != "wallclock" {

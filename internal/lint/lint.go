@@ -22,6 +22,10 @@
 //   - line annotation: a comment containing "availlint:allow <names>"
 //     suppresses the named analyzers on its own line and the line below,
 //     e.g. //availlint:allow simgoroutine worker pool spawn.
+//   - field annotation: a comment containing "availlint:skipfield <name>
+//     <reason>" on (or above) a struct field's declaration exempts that
+//     field from snapfields' snapshot-coverage requirement, e.g.
+//     //availlint:skipfield cfg immutable config, identical across forks.
 package lint
 
 import (
@@ -104,8 +108,13 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 	PkgPath  string
+	// Cfg is the package-classification policy the run was invoked with.
+	// Most analyzers never consult it (SimOnly filtering happens in the
+	// framework); timerretain reads it to classify wall-clock packages.
+	Cfg Config
 
 	allow map[string]map[int][]string // filename -> line -> analyzer names allowed there
+	skip  map[string]map[int][]string // filename -> line -> field names skipfield'd there
 	diags *[]Diagnostic
 }
 
@@ -135,9 +144,29 @@ func (p *Pass) allowedAt(pos token.Position) bool {
 	return false
 }
 
+// SkipfieldAt reports whether an "availlint:skipfield <name>" annotation
+// on pos's line (or the line above) names field. snapfields consults it
+// before requiring snapshot coverage of a struct field.
+func (p *Pass) SkipfieldAt(pos token.Pos, field string) bool {
+	position := p.Fset.Position(pos)
+	lines := p.skip[position.Filename]
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, name := range lines[line] {
+			if name == field {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // allowRe matches the annotation anywhere inside a comment's text, so
 // both "//availlint:allow x" and "// availlint:allow x reason" work.
 var allowRe = regexp.MustCompile(`availlint:allow\s+([a-z, ]+)`)
+
+// skipfieldRe matches field exemptions: "availlint:skipfield <field> <reason>".
+// The field name is a single Go identifier; the reason is free text.
+var skipfieldRe = regexp.MustCompile(`availlint:skipfield\s+([A-Za-z_][A-Za-z0-9_]*)`)
 
 // buildAllowMap indexes every availlint:allow annotation in the package
 // by file and line. The named analyzers are suppressed on the
@@ -165,9 +194,34 @@ func buildAllowMap(fset *token.FileSet, files []*ast.File) map[string]map[int][]
 	return allow
 }
 
+// buildSkipfieldMap indexes every availlint:skipfield annotation by file
+// and line, mirroring buildAllowMap's placement rules.
+func buildSkipfieldMap(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	skip := map[string]map[int][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := skipfieldRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if skip[pos.Filename] == nil {
+					skip[pos.Filename] = map[int][]string{}
+				}
+				skip[pos.Filename][pos.Line] = append(skip[pos.Filename][pos.Line], m[1])
+			}
+		}
+	}
+	return skip
+}
+
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, Globalrand, Maporder, Simgoroutine, Sprintfemit}
+	return []*Analyzer{
+		Wallclock, Globalrand, Maporder, Simgoroutine, Sprintfemit,
+		Snapfields, Poolsafety, Timerretain,
+	}
 }
 
 // ByName resolves a comma-separated analyzer selection ("" = all).
@@ -176,15 +230,17 @@ func ByName(names string) ([]*Analyzer, error) {
 		return All(), nil
 	}
 	byName := map[string]*Analyzer{}
+	var known []string
 	for _, a := range All() {
 		byName[a.Name] = a
+		known = append(known, a.Name)
 	}
 	var sel []*Analyzer
 	for _, n := range strings.Split(names, ",") {
 		n = strings.TrimSpace(n)
 		a, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have wallclock, globalrand, maporder, simgoroutine, sprintfemit)", n)
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, strings.Join(known, ", "))
 		}
 		sel = append(sel, a)
 	}
@@ -198,6 +254,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		allow := buildAllowMap(pkg.Fset, pkg.Files)
+		skip := buildSkipfieldMap(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
 			if a.SimOnly && cfg.Allowed(pkg.PkgPath) {
 				continue
@@ -209,7 +266,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				PkgPath:  pkg.PkgPath,
+				Cfg:      cfg,
 				allow:    allow,
+				skip:     skip,
 				diags:    &diags,
 			}
 			a.Run(pass)

@@ -17,13 +17,16 @@ import (
 // and unmatched expectations both fail.
 
 // testConfig classifies fixture packages: each analyzer's ".../allowed"
-// subpackage is exempt from SimOnly analyzers, and "cmd/" exercises the
-// trailing-slash (whole subtree) form of the real policy.
+// subpackage is exempt from SimOnly analyzers, "cmd/" exercises the
+// trailing-slash (whole subtree) form of the real policy, and
+// "timerretain/wall" stands in for a wall-clock package to exercise the
+// AllowPackages arm of timerretain's reachability heuristic.
 func testConfig() Config {
 	return Config{AllowPackages: []string{
 		"wallclock/allowed",
 		"globalrand/allowed",
 		"simgoroutine/allowed",
+		"timerretain/wall",
 		"cmd/",
 	}}
 }

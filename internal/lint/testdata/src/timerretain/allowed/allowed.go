@@ -1,0 +1,17 @@
+// Package allowed retains handles in a goroutine-launching package, but
+// every site is audited and annotated: no findings survive.
+package allowed
+
+import (
+	"press/internal/clock"
+	"press/internal/sim"
+)
+
+type audited struct {
+	t    sim.Timer    //availlint:allow timerretain every access is under the owner's mutex
+	tick clock.Ticker //availlint:allow timerretain stopped only from the arming goroutine
+}
+
+func (a *audited) run(done chan struct{}) {
+	go func() { close(done) }()
+}

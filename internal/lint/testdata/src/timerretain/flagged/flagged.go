@@ -1,0 +1,21 @@
+// Package flagged launches goroutines of its own, so by the
+// wall-reachability heuristic its structs are shared with wall-clock
+// goroutines: every retained timer/ticker handle shape must be flagged.
+package flagged
+
+import (
+	"press/internal/clock"
+	"press/internal/sim"
+)
+
+type keeper struct {
+	t    sim.Timer         // want `sim.Timer handle retained`
+	tick clock.Ticker      // want `clock.Ticker handle retained`
+	many []sim.Timer       // want `sim.Timer handle retained`
+	byID map[int]sim.Timer // want `sim.Timer handle retained`
+	n    int
+}
+
+func (k *keeper) run(done chan struct{}) {
+	go func() { close(done) }()
+}

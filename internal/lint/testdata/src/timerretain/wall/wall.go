@@ -1,0 +1,11 @@
+// Package wall is classified as a wall-clock package by the test config
+// (the Config.AllowPackages arm of the reachability heuristic): handles
+// retained here are flagged even though the package itself launches no
+// goroutines.
+package wall
+
+import "press/internal/clock"
+
+type wallKeeper struct {
+	tick clock.Ticker // want `clock.Ticker handle retained`
+}

@@ -37,11 +37,11 @@ type State = simnet.NodeState
 
 // Machine is one simulated host.
 type Machine struct {
-	sim   *sim.Sim
-	log   *metrics.Log
+	sim   *sim.Sim     //availlint:skipfield sim kernel backlink; the restored machine is built over the restored kernel
+	log   *metrics.Log //availlint:skipfield log event-log backlink, wired by New
 	id    cnet.NodeID
-	iface *simnet.Iface
-	disks *simdisk.Array
+	iface *simnet.Iface  //availlint:skipfield iface interface backlink; simnet restores its own state
+	disks *simdisk.Array //availlint:skipfield disks disk-array backlink; simdisk restores its own state
 	state State
 	procs map[string]*Proc
 	order []string
@@ -50,10 +50,10 @@ type Machine struct {
 	// Worlds are single-threaded, so plain slices suffice; records that
 	// never reach their release point (connections that outlive the
 	// world, stopped timers) fall to the garbage collector instead.
-	wrapFree  []*wrapRec
-	dialFree  []*dialRec
-	closeFree []*closeRec
-	timerFree []*timerRec
+	wrapFree  []*wrapRec  //availlint:skipfield wrapFree free list; an empty list after restore is behaviorally identical
+	dialFree  []*dialRec  //availlint:skipfield dialFree free list; an empty list after restore is behaviorally identical
+	closeFree []*closeRec //availlint:skipfield closeFree free list; an empty list after restore is behaviorally identical
+	timerFree []*timerRec //availlint:skipfield timerFree free list; an empty list after restore is behaviorally identical
 
 	// dials is the registry of in-flight dial records (issued, result not
 	// yet delivered), kept so snapshots can enumerate them. Registered in
@@ -61,7 +61,7 @@ type Machine struct {
 	dials []*dialRec
 
 	// rst holds machine-level restore scratch; nil outside a restore.
-	rst *machineRestore
+	rst *machineRestore //availlint:skipfield rst restore-only scratch, nil whenever a snapshot can be taken
 }
 
 // New attaches a machine to the network. disks may be nil for hosts
@@ -207,15 +207,15 @@ func (m *Machine) emit(kind metrics.KindID, detail string) {
 
 // Proc is one process on a machine: a serial event loop with a mailbox.
 type Proc struct {
-	m           *Machine
+	m           *Machine //availlint:skipfield m owner backlink, set by AddProc on the rebuilt machine
 	name        string
-	start       func(env *Env)
+	start       func(env *Env) //availlint:skipfield start component entry closure, re-supplied by AddProc during the rebuild
 	incarnation uint64
 	alive       bool
 	hung        bool
 	stalled     bool
-	running     bool // a handler's charged CPU time is still elapsing
-	curCharge   time.Duration
+	running     bool          // a handler's charged CPU time is still elapsing
+	curCharge   time.Duration //availlint:skipfield curCharge nonzero only inside a single handler dispatch; snapshots run between events
 	mailbox     []call
 	head        int // next mailbox slot to dispatch; storage before it is spent
 	resume      resumeRec
@@ -228,7 +228,7 @@ type Proc struct {
 	timerSeq uint64
 
 	// rst holds restore-only scratch state; nil outside a restore.
-	rst *procRestore
+	rst *procRestore //availlint:skipfield rst restore-only scratch, nil whenever a snapshot can be taken
 }
 
 // call is one mailbox entry. Stream/datagram/dial callbacks at packet
@@ -293,7 +293,7 @@ func (c *call) dispatch() {
 // resumeRec carries the charge-elapsed wakeup through sim.AfterArg; one
 // per process, reused, since at most one charge is elapsing at a time.
 type resumeRec struct {
-	p   *Proc
+	p   *Proc //availlint:skipfield p owner backlink, re-set by pump before every arm
 	inc uint64
 }
 
@@ -549,12 +549,12 @@ func (m *Machine) putWrap(r *wrapRec) {
 // only when no connection was ever created.
 type dialRec struct {
 	e      *Env
-	result func(cnet.Conn, error)
-	wr     *wrapRec
-	cb     func(cnet.Conn, error)
-	to     cnet.NodeID // snapshot identity of the dial
+	result func(cnet.Conn, error) //availlint:skipfield result endpoint callback, re-registered via Env.RestoreDialer
+	wr     *wrapRec               //availlint:skipfield wr wrapper record, rebuilt by the machine restore pass
+	cb     func(cnet.Conn, error) //availlint:skipfield cb completion closure, rebuilt from result+wr on restore
+	to     cnet.NodeID            // snapshot identity of the dial
 	port   string
-	slot   int // index in Machine.dials while in flight
+	slot   int //availlint:skipfield slot registry index, reassigned as restore re-registers in-flight dials
 }
 
 func (m *Machine) getDial() *dialRec {
@@ -649,7 +649,7 @@ func (m *Machine) putClose(r *closeRec) {
 // which is rare and harmless.
 type timerRec struct {
 	e      *Env
-	fn     func()
+	fn     func() //availlint:skipfield fn timer callback, re-supplied by the component via Env.RestoreTimer
 	serial uint64
 }
 
@@ -688,12 +688,12 @@ type Env struct {
 	p           *Proc
 	inc         uint64
 	rand        *rand.Rand
-	dgramPorts  []string
-	listenPorts []string
+	dgramPorts  []string //availlint:skipfield dgramPorts repopulated as restored components re-bind their ports
+	listenPorts []string //availlint:skipfield listenPorts repopulated as restored components re-listen
 
 	// dgramH keeps the raw component handler per bound port so snapshot
 	// restore can rebuild pending mailbox datagram entries.
-	dgramH map[string]func(from cnet.NodeID, m cnet.Message)
+	dgramH map[string]func(from cnet.NodeID, m cnet.Message) //availlint:skipfield dgramH rebuilt as restored components re-bind their handlers
 }
 
 func (e *Env) live() bool { return e.p.alive && e.p.incarnation == e.inc }

@@ -43,13 +43,13 @@ func DefaultConfig() Config {
 
 // Disk is a single device: a fault flag and a service-time sampler.
 type Disk struct {
-	sim    *sim.Sim
+	sim    *sim.Sim //availlint:skipfield sim kernel backlink; the restored array is built over the restored kernel
 	rng    *rand.Rand
-	mean   time.Duration
-	jitter float64
+	mean   time.Duration //availlint:skipfield mean construction config, identical across forks
+	jitter float64       //availlint:skipfield jitter construction config, identical across forks
 	faulty bool
 	reads  uint64
-	arr    *Array
+	arr    *Array //availlint:skipfield arr owner backlink, set at construction
 }
 
 // Faulty reports the fault state.
@@ -93,16 +93,16 @@ func (d *Disk) serviceTime() time.Duration {
 
 type op struct {
 	key   int
-	done  func(ok bool)
-	owner any // snapshot identity, set via SetNextOwner
+	done  func(ok bool) //availlint:skipfield done completion closure, rebuilt from the owner tag on restore
+	owner any           // snapshot identity, set via SetNextOwner
 }
 
 // Array is a node's disk subsystem: devices, helper threads, and the
 // shared queue. Documents are placed on devices by key, as PRESS spreads
 // its replicated document set across the local disks.
 type Array struct {
-	sim     *sim.Sim
-	cfg     Config
+	sim     *sim.Sim //availlint:skipfield sim kernel backlink; the restored array is built over the restored kernel
+	cfg     Config   //availlint:skipfield cfg construction config, identical across forks
 	disks   []*Disk
 	queue   []op
 	idle    int            // free helper threads
@@ -111,17 +111,17 @@ type Array struct {
 	// spaceSpare is the previous onSpace backing array, swapped back in
 	// when finish drains the callbacks so steady-state NotifySpace
 	// registration allocates nothing.
-	spaceSpare []spaceCb
-	svcFree    []*svcOp // recycled in-service records
+	spaceSpare []spaceCb //availlint:skipfield spaceSpare allocation-reuse spare; an empty spare after restore is behaviorally identical
+	svcFree    []*svcOp  //availlint:skipfield svcFree free list; an empty list after restore is behaviorally identical
 
 	// nextOwner tags the next Read or NotifySpace with the record that
 	// owns its callback, for snapshot identity. Consumed by that call.
-	nextOwner any
+	nextOwner any //availlint:skipfield nextOwner transient tag consumed within the same call it is set for; nil between events
 }
 
 // spaceCb is one registered NotifySpace callback plus its owner tag.
 type spaceCb struct {
-	fn    func()
+	fn    func() //availlint:skipfield fn callback closure, rebuilt from the owner tag on restore
 	owner any
 }
 

@@ -68,9 +68,9 @@ func DefaultConfig() Config {
 // Network is the simulated cluster network: a set of interfaces joined by
 // one intra-cluster switch, plus an always-up client-access path.
 type Network struct {
-	sim      *sim.Sim
-	cfg      Config
-	log      *metrics.Log
+	sim      *sim.Sim     //availlint:skipfield sim kernel backlink; the restored network is built over the restored kernel
+	cfg      Config       //availlint:skipfield cfg construction config, identical across forks
+	log      *metrics.Log //availlint:skipfield log event-log backlink, wired at construction
 	switchUp bool
 	ifaces   map[cnet.NodeID]*Iface
 	groups   map[string][]*Iface // kept sorted by NodeID for determinism
@@ -82,15 +82,15 @@ type Network struct {
 	// allocation in a campaign. Delivery state now lives in recycled
 	// records dispatched through sim.AtArg, so the steady-state cost of
 	// a hop is zero allocations.
-	dgramFree  []*dgramPkt
-	streamFree []*streamPkt
-	dialFree   []*dialOp
+	dgramFree  []*dgramPkt  //availlint:skipfield dgramFree free list; an empty list after restore is behaviorally identical
+	streamFree []*streamPkt //availlint:skipfield streamFree free list; an empty list after restore is behaviorally identical
+	dialFree   []*dialOp    //availlint:skipfield dialFree free list; an empty list after restore is behaviorally identical
 
 	// nextDialOwner tags the next Dial's handshake record with the
 	// caller-side object that owns its callbacks, so snapshots can
 	// serialize an in-flight dial as a reference its owner resolves on
 	// restore. Consumed (and cleared) by the next Dial.
-	nextDialOwner any
+	nextDialOwner any //availlint:skipfield nextDialOwner transient tag consumed by the Dial it is set for; nil between events
 }
 
 // SetNextDialOwner tags the next Dial call on any interface of this
@@ -200,15 +200,15 @@ func (n *Network) pathUp(a, b *Iface, class cnet.Class) bool {
 // Iface is one node's attachment to the network. All methods must be
 // called from simulator context (single-threaded).
 type Iface struct {
-	net        *Network
+	net        *Network //availlint:skipfield net owner backlink, set when the interface is attached
 	id         cnet.NodeID
 	state      NodeState
 	linkUp     bool
 	sendFreeAt time.Duration
 
-	dgram     map[string]func(from cnet.NodeID, m cnet.Message)
-	listeners map[string]func(cnet.Conn) cnet.StreamHandlers
-	conns     []*half // local halves of open/zombie conns
+	dgram     map[string]func(from cnet.NodeID, m cnet.Message) //availlint:skipfield dgram handler map, rebuilt as restored components re-bind
+	listeners map[string]func(cnet.Conn) cnet.StreamHandlers    //availlint:skipfield listeners handler map, rebuilt as restored components re-listen
+	conns     []*half                                           // local halves of open/zombie conns
 }
 
 // ID returns the node this interface belongs to.
@@ -385,11 +385,11 @@ type dialOp struct {
 	dst    *Iface
 	class  cnet.Class
 	port   string
-	h      cnet.StreamHandlers
-	result func(cnet.Conn, error)
-	err    error // verdict delivered by dialFail
-	local  *half // verdict delivered by dialDone
-	owner  any   // snapshot identity, set via SetNextDialOwner
+	h      cnet.StreamHandlers    //availlint:skipfield h caller-side handlers, re-registered by the owner on restore
+	result func(cnet.Conn, error) //availlint:skipfield result caller-side callback, re-registered by the owner on restore
+	err    error                  // verdict delivered by dialFail
+	local  *half                  // verdict delivered by dialDone
+	owner  any                    // snapshot identity, set via SetNextDialOwner
 }
 
 func (n *Network) newDialOp() *dialOp {
@@ -508,7 +508,7 @@ type half struct {
 	iface      *Iface
 	peer       *half
 	class      cnet.Class
-	h          cnet.StreamHandlers
+	h          cnet.StreamHandlers //availlint:skipfield h per-conn handlers, re-attached by the owning process via RestoreConn
 	closed     bool
 	zombie     bool // machine died; silent until reboot RST
 	paused     bool // receiver not reading (freeze/hang/stall)
@@ -516,9 +516,9 @@ type half struct {
 	buf        []cnet.Message
 	inTransit  int
 	wantWrite  bool
-	closeHook  func()
-	closeErr   error // pending verdict carried to deliverCloseArg
-	ownerSlot  int   // owning process's index for O(1) drop (opaque)
+	closeHook  func() //availlint:skipfield closeHook close callback, re-attached by the owning process via RestoreConn
+	closeErr   error  // pending verdict carried to deliverCloseArg
+	ownerSlot  int    // owning process's index for O(1) drop (opaque)
 }
 
 // connPair is the single allocation backing both halves of a connection.

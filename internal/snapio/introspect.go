@@ -1,0 +1,30 @@
+package snapio
+
+import "strings"
+
+// Introspection helpers for the snapfields analyzer (internal/lint).
+// What makes a function part of a package's snapshot surface is a
+// naming-and-signature contract: a Save*/Load*/Restore*/Finish* name
+// plus a parameter of one of this package's context types. That
+// contract lives here, next to the codec it describes, so renaming a
+// codec type or changing the method convention breaks these helpers'
+// callers (and the analyzer's golden fixtures) instead of silently
+// de-seeding the analyzer's closure walk.
+
+// IsSaveName reports whether a function of this name belongs to the
+// save side of a snapshot pair.
+func IsSaveName(name string) bool { return strings.HasPrefix(name, "Save") }
+
+// IsLoadName reports whether a function of this name belongs to the
+// load side: LoadState itself, the Restore* helpers components call to
+// re-claim state mid-restore, and the Finish* barrier methods.
+func IsLoadName(name string) bool {
+	return strings.HasPrefix(name, "Load") ||
+		strings.HasPrefix(name, "Restore") ||
+		strings.HasPrefix(name, "Finish")
+}
+
+// CtxTypeNames lists the names of this package's context/codec types: a
+// pointer parameter of one of these marks a function as part of the
+// snapshot surface.
+func CtxTypeNames() []string { return []string{"Ctx", "Encoder", "Decoder"} }

@@ -109,9 +109,9 @@ func (r *Recorder) MeanLatency() time.Duration {
 // Generator drives the request stream. It occupies one node ID on the
 // simulated network (a client driver machine).
 type Generator struct {
-	sim     *sim.Sim
-	iface   *simnet.Iface
-	cfg     Config
+	sim     *sim.Sim      //availlint:skipfield sim kernel backlink; the restored generator is built over the restored kernel
+	iface   *simnet.Iface //availlint:skipfield iface interface backlink; simnet restores its own state
+	cfg     Config        //availlint:skipfield cfg construction config, identical across forks
 	rec     *Recorder
 	rng     *rand.Rand
 	running bool
@@ -120,13 +120,13 @@ type Generator struct {
 	rr      int
 	// reqFree recycles request records (and their once-built handler
 	// closures) so a steady-state request costs no heap allocation.
-	reqFree []*request
+	reqFree []*request //availlint:skipfield reqFree free list; an empty list after restore is behaviorally identical
 	// reqLive registers in-flight request records (launched, not yet
 	// recycled) so snapshots can enumerate them; slot-indexed.
 	reqLive []*request
 	// reqPool recycles the ReqMsg wire records; the server releases them
 	// after admission.
-	reqPool cnet.MsgPool[server.ReqMsg]
+	reqPool cnet.MsgPool[server.ReqMsg] //availlint:skipfield reqPool message free list; an empty pool after restore is behaviorally identical
 }
 
 // NewGenerator attaches a client driver to the network as node id.
@@ -206,12 +206,12 @@ type request struct {
 	refs int
 
 	conn            cnet.Conn
-	connectDeadline sim.Timer
+	connectDeadline sim.Timer //availlint:skipfield connectDeadline saved via the pending-event claim (matched by callback identity), re-armed by RestoreAtArg
 
-	h      cnet.StreamHandlers
-	onDial func(cnet.Conn, error)
+	h      cnet.StreamHandlers    //availlint:skipfield h once-built handler closures, recreated with the record (see RestoreDial)
+	onDial func(cnet.Conn, error) //availlint:skipfield onDial once-built dial closure, recreated with the record (see RestoreDial)
 
-	slot int // index in Generator.reqLive while in flight
+	slot int //availlint:skipfield slot registry index, reassigned as restore re-registers in-flight requests
 }
 
 func (g *Generator) newRequest() *request {
