@@ -5,7 +5,7 @@
 // Usage:
 //
 //	reproduce [-fig all|1a|1b|2|4|6|7|8|9a|9b|10|t1|t2] [-fast] [-seed N] [-o file] [-workers N]
-//	reproduce -chaos [-seeds N] [-version FME] [-shrink] [-repro-dir dir] [-fast]
+//	reproduce -chaos [-seeds N] [-version FME] [-shrink] [-repro-dir dir] [-fast] [-gray]
 //	reproduce -chaos [-snapshot file.snap | -from-snapshot file.snap] ...
 //	reproduce -chaos-replay file.json
 //	reproduce -bench [-bench-out BENCH_6.json] [-bench-base BENCH_5.json] [-fast]
@@ -28,6 +28,13 @@
 // written as runnable repro files; the exit status is non-zero if any
 // seed violates. -chaos-replay re-executes such a repro file and reports
 // whether the recorded violation still reproduces.
+//
+// -gray widens each seed's schedule past Table 1: the partial-degradation
+// classes (node-slow, link-lossy, disk-degraded), correlated multi-fault
+// events (switch-takes-rack, power-event groups), and fault-during-
+// recovery chases. The standing invariant catalog still judges the runs;
+// the opt-in gray detection probes (gray-detected, no-false-eviction) are
+// experiment instruments, not CI gates — see EXPERIMENTS.md.
 //
 // -snapshot warms the campaign's world once, writes the warm snapshot to
 // the named file, and runs the campaign warm-forked from it (every seed
@@ -60,6 +67,7 @@ func main() {
 	shrink := flag.Bool("shrink", true, "chaos: shrink violating schedules before writing repros")
 	reproDir := flag.String("repro-dir", ".", "chaos: directory for violation repro files")
 	replay := flag.String("chaos-replay", "", "replay a chaos repro file and exit")
+	gray := flag.Bool("gray", false, "chaos: add gray faults, correlated groups and recovery chases to every seed's schedule")
 	snapOut := flag.String("snapshot", "", "chaos: warm once, write the warm snapshot here, fork the campaign from it")
 	snapIn := flag.String("from-snapshot", "", "chaos: fork the campaign from this snapshot file instead of warming")
 	bench := flag.Bool("bench", false, "run the kernel/episode/campaign benchmark and write a JSON baseline")
@@ -91,7 +99,7 @@ func main() {
 		exit(runBench(*fast, *seed, *benchOut, *benchBase))
 	}
 	if *chaosMode {
-		exit(runChaosCampaign(press.Version(*version), *seeds, *fast, *seed, *shrink, *reproDir, *snapOut, *snapIn))
+		exit(runChaosCampaign(press.Version(*version), *seeds, *fast, *seed, *shrink, *gray, *reproDir, *snapOut, *snapIn))
 	}
 
 	var o press.Options
@@ -170,7 +178,7 @@ func main() {
 // repro file written per violating seed). A non-empty snapOut or snapIn
 // switches to the warm-fork path: one warmed world is captured (or read
 // from snapIn) and every seed forks an independent copy of it.
-func runChaosCampaign(v press.Version, nSeeds int, fast bool, seed int64, shrink bool, reproDir, snapOut, snapIn string) int {
+func runChaosCampaign(v press.Version, nSeeds int, fast bool, seed int64, shrink, gray bool, reproDir, snapOut, snapIn string) int {
 	var o press.Options
 	if fast {
 		o = press.FastOptions(seed)
@@ -180,6 +188,14 @@ func runChaosCampaign(v press.Version, nSeeds int, fast bool, seed int64, shrink
 	cfg := press.ChaosCampaignConfig{
 		Seeds:  press.ChaosSeeds(nSeeds),
 		Shrink: shrink,
+	}
+	if gray {
+		// One expected correlated event and a one-in-four recovery chase
+		// per steady fault: enough to land multi-component and fault-
+		// during-recovery scenarios in most seeds without swamping the
+		// Table 1 draw the seeds were calibrated on.
+		cfg.Gen = press.ChaosGenConfig{Gray: true, Correlated: 1, RecoveryChase: 0.25}
+		fmt.Println("gray engine on: partial-degradation classes + correlated groups + recovery chases")
 	}
 	start := time.Now()
 	var sum press.ChaosCampaignSummary

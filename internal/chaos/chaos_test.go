@@ -56,7 +56,7 @@ func TestGenerateRespectsCaps(t *testing.T) {
 			t.Fatalf("seed %d: generated invalid schedule: %v\n%s", seed, err, s)
 		}
 		for _, e := range s {
-			if e.Flapping() && !flapCapable(e.Fault) {
+			if e.Flapping() && !faults.FlapCapable(e.Fault) {
 				t.Fatalf("seed %d: %v drawn as flapping but is not flap-capable", seed, e.Fault)
 			}
 			if e.Duration < cfg.MinActive || e.Duration > cfg.MaxActive {

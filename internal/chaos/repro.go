@@ -9,11 +9,17 @@ import (
 	"press/internal/harness"
 )
 
+// ReproSchema is the current repro file schema. Version 2 added the
+// gray-fault fields (per-entry severity, correlated group tags); files
+// without a schema field (v1) predate them and load unchanged.
+const ReproSchema = 2
+
 // Repro is a runnable reproduction of an invariant violation: everything
 // needed to replay the exact failing simulation — version, options, run
 // config, and the (shrunken) schedule — plus what it violated. Repro
 // files are JSON; `cmd/reproduce -chaos-replay file` replays them.
 type Repro struct {
+	Schema   int             `json:"schema,omitempty"`
 	Version  harness.Version `json:"version"`
 	Options  harness.Options `json:"options"`
 	Run      RunConfig       `json:"run"`
@@ -27,6 +33,7 @@ type Repro struct {
 func NewRepro(v harness.Version, o harness.Options, rc RunConfig, sched Schedule, viol Violation) Repro {
 	sched = sched.Canonical()
 	return Repro{
+		Schema:   ReproSchema,
 		Version:  v,
 		Options:  o,
 		Run:      rc,
@@ -47,6 +54,9 @@ func LoadRepro(data []byte) (Repro, error) {
 	var r Repro
 	if err := json.Unmarshal(data, &r); err != nil {
 		return r, fmt.Errorf("chaos: bad repro file: %w", err)
+	}
+	if r.Schema > ReproSchema {
+		return r, fmt.Errorf("chaos: repro schema %d is newer than this build understands (%d)", r.Schema, ReproSchema)
 	}
 	if err := r.Schedule.Validate(); err != nil {
 		return r, err
@@ -71,12 +81,14 @@ func (r Repro) Replay(invs []Invariant) (Result, []Violation, error) {
 // entryJSON is Entry's wire form: durations as strings ("1m30s"), fault
 // classes by name, so repro files are hand-editable.
 type entryJSON struct {
-	At        string `json:"at"`
-	Fault     string `json:"fault"`
-	Component int    `json:"component"`
-	Duration  string `json:"duration"`
-	FlapOn    string `json:"flap_on,omitempty"`
-	FlapOff   string `json:"flap_off,omitempty"`
+	At        string  `json:"at"`
+	Fault     string  `json:"fault"`
+	Component int     `json:"component"`
+	Duration  string  `json:"duration"`
+	FlapOn    string  `json:"flap_on,omitempty"`
+	FlapOff   string  `json:"flap_off,omitempty"`
+	Severity  float64 `json:"severity,omitempty"` // schema 2: gray intensity
+	Group     int     `json:"group,omitempty"`    // schema 2: correlated-event tag
 }
 
 // MarshalJSON renders the entry in its human-editable wire form.
@@ -86,6 +98,8 @@ func (e Entry) MarshalJSON() ([]byte, error) {
 		Fault:     e.Fault.String(),
 		Component: e.Component,
 		Duration:  e.Duration.String(),
+		Severity:  e.Severity,
+		Group:     e.Group,
 	}
 	if e.Flapping() {
 		j.FlapOn = e.FlapOn.String()
@@ -123,5 +137,7 @@ func (e *Entry) UnmarshalJSON(data []byte) error {
 	if e.FlapOff, err = parse(j.FlapOff); err != nil {
 		return fmt.Errorf("chaos: entry flap_off: %w", err)
 	}
+	e.Severity = j.Severity
+	e.Group = j.Group
 	return nil
 }

@@ -140,13 +140,11 @@ func (r *runner) fireInject(i int) {
 		r.res.Skipped = append(r.res.Skipped, fmt.Sprintf("%s: target unavailable", e))
 		return
 	}
-	var a *faults.Active
-	var err error
-	if e.Flapping() {
-		a, err = r.c.Injector.InjectFlap(e.Fault, e.Component, faults.Flap{On: e.FlapOn, Off: e.FlapOff})
-	} else {
-		a, err = r.c.Injector.Inject(e.Fault, e.Component)
-	}
+	a, err := r.c.Injector.InjectWith(e.Fault, e.Component, faults.InjectOpts{
+		Flap:     faults.Flap{On: e.FlapOn, Off: e.FlapOff},
+		Severity: e.Severity,
+		Group:    e.Group,
+	})
 	if err != nil {
 		r.res.Skipped = append(r.res.Skipped, fmt.Sprintf("%s: %v", e, err))
 		return

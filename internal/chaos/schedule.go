@@ -31,6 +31,14 @@ type Entry struct {
 	Duration  time.Duration
 	FlapOn    time.Duration
 	FlapOff   time.Duration
+	// Severity sets a gray class's intensity (0 = class default); it is
+	// invalid on binary classes.
+	Severity float64
+	// Group > 0 tags this entry as a member of a correlated fault event
+	// (switch-takes-rack, power event). All members of a group share one
+	// At — they are injected atomically at the same instant — and the
+	// shrinker deletes a group only as a whole.
+	Group int
 }
 
 // Flapping reports whether the entry is an intermittent variant.
@@ -43,6 +51,12 @@ func (e Entry) String() string {
 	s := fmt.Sprintf("%s+%s %v/%d", e.At, e.Duration, e.Fault, e.Component)
 	if e.Flapping() {
 		s += fmt.Sprintf(" flap(%s/%s)", e.FlapOn, e.FlapOff)
+	}
+	if e.Severity != 0 {
+		s += fmt.Sprintf(" sev=%g", e.Severity)
+	}
+	if e.Group != 0 {
+		s += fmt.Sprintf(" group=%d", e.Group)
 	}
 	return s
 }
@@ -102,6 +116,7 @@ func (s Schedule) Overlaps() int {
 func (s Schedule) Validate() error {
 	c := s.Canonical()
 	lastEnd := map[[2]int]time.Duration{}
+	groupAt := map[int]time.Duration{}
 	for i, e := range c {
 		if e.At < 0 {
 			return fmt.Errorf("chaos: entry %d (%s): negative offset", i, e)
@@ -114,6 +129,18 @@ func (s Schedule) Validate() error {
 		}
 		if e.Fault < 0 || e.Fault >= faults.Type(len(faults.AllTypes())) {
 			return fmt.Errorf("chaos: entry %d (%s): unknown fault class", i, e)
+		}
+		if err := faults.ValidateSeverity(e.Fault, e.Severity); err != nil {
+			return fmt.Errorf("chaos: entry %d (%s): %v", i, e, err)
+		}
+		if e.Group < 0 {
+			return fmt.Errorf("chaos: entry %d (%s): negative group", i, e)
+		}
+		if e.Group > 0 {
+			if at, ok := groupAt[e.Group]; ok && at != e.At {
+				return fmt.Errorf("chaos: entry %d (%s): correlated group %d members disagree on At", i, e, e.Group)
+			}
+			groupAt[e.Group] = e.At
 		}
 		key := [2]int{int(e.Fault), e.Component}
 		if end, ok := lastEnd[key]; ok && e.At < end {
@@ -143,6 +170,12 @@ func (s Schedule) Hash() uint64 {
 	for _, e := range s.Canonical() {
 		fmt.Fprintf(h, "%d|%d|%d|%d|%d|%d\n",
 			e.At, e.Fault, e.Component, e.Duration, e.FlapOn, e.FlapOff)
+		// Severity/group feed the digest only when set, so every pre-gray
+		// schedule keeps its original hash (and its cached runs and repro
+		// files stay valid).
+		if e.Severity != 0 || e.Group != 0 {
+			fmt.Fprintf(h, "sev=%g|group=%d\n", e.Severity, e.Group)
+		}
 	}
 	return h.Sum64()
 }

@@ -62,19 +62,44 @@ func Shrink(v harness.Version, o harness.Options, rc RunConfig, sched Schedule, 
 		changed = false
 
 		// Pass 1: delete entries (latest first, so indices stay valid and
-		// late "aftershock" entries go before the early root cause).
+		// late "aftershock" entries go before the early root cause). A
+		// correlated group is one deletable unit: removing a single member
+		// would produce an event the generator could never emit, so the
+		// candidate drops all entries sharing the member's group tag.
+		triedGroup := map[int]bool{}
 		for i := len(cur) - 1; i >= 0; i-- {
-			cand := make(Schedule, 0, len(cur)-1)
-			cand = append(cand, cur[:i]...)
-			cand = append(cand, cur[i+1:]...)
+			var cand Schedule
+			removed := 1
+			if g := cur[i].Group; g != 0 {
+				if triedGroup[g] {
+					continue
+				}
+				triedGroup[g] = true
+				cand = make(Schedule, 0, len(cur))
+				removed = 0
+				for _, e := range cur {
+					if e.Group == g {
+						removed++
+						continue
+					}
+					cand = append(cand, e)
+				}
+			} else {
+				cand = make(Schedule, 0, len(cur)-1)
+				cand = append(cand, cur[:i]...)
+				cand = append(cand, cur[i+1:]...)
+			}
 			ok, err := stillFails(cand)
 			if err != nil {
 				return cur, target, stats, err
 			}
 			if ok {
 				cur = cand
-				stats.Removed++
+				stats.Removed += removed
 				changed = true
+				if i > len(cur) {
+					i = len(cur)
+				}
 			}
 		}
 

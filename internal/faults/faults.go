@@ -49,32 +49,91 @@ const (
 	// FrontendFailure crashes the front-end machine.
 	FrontendFailure
 
+	// The gray classes extend Table 1 with the partial-degradation
+	// failures the paper's testbed could not inject (§7 concedes them as
+	// the dominant real-world class). A gray component is degraded, not
+	// down: every binary health check still passes.
+
+	// NodeSlow multiplies a machine's CPU service times (severity =
+	// multiplier, default 4x).
+	NodeSlow
+	// LinkLossy drops intra-cluster datagrams probabilistically on one
+	// node's link and inflates its latency (severity = drop probability,
+	// default 0.3).
+	LinkLossy
+	// DiskDegraded multiplies one disk's service time (severity =
+	// multiplier, default 10x) while probes keep passing.
+	DiskDegraded
+
 	numTypes
 )
 
-var typeNames = [...]string{
-	"link-down", "switch-down", "scsi-timeout", "node-crash",
-	"node-freeze", "app-crash", "app-hang", "frontend-failure",
+// typeMeta is the single metadata record for one fault class. Every
+// per-class list in the package (names, Table 1 rows, flap capability,
+// severity semantics) derives from this table so a new class cannot
+// silently miss rate or target wiring.
+type typeMeta struct {
+	name string
+	mttf time.Duration // expected per-component MTTF (Table 1, or estimate for gray classes)
+	mttr time.Duration
+	// comps gives the component count for a cluster of n server nodes.
+	comps func(n, disksPerNode int, withFrontend bool) int
+	// flapCapable marks classes whose physical analogue is intermittent
+	// (link flap, disk stutter, lossy-link episodes).
+	flapCapable bool
+	// gray marks partial-degradation classes carrying a severity knob.
+	gray bool
+	// defSeverity is the class's default severity (gray classes only).
+	defSeverity float64
+}
+
+func perNode(n, _ int, _ bool) int    { return n }
+func perDisk(n, d int, _ bool) int    { return n * d }
+func oneSwitch(_, _ int, _ bool) int  { return 1 }
+func feOnly(_, _ int, withFE bool) int {
+	if withFE {
+		return 1
+	}
+	return 0
+}
+
+// typeMetas indexes typeMeta by Type. The first eight rows are the
+// paper's Table 1; the gray rows use MTTF/MTTR estimates consistent with
+// its "application failures dominate" observation (gray faults were not
+// measured in the paper).
+var typeMetas = [numTypes]typeMeta{
+	LinkDown:        {name: "link-down", mttf: 6 * month, mttr: 3 * time.Minute, comps: perNode, flapCapable: true},
+	SwitchDown:      {name: "switch-down", mttf: year, mttr: time.Hour, comps: oneSwitch},
+	SCSITimeout:     {name: "scsi-timeout", mttf: year, mttr: time.Hour, comps: perDisk, flapCapable: true},
+	NodeCrash:       {name: "node-crash", mttf: 2 * week, mttr: 3 * time.Minute, comps: perNode},
+	NodeFreeze:      {name: "node-freeze", mttf: 2 * week, mttr: 3 * time.Minute, comps: perNode},
+	AppCrash:        {name: "app-crash", mttf: 2 * month, mttr: 3 * time.Minute, comps: perNode},
+	AppHang:         {name: "app-hang", mttf: 2 * month, mttr: 3 * time.Minute, comps: perNode},
+	FrontendFailure: {name: "frontend-failure", mttf: 6 * month, mttr: 3 * time.Minute, comps: feOnly},
+	NodeSlow:        {name: "node-slow", mttf: month, mttr: 10 * time.Minute, comps: perNode, gray: true, defSeverity: 4},
+	LinkLossy:       {name: "link-lossy", mttf: month, mttr: 10 * time.Minute, comps: perNode, flapCapable: true, gray: true, defSeverity: 0.3},
+	DiskDegraded:    {name: "disk-degraded", mttf: 2 * month, mttr: time.Hour, comps: perDisk, gray: true, defSeverity: 10},
 }
 
 func (t Type) String() string {
-	if t < 0 || int(t) >= len(typeNames) {
+	if t < 0 || t >= numTypes {
 		return fmt.Sprintf("fault(%d)", int(t))
 	}
-	return typeNames[t]
+	return typeMetas[t].name
 }
 
 // ParseType inverts String for the chaos repro file format.
 func ParseType(s string) (Type, error) {
-	for i, n := range typeNames {
-		if n == s {
+	for i := range typeMetas {
+		if typeMetas[i].name == s {
 			return Type(i), nil
 		}
 	}
 	return 0, fmt.Errorf("faults: unknown fault type %q", s)
 }
 
-// AllTypes lists every fault class in Table 1 order.
+// AllTypes lists every fault class, Table 1 order first, then the gray
+// classes.
 func AllTypes() []Type {
 	out := make([]Type, numTypes)
 	for i := range out {
@@ -83,12 +142,50 @@ func AllTypes() []Type {
 	return out
 }
 
-// Spec is one row of Table 1: a fault class with its expected fault load.
+// Gray reports whether t is a partial-degradation class (carries a
+// severity knob; the component stays nominally healthy).
+func Gray(t Type) bool { return t >= 0 && t < numTypes && typeMetas[t].gray }
+
+// FlapCapable reports whether t's physical analogue is intermittent
+// (link flap, disk stutter, lossy-link episodes). The chaos generator
+// only draws flapping variants for these classes.
+func FlapCapable(t Type) bool { return t >= 0 && t < numTypes && typeMetas[t].flapCapable }
+
+// DefaultSeverity returns the class's default severity knob (0 for
+// binary classes). NodeSlow/DiskDegraded severities are service-time
+// multipliers (>1); LinkLossy severity is a drop probability in (0, 1).
+func DefaultSeverity(t Type) float64 {
+	if t < 0 || t >= numTypes {
+		return 0
+	}
+	return typeMetas[t].defSeverity
+}
+
+// ValidateSeverity checks a severity knob against the class's semantics.
+// Zero always means "use the class default".
+func ValidateSeverity(t Type, sev float64) error {
+	if sev == 0 {
+		return nil
+	}
+	switch {
+	case !Gray(t):
+		return fmt.Errorf("severity %g on non-gray class %v", sev, t)
+	case t == LinkLossy && (sev <= 0 || sev >= 1):
+		return fmt.Errorf("link-lossy severity is a drop probability, need 0 < %g < 1", sev)
+	case t != LinkLossy && sev <= 1:
+		return fmt.Errorf("%v severity is a service-time multiplier, need %g > 1", t, sev)
+	}
+	return nil
+}
+
+// Spec is one row of the fault catalog: a fault class with its expected
+// fault load. The first eight classes are the paper's Table 1.
 type Spec struct {
 	Type       Type
 	MTTF       time.Duration // mean time to failure, per component
 	MTTR       time.Duration // mean time to repair
 	Components int           // number of components of this class
+	Severity   float64       // gray classes: intensity knob (0 = class default)
 }
 
 // Rate returns the class's aggregate fault rate (faults per unit time).
@@ -106,24 +203,51 @@ const (
 	year  = 365 * day
 )
 
+// specFor materializes one catalog row from the metadata table, or a
+// zero-component Spec when the class does not apply to this cluster.
+func specFor(t Type, n, disksPerNode int, withFrontend bool) Spec {
+	m := &typeMetas[t]
+	return Spec{
+		Type:       t,
+		MTTF:       m.mttf,
+		MTTR:       m.mttr,
+		Components: m.comps(n, disksPerNode, withFrontend),
+		Severity:   m.defSeverity,
+	}
+}
+
 // Table1 returns the paper's expected fault load for a cluster of n server
 // nodes (Table 1 lists the 4-node instantiation). disksPerNode is 2 on the
-// paper's hardware. withFrontend adds the front-end component.
+// paper's hardware. withFrontend adds the front-end component. Rows are
+// built by iterating the class metadata, so a class added to the enum
+// cannot silently miss its rate wiring.
 //
 // "Application hang and crash together represent an MTTF of 1 month for
 // application failures": each is listed at 2 months.
 func Table1(n, disksPerNode int, withFrontend bool) []Spec {
-	specs := []Spec{
-		{Type: LinkDown, MTTF: 6 * month, MTTR: 3 * time.Minute, Components: n},
-		{Type: SwitchDown, MTTF: year, MTTR: time.Hour, Components: 1},
-		{Type: SCSITimeout, MTTF: year, MTTR: time.Hour, Components: n * disksPerNode},
-		{Type: NodeCrash, MTTF: 2 * week, MTTR: 3 * time.Minute, Components: n},
-		{Type: NodeFreeze, MTTF: 2 * week, MTTR: 3 * time.Minute, Components: n},
-		{Type: AppCrash, MTTF: 2 * month, MTTR: 3 * time.Minute, Components: n},
-		{Type: AppHang, MTTF: 2 * month, MTTR: 3 * time.Minute, Components: n},
+	specs := make([]Spec, 0, numTypes)
+	for _, t := range AllTypes() {
+		if Gray(t) {
+			continue
+		}
+		s := specFor(t, n, disksPerNode, withFrontend)
+		if s.Components == 0 {
+			continue
+		}
+		specs = append(specs, s)
 	}
-	if withFrontend {
-		specs = append(specs, Spec{Type: FrontendFailure, MTTF: 6 * month, MTTR: 3 * time.Minute, Components: 1})
+	return specs
+}
+
+// GrayTable returns the expected fault load of the gray classes alone,
+// for campaigns that layer partial degradation on top of Table 1.
+func GrayTable(n, disksPerNode int) []Spec {
+	specs := make([]Spec, 0, 3)
+	for _, t := range AllTypes() {
+		if !Gray(t) {
+			continue
+		}
+		specs = append(specs, specFor(t, n, disksPerNode, false))
 	}
 	return specs
 }
@@ -202,6 +326,12 @@ type Active struct {
 	Type      Type
 	Component int
 	Flap      Flap // zero for a steady fault
+	// Severity is the resolved intensity of a gray fault (class default
+	// substituted at injection); 0 for binary classes.
+	Severity float64
+	// Group tags members of one correlated fault event (switch-takes-rack,
+	// power event); 0 marks an independent fault.
+	Group int
 
 	in       *Injector //availlint:skipfield in owner backlink, rebuilt by LoadState
 	undo     func()    // reverses the applied effect; nil while in a flap's off phase
@@ -246,31 +376,64 @@ func (in *Injector) emit(kind metrics.KindID, component int, detail string) {
 }
 
 // register claims the slot or returns the double-injection error.
-func (in *Injector) register(t Type, c int, f Flap) (*Active, error) {
+func (in *Injector) register(t Type, c int, o InjectOpts) (*Active, error) {
 	k := slot{t, c}
 	if _, dup := in.active[k]; dup {
 		return nil, &Error{Op: "inject", Type: t, Component: c, Err: ErrActive}
 	}
-	a := &Active{Type: t, Component: c, Flap: f, in: in}
+	sev := o.Severity
+	if Gray(t) && sev == 0 {
+		sev = DefaultSeverity(t)
+	}
+	a := &Active{Type: t, Component: c, Flap: o.Flap, Severity: sev, Group: o.Group, in: in}
 	in.active[k] = a
 	return a, nil
 }
 
-// Inject applies one steady fault of class t to component index c
-// (meaning depends on the class: node index for node/app/link faults,
-// disk index for SCSI — node i's disks are 2i and 2i+1 — and ignored for
-// switch and front-end faults). Injecting a slot that already carries an
+// InjectOpts refine one injection beyond its (type, component) slot.
+// The zero value is a steady, independent, default-severity fault.
+type InjectOpts struct {
+	// Flap makes the fault intermittent (both spans must be positive).
+	Flap Flap
+	// Severity sets a gray class's intensity (0 = class default); it is
+	// an error on binary classes.
+	Severity float64
+	// Group tags this fault as a member of a correlated event; purely
+	// observational (listed by ActiveFaults, round-tripped by snapshots).
+	Group int
+}
+
+// InjectWith applies one fault of class t to component index c with the
+// given refinements. Component meaning depends on the class: node index
+// for node/app/link faults (gray included), disk index for SCSI and
+// disk-degraded — node i's disks are 2i and 2i+1 — and ignored for
+// switch and front-end faults. Injecting a slot that already carries an
 // active fault returns a typed error (*Error wrapping ErrActive); faults
 // on distinct slots stack and repair independently. It panics on
 // out-of-range components: experiments are misconfigured, not
 // recoverable.
-func (in *Injector) Inject(t Type, c int) (*Active, error) {
-	a, err := in.register(t, c, Flap{})
+func (in *Injector) InjectWith(t Type, c int, o InjectOpts) (*Active, error) {
+	if (o.Flap.On != 0 || o.Flap.Off != 0) && !o.Flap.Flapping() {
+		return nil, &Error{Op: "inject", Type: t, Component: c,
+			Err: fmt.Errorf("flap spans must be positive, got on=%v off=%v", o.Flap.On, o.Flap.Off)}
+	}
+	if err := ValidateSeverity(t, o.Severity); err != nil {
+		return nil, &Error{Op: "inject", Type: t, Component: c, Err: err}
+	}
+	a, err := in.register(t, c, o)
 	if err != nil {
 		return nil, err
 	}
 	a.apply()
+	if a.Flapping() {
+		a.timer = in.sim.After(a.Flap.On, a.toggle)
+	}
 	return a, nil
+}
+
+// Inject applies one steady, default-severity fault. See InjectWith.
+func (in *Injector) Inject(t Type, c int) (*Active, error) {
+	return in.InjectWith(t, c, InjectOpts{})
 }
 
 // InjectFlap applies an intermittent fault: the effect holds for f.On,
@@ -281,13 +444,7 @@ func (in *Injector) InjectFlap(t Type, c int, f Flap) (*Active, error) {
 		return nil, &Error{Op: "inject", Type: t, Component: c,
 			Err: fmt.Errorf("flap spans must be positive, got on=%v off=%v", f.On, f.Off)}
 	}
-	a, err := in.register(t, c, f)
-	if err != nil {
-		return nil, err
-	}
-	a.apply()
-	a.timer = in.sim.After(f.On, a.toggle)
-	return a, nil
+	return in.InjectWith(t, c, InjectOpts{Flap: f})
 }
 
 // toggle is the flap driver: lift the effect after each on span, reapply
@@ -331,11 +488,25 @@ func (a *Active) apply() {
 			panic("faults: no front-end to fail")
 		}
 		in.t.Frontend.Crash()
+	case NodeSlow:
+		in.t.Machines[c].SetSlow(a.Severity)
+	case LinkLossy:
+		in.t.Machines[c].Iface().SetLossy(a.Severity, LossyLatency(a.Severity))
+	case DiskDegraded:
+		in.t.Machines[c/2].Disks().Disks()[c%2].SetDegraded(a.Severity)
 	default:
 		panic(fmt.Sprintf("faults: unknown type %v", t))
 	}
 	a.undo = in.undoFor(t, c)
 	in.emit(metrics.KFaultInject, c, a.detail())
+}
+
+// LossyLatency derives the per-direction latency inflation a lossy link
+// suffers from its drop-probability severity: retransmission and backoff
+// on a real lossy link cost latency roughly in proportion to the loss
+// rate. At the default severity 0.3 each traversal of the link gains 6ms.
+func LossyLatency(sev float64) time.Duration {
+	return time.Duration(sev * float64(20*time.Millisecond))
 }
 
 // undoFor builds the repair closure for one fault slot against current
@@ -373,6 +544,15 @@ func (in *Injector) undoFor(t Type, c int) func() {
 		return func() { p.Unhang() }
 	case FrontendFailure:
 		return func() { in.t.Frontend.Restart() }
+	case NodeSlow:
+		m := in.t.Machines[c]
+		return func() { m.SetSlow(0) }
+	case LinkLossy:
+		ifc := in.t.Machines[c].Iface()
+		return func() { ifc.SetLossy(0, 0) }
+	case DiskDegraded:
+		d := in.t.Machines[c/2].Disks().Disks()[c%2]
+		return func() { d.SetDegraded(0) }
 	default:
 		panic(fmt.Sprintf("faults: unknown type %v", t))
 	}
@@ -398,6 +578,8 @@ type ActiveFault struct {
 	Type      Type
 	Component int
 	Flapping  bool
+	Severity  float64 // resolved gray severity; 0 for binary classes
+	Group     int     // correlated-event tag; 0 for independent faults
 }
 
 // ActiveCount returns how many faults are currently active.
@@ -409,7 +591,11 @@ func (in *Injector) ActiveCount() int { return len(in.active) }
 func (in *Injector) ActiveFaults() []ActiveFault {
 	out := make([]ActiveFault, 0, len(in.active))
 	for k := range in.active {
-		out = append(out, ActiveFault{Type: k.t, Component: k.c, Flapping: in.active[k].Flapping()})
+		a := in.active[k]
+		out = append(out, ActiveFault{
+			Type: k.t, Component: k.c, Flapping: a.Flapping(),
+			Severity: a.Severity, Group: a.Group,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Type != out[j].Type {

@@ -38,6 +38,8 @@ func (in *Injector) SaveState(ctx *snapio.Ctx) {
 		e.Int(a.Component)
 		e.Dur(a.Flap.On)
 		e.Dur(a.Flap.Off)
+		e.F64(a.Severity)
+		e.Int(a.Group)
 		e.Bool(a.undo != nil)
 		at, seq, pending := a.timer.Key()
 		e.Bool(pending)
@@ -64,6 +66,8 @@ func (in *Injector) LoadState(ctx *snapio.Ctx) {
 		a.Component = d.Int()
 		a.Flap.On = d.Dur()
 		a.Flap.Off = d.Dur()
+		a.Severity = d.F64()
+		a.Group = d.Int()
 		if d.Bool() {
 			a.undo = in.undoFor(a.Type, a.Component)
 		}

@@ -50,6 +50,7 @@ type Episode struct {
 	Offered   float64
 	Markers   template7.Markers
 	Tpl       template7.Template
+	Dips      []template7.Dip // throughput excursions over the episode; >1 flags a multi-dip episode
 	Series    *metrics.Series // per-second successful completions
 	Log       *metrics.Log
 }
@@ -62,7 +63,7 @@ func DefaultComponent(f faults.Type) int {
 	switch f {
 	case faults.SwitchDown, faults.FrontendFailure:
 		return 0
-	case faults.SCSITimeout:
+	case faults.SCSITimeout, faults.DiskDegraded:
 		return 2 // node 1, disk 0
 	default:
 		return 1
@@ -75,7 +76,7 @@ func faultNode(f faults.Type, comp int) int {
 	switch f {
 	case faults.SwitchDown, faults.FrontendFailure:
 		return -1
-	case faults.SCSITimeout:
+	case faults.SCSITimeout, faults.DiskDegraded:
 		return comp / 2
 	default:
 		return comp
@@ -140,11 +141,16 @@ func runEpisodeUncached(v Version, o Options, f faults.Type, comp int, sched Epi
 
 	ep.Markers = m
 	ep.Series = c.Rec.Throughput
-	tpl, err := template7.Extract(f.String(), c.Rec.Throughput, m, ep.Normal)
+	// ExtractMulti instead of Extract: gray faults (a flapping lossy link
+	// especially) can dip throughput more than once per episode, and the
+	// stabilization searches above may then land out of order. The fit is
+	// identical to Extract's for well-ordered single-dip episodes.
+	tpl, dips, err := template7.ExtractMulti(f.String(), c.Rec.Throughput, m, ep.Normal, 0)
 	if err != nil {
 		return ep, fmt.Errorf("harness: %v/%v: %w", v, f, err)
 	}
 	ep.Tpl = tpl
+	ep.Dips = dips
 	return ep, nil
 }
 

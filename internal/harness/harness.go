@@ -129,6 +129,12 @@ type Options struct {
 	// Docs/Alpha override the synthetic trace (0 = defaults).
 	Docs  int
 	Alpha float64
+
+	// Mod layers a deterministic time-varying shape (diurnal curve,
+	// flash-crowd spike) on the offered load; zero value = the paper's
+	// stationary load. Pure function of elapsed time, so it composes
+	// with snapshots and byte-identical replay unchanged.
+	Mod trace.Modulation
 }
 
 func (o Options) withDefaults() Options {
@@ -425,6 +431,7 @@ func (c *Cluster) attachWorkload(rate float64) {
 		Targets: c.genTargets,
 		Catalog: c.Catalog,
 		RampUp:  c.Opts.Warmup,
+		Mod:     c.Opts.Mod,
 	}, c.Rec)
 }
 

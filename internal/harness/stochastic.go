@@ -201,6 +201,16 @@ func targetHealthy(c *Cluster, t faults.Type, comp int) bool {
 		m := c.Machines[comp]
 		p := m.Proc("press")
 		return m.Up() && p != nil && p.Alive() && !p.Hung()
+	case faults.NodeSlow:
+		m := c.Machines[comp]
+		return m.Up() && m.SlowFactor() <= 1
+	case faults.LinkLossy:
+		m := c.Machines[comp]
+		return m.Up() && m.Iface().LinkUp() && !m.Iface().Lossy()
+	case faults.DiskDegraded:
+		m := c.Machines[comp/2]
+		d := m.Disks().Disks()[comp%2]
+		return m.Up() && !d.Faulty() && !d.Degraded()
 	}
 	return false
 }

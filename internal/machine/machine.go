@@ -43,6 +43,11 @@ type Machine struct {
 	iface *simnet.Iface  //availlint:skipfield iface interface backlink; simnet restores its own state
 	disks *simdisk.Array //availlint:skipfield disks disk-array backlink; simdisk restores its own state
 	state State
+	// slow is the gray-degradation CPU multiplier (faults.NodeSlow):
+	// every Charge on this machine's processes is scaled by it. 0 or 1
+	// means healthy; the hot path tests >1 only, so an inactive machine
+	// costs one comparison.
+	slow  float64
 	procs map[string]*Proc
 	order []string
 
@@ -92,6 +97,25 @@ func (m *Machine) State() State { return m.state }
 
 // Up reports whether the machine is running normally.
 func (m *Machine) Up() bool { return m.state == simnet.NodeUp }
+
+// SetSlow injects (factor > 1) or repairs (factor <= 1) the gray
+// node-slow degradation: CPU time charged by this machine's processes is
+// multiplied by factor. The machine stays up and keeps answering health
+// checks — only slower.
+func (m *Machine) SetSlow(factor float64) {
+	if factor <= 1 {
+		factor = 0
+	}
+	m.slow = factor
+}
+
+// SlowFactor reports the current CPU multiplier (1 when healthy).
+func (m *Machine) SlowFactor() float64 {
+	if m.slow > 1 {
+		return m.slow
+	}
+	return 1
+}
 
 // AddProc registers a process and starts it immediately. The start
 // function is the process image: it is re-invoked with a fresh Env on
@@ -721,9 +745,14 @@ func (e *Env) Events() *metrics.Log {
 	return e.p.m.log
 }
 
-// Charge implements cnet.Env.
+// Charge implements cnet.Env. A machine degraded by SetSlow charges
+// scaled CPU time: the node-slow gray fault, invisible to binary health
+// checks.
 func (e *Env) Charge(d time.Duration) {
 	if e.live() && d > 0 {
+		if s := e.p.m.slow; s > 1 {
+			d = time.Duration(float64(d) * s)
+		}
 		e.p.curCharge += d
 	}
 }

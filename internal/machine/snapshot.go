@@ -96,6 +96,7 @@ type procRestore struct {
 func (m *Machine) SaveState(ctx *snapio.Ctx) {
 	e := ctx.Enc
 	e.Int(int(m.state))
+	e.F64(m.slow)
 	e.Int(len(m.order))
 	for _, name := range m.order {
 		p := m.procs[name]
@@ -216,6 +217,7 @@ type machineRestore struct {
 func (m *Machine) LoadState(ctx *snapio.Ctx) {
 	d := ctx.Dec
 	m.state = State(d.Int())
+	m.slow = d.F64()
 	n := d.Count(1 << 8)
 	if n != len(m.order) {
 		snapio.Failf("machine %d: snapshot has %d procs, world has %d", m.id, n, len(m.order))

@@ -48,12 +48,29 @@ type Disk struct {
 	mean   time.Duration //availlint:skipfield mean construction config, identical across forks
 	jitter float64       //availlint:skipfield jitter construction config, identical across forks
 	faulty bool
-	reads  uint64
-	arr    *Array //availlint:skipfield arr owner backlink, set at construction
+	// degraded multiplies service times when > 1 (the gray disk fault):
+	// reads and probes still complete — just slower — so binary SCSI
+	// health checks keep passing.
+	degraded float64
+	reads    uint64
+	arr      *Array //availlint:skipfield arr owner backlink, set at construction
 }
 
 // Faulty reports the fault state.
 func (d *Disk) Faulty() bool { return d.faulty }
+
+// Degraded reports whether the device is in gray degradation.
+func (d *Disk) Degraded() bool { return d.degraded > 1 }
+
+// SetDegraded injects (factor > 1) or repairs (factor <= 1) the gray
+// disk fault: every service time is multiplied by factor, while probes
+// keep reporting healthy.
+func (d *Disk) SetDegraded(factor float64) {
+	if factor <= 1 {
+		factor = 0
+	}
+	d.degraded = factor
+}
 
 // Reads returns the number of reads this device completed.
 func (d *Disk) Reads() uint64 { return d.reads }
@@ -84,11 +101,15 @@ func (d *Disk) Probe(timeout time.Duration, done func(healthy bool)) {
 }
 
 func (d *Disk) serviceTime() time.Duration {
-	if d.jitter <= 0 {
-		return d.mean
+	t := d.mean
+	if d.jitter > 0 {
+		f := 1 - d.jitter + 2*d.jitter*d.rng.Float64()
+		t = time.Duration(float64(d.mean) * f)
 	}
-	f := 1 - d.jitter + 2*d.jitter*d.rng.Float64()
-	return time.Duration(float64(d.mean) * f)
+	if d.degraded > 1 {
+		t = time.Duration(float64(t) * d.degraded)
+	}
+	return t
 }
 
 type op struct {

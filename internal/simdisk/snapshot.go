@@ -62,6 +62,7 @@ func (a *Array) SaveState(ctx *snapio.Ctx) {
 	e.Int(len(a.disks))
 	for _, d := range a.disks {
 		e.Bool(d.faulty)
+		e.F64(d.degraded)
 		e.U64(d.reads)
 	}
 	e.Int(a.idle)
@@ -117,6 +118,7 @@ func (a *Array) LoadState(ctx *snapio.Ctx) {
 	}
 	for _, dev := range a.disks {
 		dev.faulty = d.Bool()
+		dev.degraded = d.F64()
 		dev.reads = d.U64()
 	}
 	a.idle = d.Int()

@@ -22,6 +22,7 @@
 package simnet
 
 import (
+	"math/rand"
 	"sort"
 	"time"
 
@@ -76,6 +77,11 @@ type Network struct {
 	groups   map[string][]*Iface // kept sorted by NodeID for determinism
 	aliases  map[cnet.NodeID]cnet.NodeID
 
+	// lossRng drives the gray lossy-link drop decisions. It is consumed
+	// ONLY while some interface is lossy, so runs without gray faults
+	// replay byte-identically against pre-gray captures.
+	lossRng *rand.Rand
+
 	// Free lists for in-flight delivery records. Every datagram, stream
 	// message and dial handshake used to capture its state in a fresh
 	// closure handed to the kernel — at packet rate, the dominant
@@ -122,6 +128,7 @@ func New(s *sim.Sim, cfg Config, log *metrics.Log) *Network {
 		ifaces:   make(map[cnet.NodeID]*Iface),
 		groups:   make(map[string][]*Iface),
 		aliases:  make(map[cnet.NodeID]cnet.NodeID),
+		lossRng:  s.NewRand("simnet/loss"),
 	}
 }
 
@@ -206,6 +213,13 @@ type Iface struct {
 	linkUp     bool
 	sendFreeAt time.Duration
 
+	// Gray lossy-link degradation (faults.LinkLossy): intra-cluster
+	// datagrams crossing this interface are dropped with probability
+	// lossDrop and delayed by lossLat per traversal. Zero when healthy;
+	// the hot path tests lossDrop/lossLat only, no rng draw.
+	lossDrop float64
+	lossLat  time.Duration
+
 	dgram     map[string]func(from cnet.NodeID, m cnet.Message) //availlint:skipfield dgram handler map, rebuilt as restored components re-bind
 	listeners map[string]func(cnet.Conn) cnet.StreamHandlers    //availlint:skipfield listeners handler map, rebuilt as restored components re-listen
 	conns     []*half                                           // local halves of open/zombie conns
@@ -225,6 +239,24 @@ func (i *Iface) SetLink(up bool) { i.linkUp = up }
 
 // LinkUp reports the intra-cluster link state.
 func (i *Iface) LinkUp() bool { return i.linkUp }
+
+// SetLossy injects (drop > 0) or repairs (drop <= 0) gray lossy-link
+// degradation on this node's intra-cluster link: datagrams crossing it
+// are dropped with probability drop, and every traversal (datagram or
+// stream) gains extra latency. The link stays administratively up.
+func (i *Iface) SetLossy(drop float64, extra time.Duration) {
+	if drop <= 0 {
+		drop, extra = 0, 0
+	}
+	i.lossDrop = drop
+	i.lossLat = extra
+}
+
+// Lossy reports whether the link is in gray degradation.
+func (i *Iface) Lossy() bool { return i.lossDrop > 0 }
+
+// LossDrop returns the current drop probability (0 when healthy).
+func (i *Iface) LossDrop() float64 { return i.lossDrop }
 
 // SetState mirrors a machine state change into the transport, applying the
 // crash/freeze semantics from the package documentation.
@@ -351,6 +383,18 @@ type dgramPkt struct {
 }
 
 func (n *Network) sendDgram(arrive time.Duration, src, dst *Iface, class cnet.Class, port string, m cnet.Message) {
+	// Gray lossy-link degradation. Loopback traffic bypasses the fabric
+	// (mirroring pathUp) and client-class traffic never crosses the
+	// intra-cluster link, so only intra datagrams between distinct nodes
+	// are exposed. The rng is consumed only when a lossy endpoint is
+	// involved, keeping healthy runs byte-identical.
+	if class == cnet.ClassIntra && src != dst && (src.lossDrop > 0 || dst.lossDrop > 0) {
+		drop := 1 - (1-src.lossDrop)*(1-dst.lossDrop)
+		if n.lossRng.Float64() < drop {
+			return // lost on the degraded link, like any UDP drop
+		}
+		arrive += src.lossLat + dst.lossLat
+	}
 	var p *dgramPkt
 	if k := len(n.dgramFree); k > 0 {
 		p = n.dgramFree[k-1]
@@ -555,6 +599,11 @@ func (hc *half) TrySend(m cnet.Message, size int) bool {
 	}
 	net := hc.iface.net
 	arrive := hc.iface.serialize(size) + net.cfg.PropDelay
+	// A lossy link delays streams rather than dropping them: TCP
+	// retransmits, and the retransmission cost surfaces as latency.
+	if hc.class == cnet.ClassIntra && hc.iface != p.iface {
+		arrive += hc.iface.lossLat + p.iface.lossLat
+	}
 	p.inTransit++
 	var pkt *streamPkt
 	if k := len(net.streamFree); k > 0 {

@@ -52,6 +52,7 @@ type DialRestorer interface {
 func (n *Network) SaveCore(ctx *snapio.Ctx) {
 	e := ctx.Enc
 	e.Bool(n.switchUp)
+	snapio.SaveRand(e, n.lossRng)
 
 	vips := make([]cnet.NodeID, 0, len(n.aliases))
 	for v := range n.aliases {
@@ -90,6 +91,8 @@ func (n *Network) SaveCore(ctx *snapio.Ctx) {
 		e.I64(int64(id))
 		e.Int(int(i.state))
 		e.Bool(i.linkUp)
+		e.F64(i.lossDrop)
+		e.Dur(i.lossLat)
 		e.Dur(i.sendFreeAt)
 		e.Int(len(i.conns))
 		for _, hc := range i.conns {
@@ -103,6 +106,7 @@ func (n *Network) SaveCore(ctx *snapio.Ctx) {
 func (n *Network) LoadCore(ctx *snapio.Ctx) {
 	d := ctx.Dec
 	n.switchUp = d.Bool()
+	snapio.LoadRand(d, n.lossRng)
 
 	n.aliases = make(map[cnet.NodeID]cnet.NodeID)
 	for k := d.Count(1 << 16); k > 0; k-- {
@@ -128,6 +132,8 @@ func (n *Network) LoadCore(ctx *snapio.Ctx) {
 		i := n.mustIface(cnet.NodeID(d.I64()))
 		i.state = NodeState(d.Int())
 		i.linkUp = d.Bool()
+		i.lossDrop = d.F64()
+		i.lossLat = d.Dur()
 		i.sendFreeAt = d.Dur()
 		if len(i.conns) != 0 {
 			snapio.Failf("simnet: iface %d not virgin at restore", i.id)

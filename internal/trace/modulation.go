@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"math"
+	"time"
+)
+
+// Modulation is a deterministic time-varying load shape layered on a
+// generator's base rate: a diurnal sinusoid, a flash-crowd spike, or
+// both. The paper's methodology measures availability under stationary
+// 90%-of-saturation load; real services see neither stationary load nor
+// conveniently-timed faults, and gray-failure campaigns in particular
+// want a fault landing while load is moving. The zero value is inactive
+// (factor 1 always), so existing experiments are untouched.
+//
+// Factor is a pure function of elapsed time — no state, no randomness —
+// so it needs no snapshot support and cannot perturb replay determinism.
+type Modulation struct {
+	// DiurnalAmp is the sinusoid's amplitude as a fraction of the base
+	// rate, in [0, 1): rate swings between (1-amp) and (1+amp). 0
+	// disables the diurnal component.
+	DiurnalAmp float64
+	// DiurnalPeriod is one full cycle. Campaigns compress the day the
+	// same way they compress MTTFs; a few minutes is typical.
+	DiurnalPeriod time.Duration
+	// DiurnalPhase offsets the cycle start, as a fraction of the period
+	// in [0, 1). Phase 0 starts at the mean heading up.
+	DiurnalPhase float64
+
+	// FlashBoost is the flash crowd's peak multiplier (>1 to enable):
+	// the rate climbs linearly to Boost× over FlashRamp starting at
+	// FlashAt, holds for FlashHold, and decays back over FlashDecay.
+	FlashBoost float64
+	// FlashAt is the spike onset, in elapsed time since the generator
+	// started.
+	FlashAt time.Duration
+	// FlashRamp/FlashHold/FlashDecay shape the spike. A zero ramp or
+	// decay makes that edge a step; a zero hold is a pure peak.
+	FlashRamp  time.Duration
+	FlashHold  time.Duration
+	FlashDecay time.Duration
+}
+
+// Active reports whether the modulation changes the rate at all.
+func (m Modulation) Active() bool {
+	return (m.DiurnalAmp > 0 && m.DiurnalPeriod > 0) || m.FlashBoost > 1
+}
+
+// Factor returns the rate multiplier at the given elapsed time. It is
+// always positive: the diurnal amplitude is clamped below 1, and the
+// composed factor is floored at 0.05 (matching the ramp-up floor) so an
+// open-loop generator never divides by zero.
+func (m Modulation) Factor(elapsed time.Duration) float64 {
+	f := 1.0
+	if m.DiurnalAmp > 0 && m.DiurnalPeriod > 0 {
+		amp := m.DiurnalAmp
+		if amp > 0.95 {
+			amp = 0.95
+		}
+		cyc := float64(elapsed)/float64(m.DiurnalPeriod) + m.DiurnalPhase
+		f *= 1 + amp*math.Sin(2*math.Pi*cyc)
+	}
+	if m.FlashBoost > 1 {
+		f *= m.flashFactor(elapsed)
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+// flashFactor is the piecewise-linear spike envelope.
+func (m Modulation) flashFactor(elapsed time.Duration) float64 {
+	t := elapsed - m.FlashAt
+	switch {
+	case t < 0:
+		return 1
+	case t < m.FlashRamp:
+		return 1 + (m.FlashBoost-1)*float64(t)/float64(m.FlashRamp)
+	case t < m.FlashRamp+m.FlashHold:
+		return m.FlashBoost
+	case t < m.FlashRamp+m.FlashHold+m.FlashDecay:
+		dt := t - m.FlashRamp - m.FlashHold
+		return m.FlashBoost - (m.FlashBoost-1)*float64(dt)/float64(m.FlashDecay)
+	default:
+		return 1
+	}
+}

@@ -39,6 +39,9 @@ type Config struct {
 	// over this span (the paper warms the server up to its 90% load over
 	// five minutes).
 	RampUp time.Duration
+	// Mod layers a deterministic time-varying shape (diurnal curve,
+	// flash-crowd spike) on the base rate. Zero value = stationary load.
+	Mod trace.Modulation
 }
 
 func (c Config) withDefaults() Config {
@@ -157,18 +160,19 @@ func (g *Generator) Start() {
 func (g *Generator) Stop() { g.running = false }
 
 func (g *Generator) currentRate() float64 {
-	if g.cfg.RampUp <= 0 {
-		return g.cfg.Rate
-	}
+	rate := g.cfg.Rate
 	el := g.sim.Now() - g.started
-	if el >= g.cfg.RampUp {
-		return g.cfg.Rate
+	if g.cfg.Mod.Active() {
+		rate *= g.cfg.Mod.Factor(el)
+	}
+	if g.cfg.RampUp <= 0 || el >= g.cfg.RampUp {
+		return rate
 	}
 	frac := float64(el) / float64(g.cfg.RampUp)
 	if frac < 0.05 {
 		frac = 0.05
 	}
-	return g.cfg.Rate * frac
+	return rate * frac
 }
 
 func (g *Generator) scheduleNext() {
