@@ -19,7 +19,7 @@ import (
 // iterations time episode simulation only.
 func BenchmarkEpisode(b *testing.B) {
 	o := press.FastOptions(benchSeed)
-	o.Rate = 0.9 * press.Saturation(press.COOP, o)
+	o.Rate = 0.9 * press.New(press.WithVersion(press.COOP), press.WithOptions(o)).Saturation()
 	c := press.New(press.WithVersion(press.COOP), press.WithOptions(o))
 	sched := press.FastSchedule()
 	b.ReportAllocs()
@@ -39,7 +39,7 @@ func BenchmarkChaosCampaign(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		press.ResetCaches()
+		press.ResetGlobalCaches()
 		sum := press.RunChaosCampaign(press.FME, o, press.ChaosCampaignConfig{
 			Seeds: press.ChaosSeeds(2),
 		})

@@ -139,10 +139,11 @@ func BenchmarkAblationHeartbeatPeriod(b *testing.B) {
 	for _, hb := range []time.Duration{2 * time.Second, 5 * time.Second, 10 * time.Second} {
 		hb := hb
 		b.Run(hb.String(), func(b *testing.B) {
+			o := press.FastOptions(benchSeed)
+			o.HeartbeatPeriod = hb
+			c := press.New(press.WithVersion(press.COOP), press.WithOptions(o))
 			for i := 0; i < b.N; i++ {
-				o := press.FastOptions(benchSeed)
-				o.HeartbeatPeriod = hb
-				ep, err := press.RunEpisode(press.COOP, o, press.NodeCrash, 1, press.FastSchedule())
+				ep, err := c.RunEpisode(press.NodeCrash, 1, press.FastSchedule())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -162,8 +163,9 @@ func BenchmarkAblationOperatorResponse(b *testing.B) {
 	for _, op := range []time.Duration{5 * time.Minute, 30 * time.Minute, 2 * time.Hour} {
 		op := op
 		b.Run(op.String(), func(b *testing.B) {
+			c := press.New(press.WithVersion(press.COOP), press.WithOptions(press.FastOptions(benchSeed)))
 			for i := 0; i < b.N; i++ {
-				camp, err := press.RunCampaign(press.COOP, press.FastOptions(benchSeed), press.FastSchedule())
+				camp, err := c.RunCampaign(press.FastSchedule())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -186,11 +188,13 @@ func BenchmarkAblationCacheRatio(b *testing.B) {
 	for _, mb := range []int64{16, 32, 64} {
 		mb := mb
 		b.Run(byteSize(mb), func(b *testing.B) {
+			o := press.FastOptions(benchSeed)
+			o.CacheBytes = mb << 20
+			coopC := press.New(press.WithVersion(press.COOP), press.WithOptions(o))
+			indepC := press.New(press.WithVersion(press.INDEP), press.WithOptions(o))
 			for i := 0; i < b.N; i++ {
-				o := press.FastOptions(benchSeed)
-				o.CacheBytes = mb << 20
-				coop := press.Saturation(press.COOP, o)
-				indep := press.Saturation(press.INDEP, o)
+				coop := coopC.Saturation()
+				indep := indepC.Saturation()
 				if i == 0 {
 					b.ReportMetric(coop/indep, "coop-factor")
 				}
@@ -209,8 +213,9 @@ func BenchmarkAblationFMEvsPrecedence(b *testing.B) {
 	for _, v := range []press.Version{press.MQ, press.FME} {
 		v := v
 		b.Run(string(v), func(b *testing.B) {
+			c := press.New(press.WithVersion(v), press.WithOptions(press.FastOptions(benchSeed)))
 			for i := 0; i < b.N; i++ {
-				ep, err := press.RunEpisode(v, press.FastOptions(benchSeed), press.AppHang, 1, press.FastSchedule())
+				ep, err := c.RunEpisode(press.AppHang, 1, press.FastSchedule())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -243,11 +248,11 @@ func BenchmarkEngine(b *testing.B) {
 	} {
 		bm := bm
 		b.Run(fmt.Sprintf("%s-%d", bm.name, bm.workers), func(b *testing.B) {
-			prev := press.SetWorkers(bm.workers)
-			defer press.SetWorkers(prev)
+			c := press.New(press.WithVersion(press.COOP),
+				press.WithOptions(press.FastOptions(benchSeed)), press.WithWorkers(bm.workers))
 			for i := 0; i < b.N; i++ {
-				press.ResetCaches()
-				if _, err := press.RunCampaign(press.COOP, press.FastOptions(benchSeed), press.FastSchedule()); err != nil {
+				c.ResetCaches()
+				if _, err := c.RunCampaign(press.FastSchedule()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -261,7 +266,7 @@ func BenchmarkEngine(b *testing.B) {
 func BenchmarkSimulatorEventThroughput(b *testing.B) {
 	o := press.FastOptions(benchSeed)
 	o.Rate = 100
-	c := press.BuildCluster(press.COOP, o)
+	c := press.New(press.WithVersion(press.COOP), press.WithOptions(o)).Build()
 	c.Gen.Start()
 	c.Sim.RunFor(30 * time.Second)
 	b.ResetTimer()
@@ -303,10 +308,11 @@ func BenchmarkAblationRedundantFrontend(b *testing.B) {
 			name = "pair"
 		}
 		b.Run(name, func(b *testing.B) {
+			o := press.FastOptions(benchSeed)
+			o.RedundantFE = redundant
+			c := press.New(press.WithVersion(press.FEX), press.WithOptions(o))
 			for i := 0; i < b.N; i++ {
-				o := press.FastOptions(benchSeed)
-				o.RedundantFE = redundant
-				ep, err := press.RunEpisode(press.FEX, o, press.FrontendFailure, 0, press.FastSchedule())
+				ep, err := c.RunEpisode(press.FrontendFailure, 0, press.FastSchedule())
 				if err != nil {
 					b.Fatal(err)
 				}

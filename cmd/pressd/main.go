@@ -10,15 +10,24 @@
 // Usage:
 //
 //	pressd [-nodes 3] [-hb 500ms] [-rate 20] [-duration 30s] [-kill 1]
+//	       [-protocol faithful|scalable] [-fanout 3]
+//
+// -protocol scalable runs the large-cluster protocol suite on the same
+// live stack: gossip membership (bounded-fanout dissemination), the
+// hash-partitioned cache directory, and document-hash routing at the
+// front end. -fanout tunes the gossip fanout and is only meaningful
+// there; pressd rejects it under the faithful suite.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"press/internal/cnet"
 	"press/internal/frontend"
+	"press/internal/harness"
 	"press/internal/livenet"
 	"press/internal/membership"
 	"press/internal/metrics"
@@ -33,9 +42,26 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "total run time")
 	kill := flag.Int("kill", 1, "node whose PRESS process is killed mid-run (-1: none)")
 	seed := flag.Int64("seed", 1, "world seed (fixed by default so runs are reproducible)")
+	protocol := flag.String("protocol", "faithful", "protocol suite: faithful (paper) or scalable (gossip membership + sharded directory)")
+	fanout := flag.Int("fanout", 0, "gossip fanout (scalable protocol only; 0 = default 3)")
 	flag.Parse()
 
-	fmt.Printf("pressd: seed %d\n", *seed)
+	suite, err := harness.ParseProtocolSuite(*protocol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *nNodes < 1 {
+		fmt.Fprintf(os.Stderr, "-nodes %d: the cluster needs at least one server node\n", *nNodes)
+		os.Exit(2)
+	}
+	scalable := suite == harness.Scalable
+	if *fanout != 0 && !scalable {
+		fmt.Fprintln(os.Stderr, "-fanout tunes the gossip dissemination and needs -protocol scalable: the faithful suite's membership ring has no fanout")
+		os.Exit(2)
+	}
+
+	fmt.Printf("pressd: seed %d, %s protocols\n", *seed, suite)
 	w := livenet.NewWorld(*seed)
 	cat := trace.NewCatalog(500, 27*1024, 0.8)
 
@@ -50,12 +76,15 @@ func main() {
 		nodes = append(nodes, n)
 		pub := &membership.Published{}
 		n.Spawn("membd", func(env cnet.Env) {
-			membership.NewDaemon(membership.Config{Self: ids[i], HBPeriod: *hb, HBMiss: 3}, env, pub)
+			membership.NewDaemon(membership.Config{
+				Self: ids[i], HBPeriod: *hb, HBMiss: 3,
+				Gossip: scalable, Peers: ids, Fanout: *fanout,
+			}, env, pub)
 		})
 		n.Spawn("icmp", func(env cnet.Env) { frontend.NewPingResponder(env) })
 		n.Spawn("press", func(env cnet.Env) {
 			server.New(server.Config{
-				Self: ids[i], Nodes: ids, Cooperative: true,
+				Self: ids[i], Nodes: ids, Cooperative: true, Sharded: scalable,
 				HeartbeatPeriod: *hb, JoinTimeout: time.Second,
 				Catalog: cat, CacheBytes: cat.TotalBytes(),
 				MembershipPoll: *hb / 2,
@@ -68,7 +97,7 @@ func main() {
 	fe := w.AddNode(feID)
 	fe.Spawn("frontend", func(env cnet.Env) {
 		frontend.New(frontend.Config{
-			Self: feID, Backends: ids,
+			Self: feID, Backends: ids, ShardRoute: scalable,
 			PingPeriod: *hb, PingMiss: 3,
 			ConnMonitor: true, ConnPeriod: *hb, ConnDeadline: 2 * *hb,
 		}, env)

@@ -8,14 +8,16 @@ import (
 	"time"
 
 	"press"
+	"press/internal/faults"
 	"press/internal/sim"
 )
 
-// benchReport is the BENCH_6.json schema: the repo's standing performance
+// benchReport is the BENCH_7.json schema: the repo's standing performance
 // baseline, written by `reproduce -bench` and archived by the bench-smoke
 // CI job so kernel regressions show up as a diffable artifact. When the
 // prior baseline (-bench-base) is readable, a vs_base block records the
-// improvement ratios against it.
+// improvement ratios against it. Schema 7 adds the per-N scaling curve
+// (Scalable protocol suite under a fixed chaos window).
 type benchReport struct {
 	Schema    string `json:"schema"`
 	Generated string `json:"generated"`
@@ -63,9 +65,25 @@ type benchReport struct {
 		Speedup         float64 `json:"speedup"`
 	} `json:"warm_fork"`
 
+	// Scaling is the per-N throughput curve on the Scalable protocol
+	// suite (gossip membership + sharded directory): each point builds an
+	// N-node COOP cluster at 40 req/s per node and measures simulator
+	// throughput and service availability over a two-minute fault storm
+	// (node crash, link flap, app hang — all repaired in-window).
+	Scaling []benchScalePoint `json:"scaling"`
+
 	// VsBase compares this run against the previous checked-in baseline
 	// (nil when the base file is absent or unreadable).
 	VsBase *benchComparison `json:"vs_base,omitempty"`
+}
+
+// benchScalePoint is one cluster size on the scaling curve.
+type benchScalePoint struct {
+	Nodes        int     `json:"nodes"`
+	Events       uint64  `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Availability float64 `json:"availability"`
 }
 
 // benchComparison is the improvement summary against a prior baseline:
@@ -78,6 +96,19 @@ type benchComparison struct {
 	KernelSpeedup         float64 `json:"kernel_events_per_sec_ratio"`
 	CampaignWallRatio     float64 `json:"campaign_wall_seconds_ratio"`
 	EpisodeHeapInuseRatio float64 `json:"episode_heap_inuse_ratio"`
+	// Scaling256Speedup is the 256-node chaos throughput ratio against
+	// the base's scaling curve (0 when the base predates the curve).
+	Scaling256Speedup float64 `json:"scaling_256_events_per_sec_ratio"`
+}
+
+// scaling256 finds the 256-node point on a report's scaling curve.
+func scaling256(rep *benchReport) float64 {
+	for _, pt := range rep.Scaling {
+		if pt.Nodes == 256 {
+			return pt.EventsPerSec
+		}
+	}
+	return 0
 }
 
 // compareBase loads the prior baseline and computes the ratio block.
@@ -106,6 +137,7 @@ func compareBase(rep *benchReport, basePath string) *benchComparison {
 		KernelSpeedup:         ratio(rep.Kernel.EventsPerSec, base.Kernel.EventsPerSec),
 		CampaignWallRatio:     ratio(rep.Campaign.WallSeconds, base.Campaign.WallSeconds),
 		EpisodeHeapInuseRatio: ratio(float64(rep.Episode.HeapInuseBytes), float64(base.Episode.HeapInuseBytes)),
+		Scaling256Speedup:     ratio(scaling256(rep), scaling256(&base)),
 	}
 }
 
@@ -223,15 +255,15 @@ func benchWarmFork(rep *benchReport, seed int64) error {
 		},
 		Run: rc,
 	}
-	prev := press.SetWorkers(1)
-	defer press.SetWorkers(prev)
+	prev := press.SetGlobalWorkers(1)
+	defer press.SetGlobalWorkers(prev)
 
-	press.ResetCaches()
+	press.ResetGlobalCaches()
 	start := time.Now()
 	press.RunChaosCampaign(press.COOP, o, cfg)
 	cold := time.Since(start).Seconds()
 
-	press.ResetCaches()
+	press.ResetGlobalCaches()
 	start = time.Now()
 	if _, err := press.RunChaosCampaignForked(press.COOP, o, cfg); err != nil {
 		return err
@@ -253,11 +285,73 @@ func benchWarmFork(rep *benchReport, seed int64) error {
 	return nil
 }
 
+// benchScaling measures the per-N scaling curve on the Scalable protocol
+// suite. Each point builds an N-node COOP world at a fixed 40 req/s per
+// node (explicit rate, so the saturation probe never runs and offered
+// load scales linearly with N), settles, then runs a two-minute chaos
+// window: a node crash held for a minute, a flapping backplane link and
+// an application hang, all repaired before the window closes so the
+// availability figure covers fault, repair and reintegration. The
+// reduced-scale profile is always used — the curve's point is relative
+// cost versus N, which a longer trace would only scale.
+func benchScaling(rep *benchReport, seed int64) error {
+	for _, n := range []int{4, 16, 64, 256} {
+		o := press.FastOptions(seed)
+		o.Nodes = n
+		o.Protocol = press.Scalable
+		o.Rate = 40 * float64(n)
+		dep := press.New(press.WithVersion(press.COOP), press.WithOptions(o)).Build()
+		dep.Gen.Start()
+		dep.Sim.RunFor(20 * time.Second) // settle; not timed
+
+		t0 := dep.Sim.Now()
+		e0 := dep.Sim.EventsFired()
+		start := time.Now()
+		crash, err := dep.Injector.Inject(press.NodeCrash, 1)
+		if err != nil {
+			return err
+		}
+		flap, err := dep.Injector.InjectFlap(press.LinkDown, 2, faults.Flap{On: 15 * time.Second, Off: 5 * time.Second})
+		if err != nil {
+			return err
+		}
+		hang, err := dep.Injector.Inject(press.AppHang, 3)
+		if err != nil {
+			return err
+		}
+		dep.Sim.RunFor(60 * time.Second)
+		if err := crash.Repair(); err != nil {
+			return err
+		}
+		if err := flap.Repair(); err != nil {
+			return err
+		}
+		// FME may already have converted the hang into a restart, in
+		// which case the slot is repaired and this is a benign no-op.
+		_ = hang.Repair()
+		dep.Sim.RunFor(60 * time.Second)
+		wall := time.Since(start).Seconds()
+
+		events := dep.Sim.EventsFired() - e0
+		pt := benchScalePoint{
+			Nodes:        n,
+			Events:       events,
+			WallSeconds:  wall,
+			EventsPerSec: float64(events) / wall,
+			Availability: dep.Rec.Availability(t0, dep.Sim.Now()),
+		}
+		rep.Scaling = append(rep.Scaling, pt)
+		fmt.Printf("  N=%-3d %9d events in %6.2fs, %8.0f events/s, availability %.4f\n",
+			pt.Nodes, pt.Events, pt.WallSeconds, pt.EventsPerSec, pt.Availability)
+	}
+	return nil
+}
+
 // runBench executes the -bench mode: measure, print a summary, write the
 // JSON baseline. Returns the process exit code.
 func runBench(fast bool, seed int64, out, basePath string) int {
 	rep := &benchReport{
-		Schema:    "press-bench/6",
+		Schema:    "press-bench/7",
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Fast:      fast,
 		Seed:      seed,
@@ -288,6 +382,12 @@ func runBench(fast bool, seed int64, out, basePath string) int {
 	fmt.Printf("  %d seeds: cold %.2fs, warm-forked %.2fs (%.2fx, snapshot %d bytes)\n",
 		rep.WarmFork.Seeds, rep.WarmFork.ColdWallSeconds, rep.WarmFork.WarmWallSeconds,
 		rep.WarmFork.Speedup, rep.WarmFork.SnapshotBytes)
+
+	fmt.Println("bench: scaling curve, Scalable suite under chaos (N = 4/16/64/256) ...")
+	if err := benchScaling(rep, seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 
 	if cmp := compareBase(rep, basePath); cmp != nil {
 		rep.VsBase = cmp

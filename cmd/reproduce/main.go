@@ -5,10 +5,11 @@
 // Usage:
 //
 //	reproduce [-fig all|1a|1b|2|4|6|7|8|9a|9b|10|t1|t2] [-fast] [-seed N] [-o file] [-workers N]
+//	          [-nodes N] [-protocol faithful|scalable]
 //	reproduce -chaos [-seeds N] [-version FME] [-shrink] [-repro-dir dir] [-fast] [-gray]
 //	reproduce -chaos [-snapshot file.snap | -from-snapshot file.snap] ...
 //	reproduce -chaos-replay file.json
-//	reproduce -bench [-bench-out BENCH_6.json] [-bench-base BENCH_5.json] [-fast]
+//	reproduce -bench [-bench-out BENCH_7.json] [-bench-base BENCH_6.json] [-fast]
 //
 // Any mode accepts -cpuprofile/-memprofile/-trace to capture a pprof CPU
 // profile, a pprof allocation profile, or a runtime execution trace of
@@ -61,6 +62,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	out := flag.String("o", "", "also write output to this file")
 	workers := flag.Int("workers", 0, "max concurrent simulators (0 = GOMAXPROCS, 1 = serial)")
+	nodes := flag.Int("nodes", 0, "server-node count (0 = the paper's 4; other counts require -protocol scalable)")
+	protocol := flag.String("protocol", "faithful", "protocol suite: faithful (paper, golden-dump identical) or scalable (gossip membership + sharded directory)")
 	chaosMode := flag.Bool("chaos", false, "run a chaos campaign instead of figures")
 	seeds := flag.Int("seeds", 8, "chaos: number of campaign seeds (1..N)")
 	version := flag.String("version", string(press.FME), "chaos: version to bombard")
@@ -71,8 +74,8 @@ func main() {
 	snapOut := flag.String("snapshot", "", "chaos: warm once, write the warm snapshot here, fork the campaign from it")
 	snapIn := flag.String("from-snapshot", "", "chaos: fork the campaign from this snapshot file instead of warming")
 	bench := flag.Bool("bench", false, "run the kernel/episode/campaign benchmark and write a JSON baseline")
-	benchOut := flag.String("bench-out", "BENCH_6.json", "bench: output path for the JSON baseline")
-	benchBase := flag.String("bench-base", "BENCH_5.json", "bench: prior baseline to embed a comparison against (absent file = no comparison)")
+	benchOut := flag.String("bench-out", "BENCH_7.json", "bench: output path for the JSON baseline")
+	benchBase := flag.String("bench-base", "BENCH_6.json", "bench: prior baseline to embed a comparison against (absent file = no comparison)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	traceFlag := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -89,7 +92,35 @@ func main() {
 	}
 
 	if *workers > 0 {
-		press.SetWorkers(*workers)
+		press.SetGlobalWorkers(*workers)
+	}
+
+	suite, err := press.ParseProtocolSuite(*protocol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
+	if *nodes < 0 {
+		fmt.Fprintf(os.Stderr, "-nodes %d: the server-node count must be positive (0 = the paper's 4)\n", *nodes)
+		exit(2)
+	}
+	if *nodes != 0 && *nodes != 4 && suite != press.Scalable {
+		fmt.Fprintf(os.Stderr, "-nodes %d needs -protocol scalable: the faithful suite's broadcast directory and all-pairs announce traffic are the paper's 4-node protocols and do not scale\n", *nodes)
+		exit(2)
+	}
+	topo := func(o press.Options) press.Options {
+		o.Nodes = *nodes
+		o.Protocol = suite
+		if suite == press.Scalable && *nodes > 4 && o.Rate == 0 {
+			// The 90%-of-saturation probe is a 4-node instrument: at wide
+			// scale the cold-cache overload it applies splinters the
+			// cluster before it warms and measures zero. Load scalable
+			// topologies at the explicit per-node rate the scale tests
+			// and the bench curve use, with their shortened warmup.
+			o.Rate = 40 * float64(*nodes)
+			o.Warmup = time.Minute
+		}
+		return o
 	}
 
 	if *replay != "" {
@@ -99,17 +130,17 @@ func main() {
 		exit(runBench(*fast, *seed, *benchOut, *benchBase))
 	}
 	if *chaosMode {
-		exit(runChaosCampaign(press.Version(*version), *seeds, *fast, *seed, *shrink, *gray, *reproDir, *snapOut, *snapIn))
+		exit(runChaosCampaign(press.Version(*version), *seeds, *fast, *seed, *shrink, *gray, *reproDir, *snapOut, *snapIn, topo))
 	}
 
 	var o press.Options
 	var fg *press.Figures
 	if *fast {
-		o = press.FastOptions(*seed)
+		o = topo(press.FastOptions(*seed))
 		fg = press.NewFigures(o)
 		fg.Sched = press.FastSchedule()
 	} else {
-		o = press.Options{Seed: *seed}
+		o = topo(press.Options{Seed: *seed})
 		fg = press.NewFigures(o)
 	}
 
@@ -156,7 +187,7 @@ func main() {
 	}
 
 	emit(fmt.Sprintf("# Reproduction run: seed=%d fast=%v workers=%d started %s\n\n",
-		*seed, *fast, press.Workers(), time.Now().Format(time.RFC3339)))
+		*seed, *fast, press.GlobalWorkers(), time.Now().Format(time.RFC3339)))
 	for _, g := range gens {
 		if *fig != "all" && !want[g.key] {
 			continue
@@ -178,12 +209,12 @@ func main() {
 // repro file written per violating seed). A non-empty snapOut or snapIn
 // switches to the warm-fork path: one warmed world is captured (or read
 // from snapIn) and every seed forks an independent copy of it.
-func runChaosCampaign(v press.Version, nSeeds int, fast bool, seed int64, shrink, gray bool, reproDir, snapOut, snapIn string) int {
+func runChaosCampaign(v press.Version, nSeeds int, fast bool, seed int64, shrink, gray bool, reproDir, snapOut, snapIn string, topo func(press.Options) press.Options) int {
 	var o press.Options
 	if fast {
-		o = press.FastOptions(seed)
+		o = topo(press.FastOptions(seed))
 	} else {
-		o = press.Options{Seed: seed}
+		o = topo(press.Options{Seed: seed})
 	}
 	cfg := press.ChaosCampaignConfig{
 		Seeds:  press.ChaosSeeds(nSeeds),

@@ -25,7 +25,8 @@ import (
 )
 
 func run(v press.Version) (flaps int, lost float64, log []metrics.Event, ep press.Episode) {
-	ep, err := press.RunEpisode(v, press.FastOptions(3), press.AppHang, 2, press.FastSchedule())
+	c := press.New(press.WithVersion(v), press.WithOptions(press.FastOptions(3)))
+	ep, err := c.RunEpisode(press.AppHang, 2, press.FastSchedule())
 	if err != nil {
 		panic(err)
 	}

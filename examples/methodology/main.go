@@ -28,7 +28,7 @@ func main() {
 	fmt.Printf("phase 1: fault-injection campaign against %s (this runs %d simulated episodes)\n\n",
 		v, len(press.Table1(4, 2, v.HasFrontend())))
 
-	camp, err := press.RunCampaign(v, o, press.FastSchedule())
+	camp, err := press.New(press.WithVersion(v), press.WithOptions(o)).RunCampaign(press.FastSchedule())
 	if err != nil {
 		panic(err)
 	}

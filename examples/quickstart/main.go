@@ -15,16 +15,18 @@ import (
 
 func main() {
 	o := press.FastOptions(7)
+	coop := press.New(press.WithVersion(press.COOP), press.WithOptions(o))
+	indep := press.New(press.WithVersion(press.INDEP), press.WithOptions(o))
 
 	// Measure the cluster's saturation and report the cooperation factor.
-	coopSat := press.Saturation(press.COOP, o)
-	indepSat := press.Saturation(press.INDEP, o)
+	coopSat := coop.Saturation()
+	indepSat := indep.Saturation()
 	fmt.Printf("saturation: COOP %.0f req/s, INDEP %.0f req/s — cooperation buys %.1fx\n\n",
 		coopSat, indepSat, coopSat/indepSat)
 
 	// Run one node-crash fault-injection episode.
 	fmt.Println("injecting a node crash into COOP at 90% load ...")
-	ep, err := press.RunEpisode(press.COOP, o, press.NodeCrash, 1, press.FastSchedule())
+	ep, err := coop.RunEpisode(press.NodeCrash, 1, press.FastSchedule())
 	if err != nil {
 		panic(err)
 	}

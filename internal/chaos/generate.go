@@ -81,7 +81,7 @@ func (g GenConfig) withDefaults() GenConfig {
 		}
 	}
 	if g.RackSize <= 0 {
-		g.RackSize = 2
+		g.RackSize = harness.DefaultRackSize
 	}
 	return g
 }
@@ -161,8 +161,9 @@ func slotFree(sched Schedule, t faults.Type, comp int, at, end time.Duration) bo
 // always yields the same schedule.
 func Generate(seed int64, v harness.Version, o harness.Options, cfg GenConfig) Schedule {
 	cfg = cfg.withDefaults()
-	n := harness.ServerCount(v, o)
-	specs := faults.Table1(n, 2, v.HasFrontend())
+	topo := harness.NewTopology(v, o)
+	n := topo.Nodes
+	specs := faults.Table1(n, 2, topo.Frontend)
 
 	accel := cfg.Accel
 	var sched Schedule

@@ -30,6 +30,7 @@ import (
 	"press/internal/cnet"
 	"press/internal/metrics"
 	"press/internal/server"
+	"press/internal/trace"
 )
 
 // Ports.
@@ -55,6 +56,13 @@ type Config struct {
 
 	// SFME enables isolation masking from probe-carried cooperation sets.
 	SFME bool
+
+	// ShardRoute sends each request to the healthy backend that owns the
+	// document's shard (the same mod-N placement the sharded directory
+	// uses), falling back to round-robin when the owner is masked. This
+	// makes first-hop routing land on the directory authority, so the
+	// scale-out protocol usually serves with zero extra hops.
+	ShardRoute bool
 
 	// Cost is the CPU charged per relayed request.
 	Cost time.Duration
@@ -163,6 +171,19 @@ func (f *Frontend) pick() cnet.NodeID {
 	return cnet.None
 }
 
+// pickFor returns the routing target for doc: under ShardRoute the
+// shard owner when healthy, otherwise (and in the faithful mode always)
+// the round-robin choice.
+func (f *Frontend) pickFor(doc trace.DocID) cnet.NodeID {
+	if f.cfg.ShardRoute {
+		owner := f.cfg.Backends[int(doc)%len(f.cfg.Backends)]
+		if f.backends[owner].healthy() {
+			return owner
+		}
+	}
+	return f.pick()
+}
+
 // acceptClient relays one request to a backend.
 func (f *Frontend) acceptClient(client cnet.Conn) cnet.StreamHandlers {
 	var backendConn cnet.Conn
@@ -184,7 +205,7 @@ func (f *Frontend) acceptClient(client cnet.Conn) cnet.StreamHandlers {
 				return
 			}
 			f.env.Charge(f.cfg.Cost)
-			target := f.pick()
+			target := f.pickFor(req.Doc)
 			if target == cnet.None {
 				closeBoth() // nothing healthy: the client sees a reset
 				return

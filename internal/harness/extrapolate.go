@@ -30,7 +30,7 @@ import (
 func PredictLoads(coop CampaignResult, v Version, o Options) []avail.FaultLoad {
 	o = o.withDefaults()
 	t := versionTraits(v)
-	n := serverCount(v, o)
+	n := NewTopology(v, o).Nodes
 	offered := coop.Offered
 	satPerNode := Saturation(v, o) / float64(n)
 

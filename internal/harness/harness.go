@@ -46,6 +46,50 @@ const (
 	VXSWRAID  Version = "X-SW+RAID"  // X-SW + per-node RAID (modeled)
 )
 
+// ProtocolSuite selects which family of intra-cluster protocols a built
+// world runs. The zero value is the paper-faithful suite, so existing
+// Options literals, memo keys and golden dumps are untouched.
+type ProtocolSuite int
+
+const (
+	// Faithful runs the paper's protocols exactly as studied at 4 nodes:
+	// broadcast cache-directory announcements, ring heartbeats with an
+	// exclusion broadcast, and the three-round Cristian/Schmuck
+	// membership reorganization. O(N) or worse per event — fine at the
+	// studied scale, byte-identical to every golden dump.
+	Faithful ProtocolSuite = iota
+	// Scalable swaps the all-to-all protocols for bounded-fanout ones so
+	// the same stack honestly simulates large clusters: gossip membership
+	// (epidemic digest dissemination instead of ring + 2PC), a
+	// hash-partitioned cache directory (per-shard announce and relay
+	// instead of cluster-wide broadcast), and document-hash request
+	// routing at the front end.
+	Scalable
+)
+
+func (p ProtocolSuite) String() string {
+	switch p {
+	case Faithful:
+		return "faithful"
+	case Scalable:
+		return "scalable"
+	default:
+		return fmt.Sprintf("ProtocolSuite(%d)", int(p))
+	}
+}
+
+// ParseProtocolSuite maps the CLI spelling onto the suite constant.
+func ParseProtocolSuite(s string) (ProtocolSuite, error) {
+	switch s {
+	case "", "faithful":
+		return Faithful, nil
+	case "scalable":
+		return Scalable, nil
+	default:
+		return Faithful, fmt.Errorf("unknown protocol suite %q (want faithful or scalable)", s)
+	}
+}
+
 // traits captures what a version is made of.
 type traits struct {
 	cooperative bool
@@ -135,6 +179,12 @@ type Options struct {
 	// stationary load. Pure function of elapsed time, so it composes
 	// with snapshots and byte-identical replay unchanged.
 	Mod trace.Modulation
+
+	// Protocol selects the intra-cluster protocol suite. The zero value
+	// (Faithful) is the paper's 4-node protocols, byte-identical to the
+	// golden dumps; Scalable swaps in the bounded-fanout variants for
+	// large-N worlds.
+	Protocol ProtocolSuite
 }
 
 func (o Options) withDefaults() Options {
@@ -184,6 +234,89 @@ func serverCount(v Version, o Options) int {
 	return n
 }
 
+// Topology is the single accessor for a built world's node layout: how
+// many server nodes exist, their IDs, how they group into racks, which
+// protocol suite they speak, and whether a front-end tier fronts them.
+// Every place that used to assume the paper's fixed 4-node shape (chaos
+// component ranges, correlated-fault rack draws, scaling arithmetic)
+// derives from this instead of hard-coding literals.
+type Topology struct {
+	Version  Version
+	Nodes    int // server nodes, extra-capacity node included
+	RackSize int // consecutive nodes sharing a switch/power domain
+	Protocol ProtocolSuite
+	Frontend bool
+}
+
+// DefaultRackSize is how many consecutive nodes share one rack (switch
+// and power domain) unless a generator overrides it.
+const DefaultRackSize = 2
+
+// NewTopology resolves the topology for (version, options).
+func NewTopology(v Version, o Options) Topology {
+	o = o.withDefaults()
+	return Topology{
+		Version:  v,
+		Nodes:    serverCount(v, o),
+		RackSize: DefaultRackSize,
+		Protocol: o.Protocol,
+		Frontend: versionTraits(v).fe,
+	}
+}
+
+// ServerIDs returns the server node IDs, 0..Nodes-1.
+func (t Topology) ServerIDs() []cnet.NodeID {
+	ids := make([]cnet.NodeID, t.Nodes)
+	for i := range ids {
+		ids[i] = cnet.NodeID(i)
+	}
+	return ids
+}
+
+// Scalable front-end tier sizing: the paper's front-end is provisioned
+// for the 4-node cluster (its 500µs relay cost caps one machine at
+// 2000 req/s), so a wide cluster gets one front-end per feShardNodes
+// servers, numbered from feScaleBase clear of the server ID range, and
+// clients stripe over the tier round-robin (DNS-style).
+const (
+	feShardNodes             = 32
+	feScaleBase  cnet.NodeID = 10000
+)
+
+// FrontendIDs returns the node IDs of the front-end tier: none without
+// one, the paper's single front-end (ID 90) for the faithful shape, and
+// ceil(n/feShardNodes) scalable front-ends once one machine's relay
+// capacity no longer covers the cluster's offered load.
+func (t Topology) FrontendIDs() []cnet.NodeID {
+	if !t.Frontend {
+		return nil
+	}
+	k := 1
+	if t.Protocol == Scalable {
+		k = (t.Nodes + feShardNodes - 1) / feShardNodes
+	}
+	if k <= 1 {
+		return []cnet.NodeID{feNodeID}
+	}
+	ids := make([]cnet.NodeID, k)
+	for i := range ids {
+		ids[i] = feScaleBase + cnet.NodeID(i)
+	}
+	return ids
+}
+
+// Racks returns how many racks the servers occupy.
+func (t Topology) Racks() int {
+	if t.RackSize <= 0 || t.Nodes <= 0 {
+		return 0
+	}
+	return (t.Nodes + t.RackSize - 1) / t.RackSize
+}
+
+// GossipFanout is how many peers each gossip round's digest goes to in
+// the Scalable membership mode.
+const GossipFanout = 3
+
 // Node IDs: servers 0..n-1; front-end 90 (backup 91, virtual address 89);
 // client driver 1000.
 const (
@@ -204,9 +337,13 @@ type Cluster struct {
 	Log      *metrics.Log
 	Catalog  *trace.Catalog
 	Machines []*machine.Machine // server nodes
-	FEMach   *machine.Machine   // nil without front-end
-	FEBackup *machine.Machine   // nil unless Options.RedundantFE
-	Injector *faults.Injector
+	// FEMachines is the front-end tier: one machine for the faithful
+	// shape, ceil(N/32) for wide scalable clusters. FEMachines[0] is
+	// always FEMach. Nil without a front-end.
+	FEMachines []*machine.Machine
+	FEMach     *machine.Machine // nil without front-end
+	FEBackup   *machine.Machine // nil unless Options.RedundantFE
+	Injector   *faults.Injector
 
 	Rec *workload.Recorder
 	Gen *workload.Generator
@@ -214,6 +351,7 @@ type Cluster struct {
 	servers []**server.Server
 	srvCfgs []server.Config
 	fe      **frontend.Frontend
+	fes     []**frontend.Frontend // one per FEMachines entry; fes[0] == fe
 	feb     **frontend.Frontend
 	standby **frontend.Standby
 
@@ -297,11 +435,10 @@ func buildWorld(v Version, o Options, cold bool) *Cluster {
 	net := simnet.New(s, simnet.DefaultConfig(), log)
 	cat := o.catalog()
 
-	n := serverCount(v, o)
-	var ids []cnet.NodeID
-	for i := 0; i < n; i++ {
-		ids = append(ids, cnet.NodeID(i))
-	}
+	topo := NewTopology(v, o)
+	n := topo.Nodes
+	ids := topo.ServerIDs()
+	scalable := o.Protocol == Scalable
 
 	c := &Cluster{
 		Version: v, Opts: o, Traits: t,
@@ -323,6 +460,9 @@ func buildWorld(v Version, o Options, cold bool) *Cluster {
 					Self:     ids[i],
 					HBPeriod: o.HeartbeatPeriod,
 					HBMiss:   3,
+					Gossip:   scalable,
+					Peers:    ids,
+					Fanout:   GossipFanout,
 				}, env, pub)
 			})
 		}
@@ -337,6 +477,7 @@ func buildWorld(v Version, o Options, cold bool) *Cluster {
 			Nodes:           ids,
 			Cooperative:     t.cooperative,
 			RingDetector:    t.ring,
+			Sharded:         scalable && t.cooperative,
 			HeartbeatPeriod: o.HeartbeatPeriod,
 			HeartbeatMiss:   3,
 			CacheBytes:      o.CacheBytes,
@@ -367,35 +508,51 @@ func buildWorld(v Version, o Options, cold bool) *Cluster {
 
 	targets := ids
 	if t.fe {
-		feCfg := frontend.Config{
-			Self:       feNodeID,
-			Backends:   ids,
-			PingPeriod: o.HeartbeatPeriod,
-			PingMiss:   3,
-			SFME:       t.sfme,
+		mkFECfg := func(self cnet.NodeID) frontend.Config {
+			fc := frontend.Config{
+				Self:       self,
+				Backends:   ids,
+				PingPeriod: o.HeartbeatPeriod,
+				PingMiss:   3,
+				SFME:       t.sfme,
+				ShardRoute: scalable,
+			}
+			if t.cmon {
+				fc.ConnMonitor = true
+				fc.ConnPeriod = time.Second
+				fc.ConnDeadline = 2 * time.Second
+			}
+			return fc
 		}
-		if t.cmon {
-			feCfg.ConnMonitor = true
-			feCfg.ConnPeriod = time.Second
-			feCfg.ConnDeadline = 2 * time.Second
+		// One front-end for the faithful shape; a tier of them for wide
+		// scalable clusters, with the client generator striping over the
+		// tier round-robin (see FrontendIDs).
+		feIDs := topo.FrontendIDs()
+		for _, fid := range feIDs {
+			feCfg := mkFECfg(fid)
+			m := machine.New(s, net, fid, nil, log)
+			holder := new(*frontend.Frontend)
+			addProc(m, "frontend", func(env *machine.Env) {
+				*holder = frontend.New(feCfg, env)
+			})
+			c.FEMachines = append(c.FEMachines, m)
+			c.fes = append(c.fes, holder)
 		}
-		c.FEMach = machine.New(s, net, feNodeID, nil, log)
-		c.fe = new(*frontend.Frontend)
-		addProc(c.FEMach, "frontend", func(env *machine.Env) {
-			*c.fe = frontend.New(feCfg, env)
-		})
-		targets = []cnet.NodeID{feNodeID}
+		c.FEMach = c.FEMachines[0]
+		c.fe = c.fes[0]
+		targets = feIDs
 
-		if o.RedundantFE {
+		if o.RedundantFE && len(feIDs) == 1 {
 			// Primary/standby pair behind a virtual address (§4.1's
 			// "redundant front-end, heartbeats, and IP take-over").
+			// The scalable multi-front-end tier has no pairing: its
+			// redundancy is the tier itself.
 			net.SetAlias(feVIP, feNodeID)
 			addProc(c.FEMach, "fepair", func(env *machine.Env) { frontend.NewPairResponder(env) })
 			c.FEBackup = machine.New(s, net, feBackupID, nil, log)
 			c.feb = new(*frontend.Frontend)
 			c.standby = new(*frontend.Standby)
-			backupCfg := feCfg
-			backupCfg.Self = feBackupID
+			backupCfg := mkFECfg(feBackupID)
 			addProc(c.FEBackup, "frontend", func(env *machine.Env) {
 				*c.feb = frontend.New(backupCfg, env)
 			})

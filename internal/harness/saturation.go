@@ -59,6 +59,8 @@ type satEntry struct {
 // keyForTraits derives the saturation memo key from the capacity-relevant
 // configuration.
 func keyForTraits(tr traits, o Options) string {
-	return fmt.Sprintf("coop=%v/fe=%v/extra=%v/%d/%d/%d/%g/%d",
-		tr.cooperative, tr.fe, tr.extraNode, o.Nodes, o.CacheBytes, o.Docs, o.Alpha, o.Seed)
+	// The protocol suite is capacity-relevant: the sharded directory
+	// trades broadcast announces for per-shard relays.
+	return fmt.Sprintf("coop=%v/fe=%v/extra=%v/%s/%d/%d/%d/%g/%d",
+		tr.cooperative, tr.fe, tr.extraNode, o.Protocol, o.Nodes, o.CacheBytes, o.Docs, o.Alpha, o.Seed)
 }

@@ -425,9 +425,23 @@ func (p *Proc) postCall(c call) {
 	if !p.alive {
 		return
 	}
-	if p.head > 0 && p.head == len(p.mailbox) {
-		p.mailbox = p.mailbox[:0]
-		p.head = 0
+	if p.head > 0 {
+		if p.head == len(p.mailbox) {
+			p.mailbox = p.mailbox[:0]
+			p.head = 0
+		} else if len(p.mailbox) == cap(p.mailbox) {
+			// The mailbox is a queue consumed at head; with a standing
+			// backlog it never fully drains, so append-only growth would
+			// reallocate forever. Slide the backlog over the spent prefix
+			// and zero the vacated tail so its pointers die.
+			n := copy(p.mailbox, p.mailbox[p.head:])
+			tail := p.mailbox[n:]
+			for i := range tail {
+				tail[i] = call{}
+			}
+			p.mailbox = p.mailbox[:n]
+			p.head = 0
+		}
 	}
 	p.mailbox = append(p.mailbox, c)
 	p.pump()

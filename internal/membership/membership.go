@@ -29,6 +29,7 @@ import (
 	"press/internal/clock"
 	"press/internal/cnet"
 	"press/internal/metrics"
+	"press/internal/snapio"
 )
 
 // Port and group names.
@@ -52,6 +53,23 @@ type Config struct {
 	// OfferWindow is how long a joiner collects offers before choosing a
 	// coordinator.
 	OfferWindow time.Duration
+
+	// Gossip switches the daemon from the paper's ring heartbeats +
+	// three-round reorganization to the scale-out epidemic mode: each
+	// HBPeriod the daemon bumps its own heartbeat counter and pushes a
+	// full (node, counter) digest to Fanout random peers; receivers merge
+	// counter-wise, so liveness information floods the cluster in
+	// O(log N) rounds regardless of size, and no round-based agreement is
+	// needed — each daemon's view is simply the set of peers whose
+	// counters are still advancing. Splinters and rejoins are implicit:
+	// a partition starves the counters on the far side, healing lets
+	// them flow again.
+	Gossip bool
+	// Peers is the static candidate set gossip draws targets from (the
+	// cluster's server IDs; self is skipped). Required in gossip mode.
+	Peers []cnet.NodeID
+	// Fanout is how many peers each round's digest goes to (default 3).
+	Fanout int
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OfferWindow <= 0 {
 		c.OfferWindow = c.HBPeriod / 10
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 3
 	}
 	return c
 }
@@ -124,6 +145,36 @@ func (m *MHeartbeat) Release() {
 	}
 }
 
+// MGossip is the epidemic mode's digest: parallel (node, heartbeat
+// counter) columns covering every node the sender has heard of. It
+// travels as a pooled pointer whose slices keep their capacity across
+// recycling, so a steady-state gossip round allocates nothing.
+type MGossip struct {
+	From   cnet.NodeID
+	Nodes  []cnet.NodeID
+	Counts []uint64
+
+	home *cnet.MsgPool[MGossip]
+}
+
+// NewMGossip takes a digest record from pool (slices emptied, capacity
+// retained).
+func NewMGossip(pool *cnet.MsgPool[MGossip]) *MGossip {
+	m := pool.Get()
+	m.home = pool
+	return m
+}
+
+// Release recycles the record into its home pool (no-op without one).
+func (m *MGossip) Release() {
+	if h := m.home; h != nil {
+		m.From = cnet.None
+		m.Nodes = m.Nodes[:0]
+		m.Counts = m.Counts[:0]
+		h.Put(m)
+	}
+}
+
 // MJoinReq is multicast by a node seeking a (better) group.
 type MJoinReq struct {
 	From    cnet.NodeID
@@ -172,28 +223,39 @@ type MNodeDown struct {
 
 // Daemon is the membership server process.
 type Daemon struct {
-	cfg Config
-	env cnet.Env
-	pub *Published
-	src metrics.SourceID // interned "membd/<self>" tag
+	cfg Config           //availlint:skipfield cfg construction config, identical across restores
+	env cnet.Env         //availlint:skipfield env process backlink, supplied by the restore constructor
+	pub *Published       //availlint:skipfield pub shared segment backlink, supplied by the restore constructor
+	src metrics.SourceID //availlint:skipfield src interned tag, rebuilt by the constructor
 	// missDetail is the constant heartbeat-miss detect reason, formatted
 	// once at construction.
-	missDetail string
+	missDetail string //availlint:skipfield missDetail constant string, rebuilt by the constructor
 
 	version uint64
 	members []cnet.NodeID // sorted, includes self
 
-	lastSeen map[cnet.NodeID]time.Duration
-	busy     bool
-	wait     *ackWait
+	lastSeen map[cnet.NodeID]time.Duration //availlint:skipfield lastSeen ring-mode heartbeat evidence; the gossip snapshot carries gseen instead
+	busy     bool                          //availlint:skipfield busy 2PC scratch; gossip mode never runs a 2PC
+	wait     *ackWait                      //availlint:skipfield wait 2PC scratch; gossip mode never runs a 2PC
 
-	offers     []MJoinOffer
-	collecting bool
+	offers     []MJoinOffer //availlint:skipfield offers join-protocol scratch, unused in gossip mode
+	collecting bool         //availlint:skipfield collecting join-protocol scratch, unused in gossip mode
 
+	//availlint:skipfield seekT ticker handle; restored daemons restart their tickers fresh
 	seekT clock.Ticker // variable-period seek loop, retimed each pass
 
 	// hbPool recycles heartbeat records; receivers release them.
-	hbPool cnet.MsgPool[MHeartbeat]
+	hbPool cnet.MsgPool[MHeartbeat] //availlint:skipfield hbPool message free list; an empty pool after restore is behaviorally identical
+
+	// Epidemic-mode state (Config.Gossip): own and remembered heartbeat
+	// counters, the last time fresh evidence arrived for each peer, and
+	// the recycled digest/pick scratch.
+	counts map[cnet.NodeID]uint64
+	gseen  map[cnet.NodeID]time.Duration
+	peerOK map[cnet.NodeID]bool //availlint:skipfield peerOK lookup set derived from cfg.Peers, rebuilt by the constructor
+	// gossipPool recycles digest records; receivers release them.
+	gossipPool cnet.MsgPool[MGossip] //availlint:skipfield gossipPool message free list; an empty pool after restore is behaviorally identical
+	pickBuf    []cnet.NodeID         //availlint:skipfield pickBuf per-round target-draw scratch, rebuilt every tick
 }
 
 // NewDaemon starts a membership daemon on env, publishing into pub.
@@ -206,6 +268,23 @@ func NewDaemon(cfg Config, env cnet.Env, pub *Published) *Daemon {
 		lastSeen: make(map[cnet.NodeID]time.Duration),
 	}
 	d.src = metrics.InternSource(fmt.Sprintf("membd/%d", d.cfg.Self))
+	if d.cfg.Gossip {
+		// Epidemic mode: no join multicasts, no ring, no 2PC — just the
+		// per-round digest push. Convergence is bounded by the flood
+		// diameter, so staleness tolerates the Table-1 miss budget plus
+		// one full dissemination.
+		d.missDetail = fmt.Sprintf("membership: counter stale for %d gossip rounds", d.staleRounds())
+		d.counts = map[cnet.NodeID]uint64{d.cfg.Self: 1}
+		d.gseen = map[cnet.NodeID]time.Duration{d.cfg.Self: d.env.Clock().Now()}
+		d.peerOK = make(map[cnet.NodeID]bool, len(d.cfg.Peers))
+		for _, p := range d.cfg.Peers {
+			d.peerOK[p] = true
+		}
+		d.env.BindDatagram(Port, d.onMessage)
+		d.install(1, d.members, "boot")
+		d.env.Clock().Every(d.cfg.HBPeriod, d.gossipTick)
+		return d
+	}
 	d.missDetail = fmt.Sprintf("membership: %d heartbeats missed", d.cfg.HBMiss)
 	d.env.JoinGroup(JoinGroup)
 	d.env.BindDatagram(Port, d.onMessage)
@@ -301,6 +380,181 @@ func (d *Daemon) tick() {
 	}
 }
 
+// staleRounds is the gossip liveness budget in rounds: the ring mode's
+// miss count plus ceil(log2 N) rounds for a counter increment to flood
+// the cluster through bounded-fanout pushes.
+func (d *Daemon) staleRounds() int {
+	r := d.cfg.HBMiss
+	for n := 1; n < len(d.cfg.Peers); n *= 2 {
+		r++
+	}
+	return r
+}
+
+// gossipTick runs one epidemic round: bump our own counter, push the
+// full digest to Fanout distinct random peers, and refresh the derived
+// view. Target draws come from the env's deterministic stream; the
+// digest is built by walking the static sorted peer list, never by
+// ranging a map.
+func (d *Daemon) gossipTick() {
+	d.counts[d.cfg.Self]++
+	d.gseen[d.cfg.Self] = d.env.Clock().Now()
+	d.pickBuf = d.pickBuf[:0]
+	for _, p := range d.cfg.Peers {
+		if p != d.cfg.Self {
+			d.pickBuf = append(d.pickBuf, p)
+		}
+	}
+	rng := d.env.Rand()
+	k := d.cfg.Fanout
+	if k > len(d.pickBuf) {
+		k = len(d.pickBuf)
+	}
+	for i := 0; i < k; i++ {
+		// Partial Fisher-Yates: the first k slots become a uniform draw of
+		// k distinct targets.
+		j := i + rng.Intn(len(d.pickBuf)-i)
+		d.pickBuf[i], d.pickBuf[j] = d.pickBuf[j], d.pickBuf[i]
+		g := NewMGossip(&d.gossipPool)
+		g.From = d.cfg.Self
+		for _, p := range d.cfg.Peers {
+			if c, ok := d.counts[p]; ok {
+				g.Nodes = append(g.Nodes, p)
+				g.Counts = append(g.Counts, c)
+			}
+		}
+		d.env.Send(d.pickBuf[i], cnet.ClassIntra, Port, g, 48+12*len(g.Nodes))
+	}
+	d.recompute()
+}
+
+// mergeGossip folds a received digest into our counters: a strictly
+// larger counter is fresh evidence for that node. Receiving our own
+// counter from the future means we restarted behind the cluster's
+// memory of us — jump past it so peers see a new incarnation. The
+// sender itself is directly evidenced by the message's arrival.
+func (d *Daemon) mergeGossip(msg *MGossip) {
+	now := d.env.Clock().Now()
+	for i, n := range msg.Nodes {
+		if !d.peerOK[n] {
+			continue
+		}
+		c := msg.Counts[i]
+		if n == d.cfg.Self {
+			if c > d.counts[n] {
+				d.counts[n] = c + 1
+			}
+			continue
+		}
+		if c > d.counts[n] {
+			d.counts[n] = c
+			d.gseen[n] = now
+		}
+	}
+	if d.peerOK[msg.From] && msg.From != d.cfg.Self {
+		d.gseen[msg.From] = now
+	}
+	d.recompute()
+}
+
+// recompute derives the gossip-mode view: self plus every peer whose
+// evidence is within the staleness deadline. A changed view is
+// installed through the same path ring mode uses, so version numbers,
+// the published segment and join/leave events behave identically.
+func (d *Daemon) recompute() {
+	now := d.env.Clock().Now()
+	deadline := time.Duration(d.staleRounds()) * d.cfg.HBPeriod
+	next := make([]cnet.NodeID, 0, len(d.members))
+	for _, p := range d.cfg.Peers {
+		if p == d.cfg.Self {
+			next = append(next, p)
+			continue
+		}
+		if seen, ok := d.gseen[p]; ok && now-seen <= deadline {
+			next = append(next, p)
+		}
+	}
+	if sameView(next, d.members) {
+		return
+	}
+	for _, m := range d.members {
+		if m != d.cfg.Self && !contains(next, m) {
+			d.emit(metrics.KDetect, m, d.missDetail)
+			delete(d.gseen, m)
+		}
+	}
+	d.install(d.version+1, next, "gossip")
+}
+
+// sameView reports whether two sorted member lists are identical.
+func sameView(a, b []cnet.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SaveGossip serializes the epidemic-mode state: the installed view and
+// the counter/evidence tables, walked in sorted node order so the blob
+// is deterministic. Ticker phase is not captured — a restored daemon
+// restarts its round timer fresh.
+func (d *Daemon) SaveGossip(e *snapio.Encoder) {
+	e.U64(d.version)
+	e.Int(len(d.members))
+	for _, m := range d.members {
+		e.I64(int64(m))
+	}
+	e.Int(len(d.counts))
+	for _, p := range sortedNodeKeys(d.counts) {
+		e.I64(int64(p))
+		e.U64(d.counts[p])
+	}
+	e.Int(len(d.gseen))
+	for _, p := range sortedNodeKeys(d.gseen) {
+		e.I64(int64(p))
+		e.Dur(d.gseen[p])
+	}
+}
+
+// sortedNodeKeys returns m's keys in ascending order, for deterministic
+// snapshot walks over the gossip tables.
+func sortedNodeKeys[V any](m map[cnet.NodeID]V) []cnet.NodeID {
+	ids := make([]cnet.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// LoadGossip restores the state SaveGossip captured into a freshly
+// constructed gossip daemon and republishes the view.
+func (d *Daemon) LoadGossip(dec *snapio.Decoder) {
+	d.version = dec.U64()
+	d.members = d.members[:0]
+	for i, n := 0, dec.Int(); i < n; i++ {
+		d.members = append(d.members, cnet.NodeID(dec.I64()))
+	}
+	d.pub.set(d.version, d.members)
+	nc := dec.Int()
+	d.counts = make(map[cnet.NodeID]uint64, nc)
+	for i := 0; i < nc; i++ {
+		id := cnet.NodeID(dec.I64())
+		d.counts[id] = dec.U64()
+	}
+	ns := dec.Int()
+	d.gseen = make(map[cnet.NodeID]time.Duration, ns)
+	for i := 0; i < ns; i++ {
+		id := cnet.NodeID(dec.I64())
+		d.gseen[id] = dec.Dur()
+	}
+}
+
 // startExclusion coordinates the two-phase removal of n.
 func (d *Daemon) startExclusion(n cnet.NodeID) {
 	if d.busy || !d.isMember(n) || n == d.cfg.Self {
@@ -381,7 +635,18 @@ func (d *Daemon) onMessage(from cnet.NodeID, m cnet.Message) {
 	case *MHeartbeat:
 		d.lastSeen[msg.From] = d.env.Clock().Now()
 		msg.Release()
+	case *MGossip:
+		d.mergeGossip(msg)
+		msg.Release()
 	case MNodeDown:
+		if d.cfg.Gossip {
+			if d.isMember(msg.Node) && msg.Node != d.cfg.Self {
+				d.emit(metrics.KDetect, msg.Node, "application NodeDown hint")
+				delete(d.gseen, msg.Node)
+				d.recompute()
+			}
+			return
+		}
 		if d.isMember(msg.Node) {
 			d.emit(metrics.KDetect, msg.Node, "application NodeDown hint")
 			d.startExclusion(msg.Node)

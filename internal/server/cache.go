@@ -1,6 +1,8 @@
 package server
 
 import (
+	mbits "math/bits"
+
 	"press/internal/cnet"
 	"press/internal/trace"
 )
@@ -16,19 +18,40 @@ type cacheEnt struct {
 // docCache is the per-node LRU file cache. All documents are uniform-size
 // (the paper's modified trace), so capacity is simply a document count.
 type docCache struct {
-	cap   int
-	n     int
-	root  cacheEnt // sentinel: root.next = most recent, root.prev = oldest
-	index map[trace.DocID]*cacheEnt
+	cap  int
+	n    int
+	root cacheEnt // sentinel: root.next = most recent, root.prev = oldest
+	// index is dense by DocID — catalog documents are numbered from zero,
+	// so presence is one bounds check and one load on the hottest path in
+	// the whole model (every request starts with Has). Grown on demand
+	// for out-of-catalog IDs (tests).
+	index []*cacheEnt
 }
 
-func newDocCache(capDocs int) *docCache {
+func newDocCache(capDocs, totalDocs int) *docCache {
 	if capDocs < 1 {
 		capDocs = 1
 	}
-	c := &docCache{cap: capDocs, index: make(map[trace.DocID]*cacheEnt, capDocs)}
+	c := &docCache{cap: capDocs, index: make([]*cacheEnt, totalDocs)}
 	c.root.prev, c.root.next = &c.root, &c.root
 	return c
+}
+
+// ent returns doc's LRU entry, nil when not cached.
+func (c *docCache) ent(doc trace.DocID) *cacheEnt {
+	if int(doc) >= len(c.index) || doc < 0 {
+		return nil
+	}
+	return c.index[doc]
+}
+
+// grow widens the index to cover doc.
+func (c *docCache) grow(doc trace.DocID) {
+	if int(doc) >= len(c.index) {
+		grown := make([]*cacheEnt, int(doc)+1)
+		copy(grown, c.index)
+		c.index = grown
+	}
 }
 
 func (c *docCache) pushFront(e *cacheEnt) {
@@ -49,30 +72,30 @@ func (c *docCache) moveToFront(e *cacheEnt) {
 
 // Has reports whether doc is cached, refreshing its recency on a hit.
 func (c *docCache) Has(doc trace.DocID) bool {
-	e, ok := c.index[doc]
-	if ok {
+	e := c.ent(doc)
+	if e != nil {
 		c.moveToFront(e)
 	}
-	return ok
+	return e != nil
 }
 
 // Peek reports presence without touching recency.
 func (c *docCache) Peek(doc trace.DocID) bool {
-	_, ok := c.index[doc]
-	return ok
+	return c.ent(doc) != nil
 }
 
 // Insert caches doc, returning the evicted document (and true) when the
 // cache was full. Inserting a present doc only refreshes recency.
 func (c *docCache) Insert(doc trace.DocID) (evicted trace.DocID, didEvict bool) {
-	if e, ok := c.index[doc]; ok {
+	if e := c.ent(doc); e != nil {
 		c.moveToFront(e)
 		return 0, false
 	}
+	c.grow(doc)
 	if c.n >= c.cap {
 		e := c.root.prev // oldest
 		evicted = e.doc
-		delete(c.index, evicted)
+		c.index[evicted] = nil
 		e.doc = doc
 		c.index[doc] = e
 		c.moveToFront(e)
@@ -100,17 +123,31 @@ func (c *docCache) Docs() []trace.DocID {
 
 // directory tracks which cluster nodes cache which documents, fed by
 // broadcast announcements and Hello exchanges. Node sets are bitmasks
-// indexed by position in the static node list (clusters in this repo are
-// well under 64 nodes).
+// indexed by position in the static node list. Clusters up to 64 nodes
+// use one word per document (the faithful layout, unchanged down to the
+// snapshot bytes); larger clusters spill into multi-word masks.
 type directory struct {
-	bits map[trace.DocID]uint64
-	idx  map[cnet.NodeID]uint // NodeID -> bit position
+	bits  map[trace.DocID]uint64
+	wide  map[trace.DocID][]uint64 // multi-word masks; used iff words > 1
+	words int
+	idx   map[cnet.NodeID]uint //availlint:skipfield idx static bit-position table, rebuilt by the constructor
+	nodes []cnet.NodeID        //availlint:skipfield nodes static bit-position table, rebuilt by the constructor
 }
 
 func newDirectory(nodes []cnet.NodeID) *directory {
-	d := &directory{bits: make(map[trace.DocID]uint64), idx: make(map[cnet.NodeID]uint)}
+	d := &directory{
+		idx:   make(map[cnet.NodeID]uint),
+		nodes: append([]cnet.NodeID(nil), nodes...),
+	}
 	for i, n := range nodes {
 		d.idx[n] = uint(i)
+	}
+	d.words = (len(nodes) + 63) / 64
+	if d.words <= 1 {
+		d.words = 1
+		d.bits = make(map[trace.DocID]uint64)
+	} else {
+		d.wide = make(map[trace.DocID][]uint64)
 	}
 	return d
 }
@@ -119,6 +156,28 @@ func newDirectory(nodes []cnet.NodeID) *directory {
 func (d *directory) Set(node cnet.NodeID, doc trace.DocID, cached bool) {
 	bit, ok := d.idx[node]
 	if !ok {
+		return
+	}
+	if d.words > 1 {
+		mask := d.wide[doc]
+		if cached {
+			if mask == nil {
+				mask = make([]uint64, d.words)
+				d.wide[doc] = mask
+			}
+			mask[bit/64] |= 1 << (bit % 64)
+			return
+		}
+		if mask == nil {
+			return
+		}
+		mask[bit/64] &^= 1 << (bit % 64)
+		for _, w := range mask {
+			if w != 0 {
+				return
+			}
+		}
+		delete(d.wide, doc)
 		return
 	}
 	if cached {
@@ -135,22 +194,46 @@ func (d *directory) Set(node cnet.NodeID, doc trace.DocID, cached bool) {
 // Holds reports whether node n is recorded as caching doc — the
 // allocation-free per-candidate form of Holders for the routing hot path.
 func (d *directory) Holds(doc trace.DocID, n cnet.NodeID) bool {
-	mask := d.bits[doc]
-	if mask == 0 {
+	bit, ok := d.idx[n]
+	if !ok {
 		return false
 	}
-	bit, ok := d.idx[n]
-	return ok && mask&(1<<bit) != 0
+	if d.words > 1 {
+		mask := d.wide[doc]
+		return mask != nil && mask[bit/64]&(1<<(bit%64)) != 0
+	}
+	mask := d.bits[doc]
+	return mask&(1<<bit) != 0
+}
+
+// eachHolder calls fn for every node recorded as caching doc, in
+// ascending bit (= static node list) order. One mask fetch serves the
+// whole scan, so the routing hot path costs O(holders) instead of the
+// O(cluster) per-candidate Holds probing — the difference between flat
+// and collapsing throughput at 256 nodes.
+func (d *directory) eachHolder(doc trace.DocID, fn func(cnet.NodeID)) {
+	if d.words > 1 {
+		for wi, w := range d.wide[doc] {
+			for w != 0 {
+				b := wi*64 + mbits.TrailingZeros64(w)
+				w &= w - 1
+				fn(d.nodes[b])
+			}
+		}
+		return
+	}
+	w := d.bits[doc]
+	for w != 0 {
+		b := mbits.TrailingZeros64(w)
+		w &= w - 1
+		fn(d.nodes[b])
+	}
 }
 
 func (d *directory) Holders(doc trace.DocID, candidates []cnet.NodeID) []cnet.NodeID {
-	mask := d.bits[doc]
-	if mask == 0 {
-		return nil
-	}
 	var out []cnet.NodeID
 	for _, n := range candidates {
-		if bit, ok := d.idx[n]; ok && mask&(1<<bit) != 0 {
+		if d.Holds(doc, n) {
 			out = append(out, n)
 		}
 	}
@@ -161,6 +244,22 @@ func (d *directory) Holders(doc trace.DocID, candidates []cnet.NodeID) []cnet.No
 func (d *directory) DropNode(node cnet.NodeID) {
 	bit, ok := d.idx[node]
 	if !ok {
+		return
+	}
+	if d.words > 1 {
+		for doc, mask := range d.wide {
+			mask[bit/64] &^= 1 << (bit % 64)
+			empty := true
+			for _, w := range mask {
+				if w != 0 {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				delete(d.wide, doc)
+			}
+		}
 		return
 	}
 	for doc, mask := range d.bits {
@@ -174,4 +273,9 @@ func (d *directory) DropNode(node cnet.NodeID) {
 }
 
 // Entries returns the number of documents with at least one holder.
-func (d *directory) Entries() int { return len(d.bits) }
+func (d *directory) Entries() int {
+	if d.words > 1 {
+		return len(d.wide)
+	}
+	return len(d.bits)
+}

@@ -10,7 +10,7 @@ import (
 )
 
 func TestDocCacheLRUEviction(t *testing.T) {
-	c := newDocCache(3)
+	c := newDocCache(3, 16)
 	for d := trace.DocID(0); d < 3; d++ {
 		if _, ev := c.Insert(d); ev {
 			t.Fatal("eviction before capacity")
@@ -33,7 +33,7 @@ func TestDocCacheLRUEviction(t *testing.T) {
 }
 
 func TestDocCacheReinsertRefreshes(t *testing.T) {
-	c := newDocCache(2)
+	c := newDocCache(2, 16)
 	c.Insert(1)
 	c.Insert(2)
 	if _, did := c.Insert(1); did {
@@ -46,7 +46,7 @@ func TestDocCacheReinsertRefreshes(t *testing.T) {
 }
 
 func TestDocCacheDocsOrder(t *testing.T) {
-	c := newDocCache(3)
+	c := newDocCache(3, 16)
 	c.Insert(1)
 	c.Insert(2)
 	c.Insert(3)
@@ -60,7 +60,7 @@ func TestDocCacheDocsOrder(t *testing.T) {
 func TestQuickDocCacheBounded(t *testing.T) {
 	f := func(ops []uint16, capSeed uint8) bool {
 		capDocs := int(capSeed)%20 + 1
-		c := newDocCache(capDocs)
+		c := newDocCache(capDocs, 0)
 		for _, op := range ops {
 			c.Insert(trace.DocID(op % 100))
 			if c.Len() > capDocs {

@@ -74,6 +74,14 @@ type Config struct {
 	// Cooperative selects COOP (true) or INDEP (false).
 	Cooperative bool
 
+	// Sharded switches the caching directory from the faithful
+	// broadcast protocol to the scale-out partitioned one: caching
+	// decisions go only to the document's home node (hash placement),
+	// which relays misses to a known holder on the requester's behalf.
+	// Per-insert directory traffic drops from O(N) to O(1), which is
+	// what lets the protocol suite run at hundreds of nodes.
+	Sharded bool
+
 	// RingDetector enables PRESS's built-in directed-ring heartbeat fault
 	// detector (§3). The MEM/QMON/... versions disable it and rely on
 	// their subsystems instead.

@@ -82,10 +82,16 @@ type HelloMsg struct {
 }
 
 // FwdMsg forwards a request from the initial node to the service node.
+// In the sharded directory protocol a home node that misses locally
+// relays the forward to a known holder with Origin set to the initial
+// node, and the holder replies to Origin directly. Origin is cnet.None
+// on a first-hop forward; because pool recycling zeroes the record (and
+// NodeID 0 is a real node), every send site must set it explicitly.
 type FwdMsg struct {
-	ID   uint64
-	Doc  trace.DocID
-	Load int // piggybacked open-request count of the sender
+	ID     uint64
+	Doc    trace.DocID
+	Load   int // piggybacked open-request count of the sender
+	Origin cnet.NodeID
 
 	home *cnet.MsgPool[FwdMsg]
 }

@@ -36,8 +36,26 @@ type outMsg struct {
 	reqID uint64 // for requeuing on exclusion; 0 for non-requests
 }
 
+// peerAt returns n's peer plumbing, nil when none was ever built —
+// the dense-slice counterpart of the old map lookup.
+func (s *Server) peerAt(n cnet.NodeID) *peer {
+	if n < 0 || int(n) >= len(s.peers) {
+		return nil
+	}
+	return s.peers[n]
+}
+
+func (s *Server) setPeer(n cnet.NodeID, p *peer) {
+	if int(n) >= len(s.peers) {
+		grown := make([]*peer, int(n)+1)
+		copy(grown, s.peers)
+		s.peers = grown
+	}
+	s.peers[n] = p
+}
+
 func (s *Server) peer(n cnet.NodeID) *peer {
-	p := s.peers[n]
+	p := s.peerAt(n)
 	if p == nil {
 		p = &peer{id: n}
 		p.h = cnet.StreamHandlers{
@@ -55,12 +73,12 @@ func (s *Server) peer(n cnet.NodeID) *peer {
 				// The peer application is dead or the node unreachable. Keep
 				// retrying while it remains in the view; the detectors decide
 				// whether it should stay there.
-				if s.view[p.id] {
+				if s.inView(p.id) {
 					p.retry = s.env.Clock().AfterFunc(2*time.Second, p.redial)
 				}
 				return
 			}
-			if !s.view[p.id] {
+			if !s.inView(p.id) {
 				c.Close()
 				return
 			}
@@ -70,15 +88,15 @@ func (s *Server) peer(n cnet.NodeID) *peer {
 			s.drain(p.id)
 		}
 		p.redial = func() { s.connectPeer(p.id) }
-		s.peers[n] = p
+		s.setPeer(n, p)
 	}
 	return p
 }
 
 func (s *Server) peerLoad(n cnet.NodeID, load int) {
-	if p := s.peers[n]; p != nil {
+	if p := s.peerAt(n); p != nil {
 		p.load = load
-	} else if s.view[n] {
+	} else if s.inView(n) {
 		s.peer(n).load = load
 	}
 }
@@ -110,7 +128,7 @@ func (s *Server) enqueue(n cnet.NodeID, om outMsg) {
 
 // drain pushes queued messages until the connection's window fills.
 func (s *Server) drain(n cnet.NodeID) {
-	p := s.peers[n]
+	p := s.peerAt(n)
 	if p == nil || p.conn == nil {
 		return
 	}
@@ -160,34 +178,55 @@ func (p *peer) teardown() {
 // that as the peer leaving the cooperation set; it rejoins via the join
 // protocol or the membership service.
 func (s *Server) peerConnLost(n cnet.NodeID, err error) {
-	if !s.view[n] {
+	if !s.inView(n) {
 		return
 	}
 	s.emitDetect(int(n), "conn: "+err.Error())
 	s.exclude(n, "connection lost")
 }
 
+// inPeer is an inbound peer connection's identity, unknown until its
+// Hello arrives. The connection's own handlers capture it, so the hot
+// receive path reads a pointer instead of hashing the conn-keyed
+// registry per message; inboundFrom stays authoritative for snapshots.
+type inPeer struct {
+	from  cnet.NodeID
+	known bool
+}
+
 // acceptPeer handles inbound intra-cluster connections (the peer's send
 // connection). The first message must be a Hello identifying the dialer.
 func (s *Server) acceptPeer(c cnet.Conn) cnet.StreamHandlers {
-	return s.peerH
+	return s.inboundHandlers(&inPeer{})
 }
 
-func (s *Server) onPeerClose(c cnet.Conn, err error) {
-	n, known := s.inboundFrom[c]
-	delete(s.inboundFrom, c)
-	if known {
-		s.peerConnLost(n, err)
+func (s *Server) inboundHandlers(st *inPeer) cnet.StreamHandlers {
+	return cnet.StreamHandlers{
+		OnMessage: func(c cnet.Conn, m cnet.Message) { s.onPeerMsg(st, c, m) },
+		OnClose:   func(c cnet.Conn, err error) { s.onPeerClose(st, c, err) },
 	}
 }
 
-func (s *Server) onPeerMsg(c cnet.Conn, m cnet.Message) {
-	from, known := s.inboundFrom[c]
+func (s *Server) onPeerClose(st *inPeer, c cnet.Conn, err error) {
+	delete(s.inboundFrom, c)
+	if st.known {
+		s.peerConnLost(st.from, err)
+	}
+}
+
+func (s *Server) onPeerMsg(st *inPeer, c cnet.Conn, m cnet.Message) {
+	from, known := st.from, st.known
 	switch msg := m.(type) {
 	case HelloMsg:
 		s.env.Charge(s.cfg.Cost.Control)
+		st.from, st.known = msg.From, true
 		s.inboundFrom[c] = msg.From
 		for _, d := range msg.CacheDocs {
+			// Sharded directory: only record the shards this node owns;
+			// the rest of the Hello is directory state for other homes.
+			if s.cfg.Sharded && s.shardOwner(d) != s.cfg.Self {
+				continue
+			}
 			s.dir.Set(msg.From, d, true)
 		}
 		// A Hello from a node outside the view is a (re)joining member:

@@ -145,18 +145,18 @@ func (s *Server) pickService(doc trace.DocID) (cnet.NodeID, bool) {
 	}
 	best := cnet.None
 	bestLoad := int(^uint(0) >> 1)
-	for _, n := range view {
-		if n == s.cfg.Self || !s.dir.Holds(doc, n) {
-			continue
+	s.dir.eachHolder(doc, func(n cnet.NodeID) {
+		if n == s.cfg.Self || !s.inView(n) {
+			return
 		}
 		if s.qm != nil && s.qm.ShouldReroute(n) {
 			s.stats.Rerouted++
-			continue
+			return
 		}
 		if l := s.peer(n).load; l < bestLoad {
 			best, bestLoad = n, l
 		}
-	}
+	})
 	if best != cnet.None {
 		return best, true
 	}
@@ -177,38 +177,90 @@ func (s *Server) forward(st *reqState, target cnet.NodeID) {
 	s.stats.ForwardsOut++
 	m := NewFwdMsg(&s.fwdPool)
 	m.ID, m.Doc, m.Load = st.id, st.doc, s.active
+	m.Origin = cnet.None // first hop; pool recycling zeroes the field
 	s.enqueue(target, outMsg{m: m, size: sizeFwd, isReq: true, reqID: st.id})
 }
 
-// completeForwarded handles a service node's reply.
+// completeForwarded handles a service node's reply. In the sharded
+// protocol the reply may come from a holder the home node relayed to —
+// a node other than the one we forwarded to — so the sender check
+// relaxes to "still awaiting a forward at all".
 func (s *Server) completeForwarded(from cnet.NodeID, msg *FwdReplyMsg) {
 	st := s.inflight[msg.ID]
-	if st == nil || st.forwardedTo != from {
-		return // request already dead (client timeout / rerouted elsewhere)
+	if st == nil {
+		return // request already dead (client timeout)
+	}
+	if s.cfg.Sharded {
+		if st.forwardedTo == cnet.None {
+			return // rerouted meanwhile; a newer path owns the request
+		}
+	} else if st.forwardedTo != from {
+		return // rerouted elsewhere
 	}
 	s.env.Charge(s.cfg.Cost.Reply)
 	s.stats.RemoteServed++
 	s.respond(st, msg.OK)
 }
 
-// servePeer is the service-node half of a forwarded request.
+// servePeer is the service-node half of a forwarded request. Under the
+// sharded protocol the home node additionally acts as directory
+// authority: on a local miss it relays the forward to a known holder
+// (stamping Origin so the holder replies straight to the initial node)
+// before falling back to its own disks. A relayed forward that loses
+// its holder dies by client timeout — the home keeps no per-request
+// state for it.
 func (s *Server) servePeer(from cnet.NodeID, msg *FwdMsg) {
+	replyTo := from
+	if msg.Origin != cnet.None {
+		replyTo = msg.Origin
+	}
 	if s.cache.Has(msg.Doc) {
 		s.env.Charge(s.cfg.Cost.PeerServe)
-		s.replyPeer(from, msg.ID, msg.Doc, true)
+		s.replyPeer(replyTo, msg.ID, msg.Doc, true)
 		return
+	}
+	if s.cfg.Sharded && msg.Origin == cnet.None {
+		if holder, ok := s.pickHolder(msg.Doc, from); ok {
+			s.env.Charge(s.cfg.Cost.Forward)
+			m := NewFwdMsg(&s.fwdPool)
+			m.ID, m.Doc, m.Load = msg.ID, msg.Doc, s.active
+			m.Origin = from
+			s.enqueue(holder, outMsg{m: m, size: sizeFwd, isReq: true})
+			return
+		}
 	}
 	// Miss at the service node: read and start caching (the announce
 	// happens when the read completes).
 	s.env.Charge(s.cfg.Cost.PeerServe)
 	op := s.getDiskOp()
-	op.doc, op.peerServe, op.from, op.id = msg.Doc, true, from, msg.ID
+	op.doc, op.peerServe, op.from, op.id = msg.Doc, true, replyTo, msg.ID
 	s.diskRead(op)
+}
+
+// pickHolder chooses the least-loaded node recorded as caching doc,
+// excluding ourselves and the requester (who just missed on it) and
+// honouring queue monitoring — the sharded home node's relay target.
+func (s *Server) pickHolder(doc trace.DocID, origin cnet.NodeID) (cnet.NodeID, bool) {
+	best := cnet.None
+	bestLoad := int(^uint(0) >> 1)
+	s.dir.eachHolder(doc, func(n cnet.NodeID) {
+		if n == s.cfg.Self || n == origin || !s.inView(n) {
+			return
+		}
+		if s.qm != nil && s.qm.ShouldReroute(n) {
+			s.stats.Rerouted++
+			return
+		}
+		if l := s.peer(n).load; l < bestLoad {
+			best, bestLoad = n, l
+		}
+	})
+	return best, best != cnet.None
 }
 
 // replyPeer answers a forwarded request back to the requesting node.
 func (s *Server) replyPeer(from cnet.NodeID, id uint64, doc trace.DocID, ok bool) {
-	if !s.view[from] {
+	if !s.inView(from) {
 		return
 	}
 	s.stats.PeerServes++

@@ -39,10 +39,14 @@ type Server struct {
 	cache *docCache
 	dir   *directory
 
-	view   map[cnet.NodeID]bool
-	sorted []cnet.NodeID // cached sorted view
-	peers  map[cnet.NodeID]*peer
-	joined bool
+	// view and peers are dense by NodeID (server IDs are small ints):
+	// membership tests and peer lookups run on every routed request, and
+	// at 256 nodes the map hashing alone dominated the routing cost.
+	view     []bool        // view[n] ⇔ n is in the cooperation set (self included)
+	sorted   []cnet.NodeID //availlint:skipfield sorted cached sorted view, rebuilt on demand from view
+	sortedOK bool          //availlint:skipfield sortedOK validity of the sorted cache, recomputed on demand
+	peers    []*peer       // nil entry: no plumbing towards that node yet
+	joined   bool
 
 	active      int
 	acceptQ     []pendingReq
@@ -57,7 +61,6 @@ type Server struct {
 	// admissions) cycle through free lists instead of being re-allocated
 	// for every request.
 	clientH   cnet.StreamHandlers
-	peerH     cnet.StreamHandlers
 	reqFree   []*reqState
 	diskFree  []*diskOp
 	admitFree []*admitOp
@@ -120,16 +123,14 @@ func newServer(cfg Config, env cnet.Env, disk DiskArray, memb MembershipView) *S
 		ringMissDetail: fmt.Sprintf("ring: %d heartbeats missed", cfg.HeartbeatMiss),
 		disk:           disk,
 		memb:           memb,
-		cache:          newDocCache(cfg.Catalog.DocsFitting(cfg.CacheBytes)),
+		cache:          newDocCache(cfg.Catalog.DocsFitting(cfg.CacheBytes), cfg.Catalog.Docs),
 		dir:            newDirectory(cfg.Nodes),
-		view:           map[cnet.NodeID]bool{cfg.Self: true},
-		peers:          make(map[cnet.NodeID]*peer),
 		inflight:       make(map[uint64]*reqState),
 		clientOf:       make(map[cnet.Conn]uint64),
 		inboundFrom:    make(map[cnet.Conn]cnet.NodeID),
 	}
+	s.viewAdd(cfg.Self)
 	s.clientH = cnet.StreamHandlers{OnMessage: s.onClientMsg, OnClose: s.onClientClose}
-	s.peerH = cnet.StreamHandlers{OnMessage: s.onPeerMsg, OnClose: s.onPeerClose}
 	if cfg.QMon != nil {
 		s.qm = qmon.New(*cfg.QMon, qmon.Callbacks{
 			OnReroute: func(p cnet.NodeID) {
@@ -193,25 +194,56 @@ func (s *Server) adoptView(nodes []cnet.NodeID, why string) {
 		s.joinTimer.Stop()
 	}
 	for _, n := range nodes {
-		if n != s.cfg.Self && !s.view[n] {
+		if n != s.cfg.Self && !s.inView(n) {
 			s.include(n, why)
 		}
 	}
 }
 
+// inView reports n's cooperation-set membership — the hottest predicate
+// in routing, so it must stay a bounds check and a load.
+func (s *Server) inView(n cnet.NodeID) bool {
+	return n >= 0 && int(n) < len(s.view) && s.view[n]
+}
+
+func (s *Server) viewAdd(n cnet.NodeID) {
+	if n < 0 {
+		return
+	}
+	if int(n) >= len(s.view) {
+		grown := make([]bool, int(n)+1)
+		copy(grown, s.view)
+		s.view = grown
+	}
+	s.view[n] = true
+}
+
+func (s *Server) viewDel(n cnet.NodeID) {
+	if n >= 0 && int(n) < len(s.view) {
+		s.view[n] = false
+	}
+}
+
 // Sorted view (self included).
 func (s *Server) sortedView() []cnet.NodeID {
-	if s.sorted == nil {
-		for n := range s.view {
-			s.sorted = append(s.sorted, n)
+	if !s.sortedOK {
+		// Reuse the backing array: view changes are frequent during ramp
+		// (every include on every node), and a fresh allocation per change
+		// is pure GC load. Callers use the slice before the next change.
+		// The dense walk yields ascending IDs, so no sort is needed.
+		s.sorted = s.sorted[:0]
+		for n, in := range s.view {
+			if in {
+				s.sorted = append(s.sorted, cnet.NodeID(n))
+			}
 		}
-		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+		s.sortedOK = true
 	}
 	return s.sorted
 }
 
 func (s *Server) viewChanged() {
-	s.sorted = nil
+	s.sortedOK = false
 	s.ring.recompute()
 }
 
@@ -239,7 +271,7 @@ func (s *Server) Joined() bool { return s.joined }
 
 // SendQueueLen reports the send-queue length towards peer (tests).
 func (s *Server) SendQueueLen(n cnet.NodeID) int {
-	if p := s.peers[n]; p != nil {
+	if p := s.peerAt(n); p != nil {
 		return p.qlen()
 	}
 	return 0
@@ -247,10 +279,10 @@ func (s *Server) SendQueueLen(n cnet.NodeID) int {
 
 // include admits n to the cooperation set (NodeIn).
 func (s *Server) include(n cnet.NodeID, why string) {
-	if n == s.cfg.Self || s.view[n] {
+	if n == s.cfg.Self || s.inView(n) {
 		return
 	}
-	s.view[n] = true
+	s.viewAdd(n)
 	s.viewChanged()
 	s.stats.Includes++
 	if s.qm != nil {
@@ -263,10 +295,10 @@ func (s *Server) include(n cnet.NodeID, why string) {
 // exclude removes n from the cooperation set (NodeOut) and reroutes its
 // pending work.
 func (s *Server) exclude(n cnet.NodeID, why string) {
-	if n == s.cfg.Self || !s.view[n] {
+	if n == s.cfg.Self || !s.inView(n) {
 		return
 	}
-	delete(s.view, n)
+	s.viewDel(n)
 	s.viewChanged()
 	s.stats.Excludes++
 	s.emit(metrics.KExclude, int(n), why)
@@ -274,7 +306,7 @@ func (s *Server) exclude(n cnet.NodeID, why string) {
 	if s.qm != nil {
 		s.qm.Forget(n)
 	}
-	if p := s.peers[n]; p != nil {
+	if p := s.peerAt(n); p != nil {
 		p.teardown()
 	}
 	// Requests forwarded to n — still queued or already sent and awaiting
@@ -313,17 +345,23 @@ func (s *Server) reconcileMembership(members []cnet.NodeID) {
 	for _, n := range members {
 		in[n] = true
 	}
+	// Collect first, exclude after: exclude() re-derives the ring, which
+	// rebuilds the sorted-view cache in place under this iteration.
+	var drop []cnet.NodeID
 	for _, n := range s.sortedView() {
 		if n != s.cfg.Self && !in[n] {
-			s.exclude(n, "membership NodeOut")
+			drop = append(drop, n)
 		}
+	}
+	for _, n := range drop {
+		s.exclude(n, "membership NodeOut")
 	}
 	static := make(map[cnet.NodeID]bool, len(s.cfg.Nodes))
 	for _, n := range s.cfg.Nodes {
 		static[n] = true
 	}
 	for _, n := range members {
-		if n != s.cfg.Self && static[n] && !s.view[n] {
+		if n != s.cfg.Self && static[n] && !s.inView(n) {
 			s.include(n, "membership NodeIn")
 		}
 	}
@@ -352,17 +390,17 @@ func (s *Server) onControl(from cnet.NodeID, m cnet.Message) {
 		if msg.Dead == s.cfg.Self {
 			return // we are apparently dead to them; splinter, do nothing
 		}
-		if !s.view[msg.From] {
+		if !s.inView(msg.From) {
 			// Exclusion claims from outside our cooperation set are stale
 			// ring state — e.g. a node that just thawed from a freeze and
 			// thinks everyone else missed its heartbeats.
 			return
 		}
-		if s.view[msg.Dead] {
+		if s.inView(msg.Dead) {
 			s.exclude(msg.Dead, fmt.Sprintf("ring broadcast from %d", msg.From))
 		}
 	case *AnnounceMsg:
-		if s.view[msg.From] {
+		if s.inView(msg.From) {
 			s.dir.Set(msg.From, msg.Doc, msg.Cached)
 			s.peerLoad(msg.From, msg.Load)
 		}
@@ -378,10 +416,32 @@ func (s *Server) emitDetect(node int, by string) {
 	s.env.Events().EmitID(s.env.Clock().Now(), s.src, metrics.KDetect, node, by)
 }
 
-// announce broadcasts a caching decision to the cooperation set. Each
+// shardOwner is the document's home node under hash placement — the
+// same mod-N rule pickService's fallback uses, so in the sharded
+// protocol the directory authority and the miss target coincide.
+func (s *Server) shardOwner(doc trace.DocID) cnet.NodeID {
+	view := s.sortedView()
+	return view[int(doc)%len(view)]
+}
+
+// announce publishes a caching decision. The faithful protocol
+// broadcasts it to the whole cooperation set; the sharded protocol
+// sends one message to the document's home node, which becomes the
+// directory authority for that shard (an owner's own decisions need no
+// message — its local cache is consulted before the directory). Each
 // destination gets its own pooled record — the receivers release
 // independently, so one record must never be shared across sends.
 func (s *Server) announce(doc trace.DocID, cached bool) {
+	if s.cfg.Sharded {
+		owner := s.shardOwner(doc)
+		if owner == s.cfg.Self {
+			return
+		}
+		m := NewAnnounceMsg(&s.annPool)
+		m.From, m.Doc, m.Cached, m.Load = s.cfg.Self, doc, cached, s.active
+		s.env.Send(owner, cnet.ClassIntra, PortControl, m, sizeControl)
+		return
+	}
 	for _, n := range s.sortedView() {
 		if n != s.cfg.Self {
 			m := NewAnnounceMsg(&s.annPool)

@@ -33,6 +33,7 @@ type clusterOpts struct {
 	coop     bool
 	ring     bool
 	qmon     bool
+	sharded  bool
 	rate     float64
 	memb     func(node cnet.NodeID) server.MembershipView
 	maxConc  int
@@ -69,6 +70,7 @@ func newTestCluster(t *testing.T, o clusterOpts) *testCluster {
 			Self:            nodes[i],
 			Nodes:           nodes,
 			Cooperative:     o.coop,
+			Sharded:         o.sharded,
 			RingDetector:    o.ring,
 			HeartbeatPeriod: o.hbPeriod,
 			HeartbeatMiss:   3,

@@ -70,9 +70,10 @@ func RegisterMessages(c *snapio.MsgCodec) {
 			e.U64(r.ID)
 			e.I64(int64(r.Doc))
 			e.Int(r.Load)
+			e.I64(int64(r.Origin))
 		},
 		func(d *snapio.Decoder) any {
-			return &FwdMsg{ID: d.U64(), Doc: trace.DocID(d.I64()), Load: d.Int()}
+			return &FwdMsg{ID: d.U64(), Doc: trace.DocID(d.I64()), Load: d.Int(), Origin: cnet.NodeID(d.I64())}
 		})
 	c.Register("press.FwdReply", (*FwdReplyMsg)(nil),
 		func(e *snapio.Encoder, m any) {
@@ -215,22 +216,41 @@ func (s *Server) SaveState(ctx *snapio.Ctx) {
 		e.I64(int64(doc))
 	}
 
-	dirDocs := make([]trace.DocID, 0, len(s.dir.bits))
-	for doc := range s.dir.bits {
-		dirDocs = append(dirDocs, doc)
-	}
-	sort.Slice(dirDocs, func(i, j int) bool { return dirDocs[i] < dirDocs[j] })
-	e.Int(len(dirDocs))
-	for _, doc := range dirDocs {
-		e.I64(int64(doc))
-		e.U64(s.dir.bits[doc])
+	// The directory's word count is derived from cfg.Nodes on both ends,
+	// so the layouts need no discriminator: one mask word per entry in
+	// the faithful ≤64-node shape, s.dir.words in the wide shape.
+	if s.dir.words > 1 {
+		dirDocs := make([]trace.DocID, 0, len(s.dir.wide))
+		for doc := range s.dir.wide {
+			dirDocs = append(dirDocs, doc)
+		}
+		sort.Slice(dirDocs, func(i, j int) bool { return dirDocs[i] < dirDocs[j] })
+		e.Int(len(dirDocs))
+		for _, doc := range dirDocs {
+			e.I64(int64(doc))
+			for _, w := range s.dir.wide[doc] {
+				e.U64(w)
+			}
+		}
+	} else {
+		dirDocs := make([]trace.DocID, 0, len(s.dir.bits))
+		for doc := range s.dir.bits {
+			dirDocs = append(dirDocs, doc)
+		}
+		sort.Slice(dirDocs, func(i, j int) bool { return dirDocs[i] < dirDocs[j] })
+		e.Int(len(dirDocs))
+		for _, doc := range dirDocs {
+			e.I64(int64(doc))
+			e.U64(s.dir.bits[doc])
+		}
 	}
 
 	peerIDs := make([]cnet.NodeID, 0, len(s.peers))
-	for n := range s.peers {
-		peerIDs = append(peerIDs, n)
+	for n, p := range s.peers {
+		if p != nil {
+			peerIDs = append(peerIDs, cnet.NodeID(n))
+		}
 	}
-	sort.Slice(peerIDs, func(i, j int) bool { return peerIDs[i] < peerIDs[j] })
 	e.Int(len(peerIDs))
 	for _, n := range peerIDs {
 		p := s.peers[n]
@@ -349,10 +369,11 @@ func (s *Server) SaveHusk(ctx *snapio.Ctx) {
 	}
 	encNodes(e, s.sortedView())
 	peerIDs := make([]cnet.NodeID, 0, len(s.peers))
-	for n := range s.peers {
-		peerIDs = append(peerIDs, n)
+	for n, p := range s.peers {
+		if p != nil {
+			peerIDs = append(peerIDs, cnet.NodeID(n))
+		}
 	}
-	sort.Slice(peerIDs, func(i, j int) bool { return peerIDs[i] < peerIDs[j] })
 	e.Int(len(peerIDs))
 	for _, n := range peerIDs {
 		e.I64(int64(n))
@@ -365,10 +386,7 @@ func (s *Server) SaveHusk(ctx *snapio.Ctx) {
 // the accessors a dead incarnation can still be asked.
 func RestoreHusk(ctx *snapio.Ctx) *Server {
 	d := ctx.Dec
-	s := &Server{
-		view:  map[cnet.NodeID]bool{},
-		peers: map[cnet.NodeID]*peer{},
-	}
+	s := &Server{}
 	st := &s.stats
 	for _, f := range []*uint64{&st.Served, &st.LocalHits, &st.RemoteServed, &st.DiskReads,
 		&st.ForwardsOut, &st.PeerServes, &st.Rerouted, &st.Excludes, &st.Includes} {
@@ -376,11 +394,11 @@ func RestoreHusk(ctx *snapio.Ctx) *Server {
 	}
 	s.sorted = decNodes(d)
 	for _, n := range s.sorted {
-		s.view[n] = true
+		s.viewAdd(n)
 	}
 	for k := d.Count(1 << 16); k > 0; k-- {
 		n := cnet.NodeID(d.I64())
-		s.peers[n] = &peer{id: n, sendQ: make([]outMsg, d.Int())}
+		s.setPeer(n, &peer{id: n, sendQ: make([]outMsg, d.Int())})
 	}
 	return s
 }
@@ -437,7 +455,7 @@ func Restore(cfg Config, env RestoreEnv, disk DiskArray, memb MembershipView, ct
 	}
 
 	for _, n := range decNodes(d) {
-		s.view[n] = true
+		s.viewAdd(n)
 	}
 
 	nd := d.Count(1 << 24)
@@ -450,9 +468,20 @@ func Restore(cfg Config, env RestoreEnv, disk DiskArray, memb MembershipView, ct
 		s.cache.Insert(docs[i])
 	}
 
-	for k := d.Count(1 << 24); k > 0; k-- {
-		doc := trace.DocID(d.I64())
-		s.dir.bits[doc] = d.U64()
+	if s.dir.words > 1 {
+		for k := d.Count(1 << 24); k > 0; k-- {
+			doc := trace.DocID(d.I64())
+			mask := make([]uint64, s.dir.words)
+			for i := range mask {
+				mask[i] = d.U64()
+			}
+			s.dir.wide[doc] = mask
+		}
+	} else {
+		for k := d.Count(1 << 24); k > 0; k-- {
+			doc := trace.DocID(d.I64())
+			s.dir.bits[doc] = d.U64()
+		}
 	}
 
 	for k := d.Count(1 << 16); k > 0; k-- {
@@ -564,7 +593,7 @@ func Restore(cfg Config, env RestoreEnv, disk DiskArray, memb MembershipView, ct
 	// everything else is a client connection.
 	peerConns := make(map[cnet.Conn]*peer, len(s.peers))
 	for _, p := range s.peers {
-		if p.conn != nil {
+		if p != nil && p.conn != nil {
 			peerConns[p.conn] = p
 		}
 	}
@@ -573,8 +602,8 @@ func Restore(cfg Config, env RestoreEnv, disk DiskArray, memb MembershipView, ct
 		case peerConns[c] != nil:
 			env.RestoreConn(c, peerConns[c].h)
 		default:
-			if _, inbound := s.inboundFrom[c]; inbound {
-				env.RestoreConn(c, s.peerH)
+			if n, inbound := s.inboundFrom[c]; inbound {
+				env.RestoreConn(c, s.inboundHandlers(&inPeer{from: n, known: true}))
 			} else {
 				env.RestoreConn(c, s.clientH)
 			}

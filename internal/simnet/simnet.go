@@ -508,7 +508,9 @@ func dialSyn(arg any) {
 	local.iface, local.class = i, op.class
 	remote.iface, remote.class = dst, op.class
 	local.peer, remote.peer = remote, local
+	local.connIdx = int32(len(i.conns))
 	i.conns = append(i.conns, local)
+	remote.connIdx = int32(len(dst.conns))
 	dst.conns = append(dst.conns, remote)
 	remote.h = acceptNow(remote)
 	op.local = local
@@ -563,6 +565,7 @@ type half struct {
 	closeHook  func() //availlint:skipfield closeHook close callback, re-attached by the owning process via RestoreConn
 	closeErr   error  // pending verdict carried to deliverCloseArg
 	ownerSlot  int    // owning process's index for O(1) drop (opaque)
+	connIdx    int32  //availlint:skipfield connIdx position in the owning iface's conns list, recomputed as restore re-appends
 }
 
 // connPair is the single allocation backing both halves of a connection.
@@ -786,14 +789,18 @@ func deliverWritable(arg any) {
 func (hc *half) Buffered() int { return len(hc.buf) }
 
 func (i *Iface) dropConn(hc *half) {
-	for k, c := range i.conns {
-		if c == hc {
-			// Swap-remove: O(1) and deterministic (no map iteration).
-			last := len(i.conns) - 1
-			i.conns[k] = i.conns[last]
-			i.conns[last] = nil
-			i.conns = i.conns[:last]
-			return
-		}
+	// The half carries its own position, so removal is O(1) regardless of
+	// how many conns the interface holds (the workload node holds one per
+	// in-flight request). Swap-remove keeps the list compact and
+	// deterministic; a stale index (the machine died and the list was
+	// cleared wholesale) is a no-op.
+	k := int(hc.connIdx)
+	if k < 0 || k >= len(i.conns) || i.conns[k] != hc {
+		return
 	}
+	last := len(i.conns) - 1
+	i.conns[k] = i.conns[last]
+	i.conns[k].connIdx = int32(k)
+	i.conns[last] = nil
+	i.conns = i.conns[:last]
 }

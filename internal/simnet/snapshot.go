@@ -139,7 +139,9 @@ func (n *Network) LoadCore(ctx *snapio.Ctx) {
 			snapio.Failf("simnet: iface %d not virgin at restore", i.id)
 		}
 		for k := d.Count(1 << 20); k > 0; k-- {
-			i.conns = append(i.conns, ctx.Conns.Obj(d.U64()).(*half))
+			hc := ctx.Conns.Obj(d.U64()).(*half)
+			hc.connIdx = int32(len(i.conns))
+			i.conns = append(i.conns, hc)
 		}
 	}
 }

@@ -26,8 +26,10 @@ import (
 )
 
 const (
-	magic  = "press-snap"
-	format = 1
+	magic = "press-snap"
+	// format 2: Options carries the protocol suite, and the forward
+	// message codec carries the sharded-mode relay origin.
+	format = 2
 )
 
 // Extra lets a simulation driver (the chaos runner) piggyback its own
@@ -96,6 +98,7 @@ func encOptions(e *snapio.Encoder, o harness.Options) {
 	e.Bool(o.RedundantFE)
 	e.Int(o.Docs)
 	e.F64(o.Alpha)
+	e.Int(int(o.Protocol))
 }
 
 func decOptions(d *snapio.Decoder) harness.Options {
@@ -110,6 +113,7 @@ func decOptions(d *snapio.Decoder) harness.Options {
 		RedundantFE:      d.Bool(),
 		Docs:             d.Int(),
 		Alpha:            d.F64(),
+		Protocol:         harness.ProtocolSuite(d.Int()),
 	}
 }
 

@@ -56,6 +56,24 @@ const (
 // Options parameterizes an experiment world.
 type Options = harness.Options
 
+// ProtocolSuite selects which protocol family the cluster speaks.
+type ProtocolSuite = harness.ProtocolSuite
+
+// The protocol suites: Faithful is the paper's 4-node-era protocols,
+// byte-identical to the golden dumps; Scalable swaps in the gossip
+// membership mode and the sharded cache directory for large-N runs.
+const (
+	Faithful = harness.Faithful
+	Scalable = harness.Scalable
+)
+
+// ParseProtocolSuite maps a CLI spelling ("faithful", "scalable") onto
+// the suite constant.
+func ParseProtocolSuite(s string) (ProtocolSuite, error) { return harness.ParseProtocolSuite(s) }
+
+// Topology describes a built world's node layout (see harness.Topology).
+type Topology = harness.Topology
+
 // Deployment is a built simulated deployment: the sim, the machines, the
 // workload generator and the injector, ready to drive. (This type was
 // previously exported as Cluster; Cluster is now the experiment handle.)
@@ -136,6 +154,17 @@ func WithVersion(v Version) Option { return func(c *clusterConfig) { c.v = v } }
 // WithSeed sets the master seed of the deterministic world (default 1).
 func WithSeed(s int64) Option { return func(c *clusterConfig) { c.o.Seed = s } }
 
+// WithNodes sets the server-node count (default 4, the paper's testbed).
+// Counts other than 4 are meant for the Scalable protocol suite; the
+// Faithful suite runs them but its broadcast directory and all-pairs
+// announce traffic scale poorly past a few dozen nodes.
+func WithNodes(n int) Option { return func(c *clusterConfig) { c.o.Nodes = n } }
+
+// WithProtocolSuite selects Faithful (default) or Scalable protocols.
+func WithProtocolSuite(p ProtocolSuite) Option {
+	return func(c *clusterConfig) { c.o.Protocol = p }
+}
+
 // WithWorkers bounds how many simulators this handle's private engine
 // runs concurrently (default GOMAXPROCS; 1 forces serial execution).
 func WithWorkers(n int) Option { return func(c *clusterConfig) { c.workers = n } }
@@ -158,6 +187,10 @@ func (c *Cluster) Version() Version { return c.v }
 
 // Options returns the handle's world options.
 func (c *Cluster) Options() Options { return c.o }
+
+// Topology resolves the handle's node layout: server count, rack
+// grouping, protocol suite, front-end presence.
+func (c *Cluster) Topology() Topology { return harness.NewTopology(c.v, c.o) }
 
 // Workers returns the handle engine's concurrency bound.
 func (c *Cluster) Workers() int { return c.eng.Workers() }
@@ -187,37 +220,6 @@ func (c *Cluster) RunEpisode(f FaultType, component int, s EpisodeSchedule) (Epi
 // RunCampaign measures the full Table 1 fault load.
 func (c *Cluster) RunCampaign(s EpisodeSchedule) (CampaignResult, error) {
 	return c.eng.Campaign(c.v, c.o, s)
-}
-
-// --- deprecated package-level entry points --------------------------------
-//
-// These predate the Cluster handle and delegate to the process-wide
-// default engine; existing callers keep working unchanged. New code
-// should construct a handle with New.
-
-// BuildCluster assembles a simulated deployment of the given version.
-// Drive it via its Sim, Gen and Injector fields.
-//
-// Deprecated: use New(WithVersion(v), WithOptions(o)).Build().
-func BuildCluster(v Version, o Options) *Deployment { return harness.Build(v, o) }
-
-// Saturation measures (memoized) the version's maximum throughput.
-//
-// Deprecated: use the Cluster handle's Saturation.
-func Saturation(v Version, o Options) float64 { return harness.Saturation(v, o) }
-
-// RunEpisode performs one single-fault phase-1 measurement.
-//
-// Deprecated: use the Cluster handle's RunEpisode.
-func RunEpisode(v Version, o Options, f FaultType, component int, s EpisodeSchedule) (Episode, error) {
-	return harness.RunEpisode(v, o, f, component, s)
-}
-
-// RunCampaign measures the full Table 1 fault load for a version.
-//
-// Deprecated: use the Cluster handle's RunCampaign.
-func RunCampaign(v Version, o Options, s EpisodeSchedule) (CampaignResult, error) {
-	return harness.Campaign(v, o, s)
 }
 
 // ModelAvailability evaluates the phase-2 analytic model.
@@ -267,31 +269,25 @@ func RunStochastic(v Version, o Options, s EpisodeSchedule, cfg StochasticConfig
 	return harness.StochasticRun(v, o, s, cfg)
 }
 
-// SetWorkers bounds how many simulators the default experiment engine
-// runs concurrently (default GOMAXPROCS; 1 forces fully serial
-// execution). It returns the previous bound. Episodes are deterministic
-// functions of their parameters, so the bound affects wall-clock only,
-// never results.
-//
-// Deprecated: use New(WithWorkers(n)) for an independent bound.
-func SetWorkers(n int) int { return harness.SetWorkers(n) }
-
-// Workers returns the default engine's current concurrency bound.
-//
-// Deprecated: use the Cluster handle's Workers.
-func Workers() int { return harness.Workers() }
-
-// ResetCaches drops every default-engine memoized episode, campaign and
-// saturation result, plus the chaos-run memo. Results are deterministic,
-// so this is never needed for correctness; benchmarks use it to measure
-// real simulation work.
-//
-// Deprecated: use the Cluster handle's ResetCaches for handle-scoped
-// caches.
-func ResetCaches() {
+// ResetGlobalCaches drops the process-wide memo tables the package-level
+// chaos and figure entry points share (the default engine's episodes,
+// campaigns and saturation probes, plus the chaos-run memo). Handle-
+// scoped caches are dropped via Cluster.ResetCaches. Results are
+// deterministic, so this is never needed for correctness; benchmarks use
+// it to measure real simulation work.
+func ResetGlobalCaches() {
 	harness.ResetMemos()
 	chaos.ResetMemo()
 }
+
+// SetGlobalWorkers bounds the concurrency of the shared engine behind
+// the package-level entry points (figures, chaos campaigns, stochastic
+// runs) and returns the previous bound. Cluster handles carry their own
+// bound — use WithWorkers / Cluster.SetWorkers for those.
+func SetGlobalWorkers(n int) int { return harness.SetWorkers(n) }
+
+// GlobalWorkers reports the shared engine's concurrency bound.
+func GlobalWorkers() int { return harness.Workers() }
 
 // Chaos campaigns (internal/chaos): seeded multi-fault schedules played
 // against a version, judged by a cluster-invariant catalog, with

@@ -27,18 +27,16 @@ func TestClusterHandleOptions(t *testing.T) {
 	}
 }
 
-// TestClusterWorkersIndependent checks two handles (and the deprecated
-// package-level default engine) do not share their concurrency bound.
+// TestClusterWorkersIndependent checks two handles do not share their
+// concurrency bound.
 func TestClusterWorkersIndependent(t *testing.T) {
 	a := press.New(press.WithWorkers(2))
 	b := press.New(press.WithWorkers(5))
-	prev := press.SetWorkers(4)
-	defer press.SetWorkers(prev)
 	if a.Workers() != 2 || b.Workers() != 5 {
 		t.Fatalf("handle bounds leaked: a=%d b=%d", a.Workers(), b.Workers())
 	}
-	if press.Workers() != 4 {
-		t.Fatalf("default engine bound = %d, want 4", press.Workers())
+	if a.SetWorkers(6) != 2 || b.Workers() != 5 {
+		t.Fatalf("SetWorkers crossed handles: a=%d b=%d", a.Workers(), b.Workers())
 	}
 }
 
