@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+// freshReport builds a report with a 256-node scaling point, the shape
+// every schema-7+ run produces.
+func freshReport() *benchReport {
+	rep := &benchReport{Schema: "press-bench/8"}
+	rep.Kernel.EventsPerSec = 10e6
+	rep.Episode.EventsPerSec = 2e6
+	rep.Episode.AllocsPerEvent = 0.5
+	rep.Campaign.WallSeconds = 10
+	rep.Episode.HeapInuseBytes = 1 << 20
+	rep.Scaling = []benchScalePoint{
+		{Nodes: 4, EventsPerSec: 1e6},
+		{Nodes: 256, EventsPerSec: 3e6},
+	}
+	return rep
+}
+
+// TestCompareBaseWithScalingCurve: a baseline that recorded a 256-node
+// point yields a present, correct scaling ratio.
+func TestCompareBaseWithScalingCurve(t *testing.T) {
+	base := freshReport()
+	base.Schema = "press-bench/7"
+	base.Scaling = []benchScalePoint{{Nodes: 256, EventsPerSec: 1.5e6}}
+
+	cmp := compareReports(freshReport(), base)
+	if cmp.Scaling256Speedup == nil {
+		t.Fatal("scaling ratio missing despite a 256-node point in the base")
+	}
+	if got := *cmp.Scaling256Speedup; got != 2.0 {
+		t.Fatalf("scaling ratio = %v, want 2.0", got)
+	}
+}
+
+// TestCompareBasePredatesScalingCurve: a schema-6 baseline has no scaling
+// block; the ratio must be omitted entirely, not reported as 0 — a zero
+// would read as a total regression to the CI gate.
+func TestCompareBasePredatesScalingCurve(t *testing.T) {
+	base := freshReport()
+	base.Schema = "press-bench/6"
+	base.Scaling = nil
+
+	cmp := compareReports(freshReport(), base)
+	if cmp == nil {
+		t.Fatal("comparison dropped entirely; only the scaling ratio should be omitted")
+	}
+	if cmp.Scaling256Speedup != nil {
+		t.Fatalf("scaling ratio = %v, want omitted for a pre-curve base", *cmp.Scaling256Speedup)
+	}
+	if cmp.EpisodeSpeedup != 1.0 {
+		t.Fatalf("episode ratio = %v, want 1.0", cmp.EpisodeSpeedup)
+	}
+}

@@ -9,7 +9,7 @@
 //	reproduce -chaos [-seeds N] [-version FME] [-shrink] [-repro-dir dir] [-fast] [-gray]
 //	reproduce -chaos [-snapshot file.snap | -from-snapshot file.snap] ...
 //	reproduce -chaos-replay file.json
-//	reproduce -bench [-bench-out BENCH_7.json] [-bench-base BENCH_6.json] [-fast]
+//	reproduce -bench [-bench-out BENCH_8.json] [-bench-base BENCH_7.json] [-fast]
 //
 // Any mode accepts -cpuprofile/-memprofile/-trace to capture a pprof CPU
 // profile, a pprof allocation profile, or a runtime execution trace of
@@ -74,8 +74,8 @@ func main() {
 	snapOut := flag.String("snapshot", "", "chaos: warm once, write the warm snapshot here, fork the campaign from it")
 	snapIn := flag.String("from-snapshot", "", "chaos: fork the campaign from this snapshot file instead of warming")
 	bench := flag.Bool("bench", false, "run the kernel/episode/campaign benchmark and write a JSON baseline")
-	benchOut := flag.String("bench-out", "BENCH_7.json", "bench: output path for the JSON baseline")
-	benchBase := flag.String("bench-base", "BENCH_6.json", "bench: prior baseline to embed a comparison against (absent file = no comparison)")
+	benchOut := flag.String("bench-out", "BENCH_8.json", "bench: output path for the JSON baseline")
+	benchBase := flag.String("bench-base", "BENCH_7.json", "bench: prior baseline to embed a comparison against (absent file = no comparison)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	traceFlag := flag.String("trace", "", "write a runtime execution trace to this file")

@@ -92,6 +92,34 @@ type Conn interface {
 	Close()
 }
 
+// ConnPinner is the optional pool-pin surface of a transport's
+// connections. A transport that recycles connection allocations (simnet
+// pools its pairs) cannot reclaim one while a component still holds the
+// pointer in a record that outlives events — the old contract that
+// operations on a dead Conn are silent no-ops would break the moment
+// the allocation is reused. Components therefore pin: RetainConn when a
+// record stores a Conn across events, ReleaseConn when the record drops
+// it. Transports without pooling simply don't implement the interface.
+type ConnPinner interface {
+	Retain()
+	Release()
+}
+
+// RetainConn pins c's backing allocation against recycling; a no-op for
+// connections that are not pool-managed.
+func RetainConn(c Conn) {
+	if p, ok := c.(ConnPinner); ok {
+		p.Retain()
+	}
+}
+
+// ReleaseConn drops a RetainConn pin.
+func ReleaseConn(c Conn) {
+	if p, ok := c.(ConnPinner); ok {
+		p.Release()
+	}
+}
+
 // StreamHandlers are the callbacks a component attaches to a Conn. All
 // callbacks run serialized on the owning process (the simulator's proc
 // mailbox, or livenet's per-node dispatch goroutine).

@@ -155,6 +155,7 @@ func (d *Daemon) probeApp(done func(appProbeResult)) {
 	d.env.Clock().AfterFunc(d.cfg.ProbeTimeout, func() {
 		if conn != nil {
 			conn.Close()
+			cnet.ReleaseConn(conn) // pin taken when the dial stored it
 		}
 		finish(appUnresponsive)
 	})
@@ -182,6 +183,7 @@ func (d *Daemon) probeApp(done func(appProbeResult)) {
 			return
 		}
 		conn = c
+		cnet.RetainConn(c) // held across events until the timeout fires
 		c.TrySend(&server.ReqMsg{ID: d.probeSeq, Probe: true}, 64)
 	})
 }

@@ -196,6 +196,7 @@ func (f *Frontend) acceptClient(client cnet.Conn) cnet.StreamHandlers {
 		client.Close()
 		if backendConn != nil {
 			backendConn.Close()
+			cnet.ReleaseConn(backendConn) // pin taken when the relay stored it
 		}
 	}
 	return cnet.StreamHandlers{
@@ -215,7 +216,13 @@ func (f *Frontend) acceptClient(client cnet.Conn) cnet.StreamHandlers {
 				OnMessage: func(bc cnet.Conn, bm cnet.Message) {
 					// Relay the response and tear the pair down. The record
 					// is passed through unreleased: the client is the final
-					// consumer.
+					// consumer. After closeBoth ran, the client conn may have
+					// been recycled for a new connection — the old code relied
+					// on TrySend-on-closed being a silent drop, which pooling
+					// no longer guarantees.
+					if closed {
+						return
+					}
 					if resp, ok := bm.(*server.RespMsg); ok {
 						size := 128
 						if resp.OK {
@@ -239,6 +246,7 @@ func (f *Frontend) acceptClient(client cnet.Conn) cnet.StreamHandlers {
 					return
 				}
 				backendConn = bc
+				cnet.RetainConn(bc) // held by the relay until closeBoth
 				bc.TrySend(req, 256)
 			})
 		},
@@ -313,7 +321,12 @@ func (f *Frontend) probeBackend(n cnet.NodeID) {
 		b.lastView = nil
 		f.refreshIsolation()
 	}
-	f.env.Clock().AfterFunc(f.cfg.ConnDeadline, fail)
+	f.env.Clock().AfterFunc(f.cfg.ConnDeadline, func() {
+		fail()
+		if conn != nil {
+			cnet.ReleaseConn(conn) // the deadline always outlives the probe's hold
+		}
+	})
 	h := cnet.StreamHandlers{
 		OnMessage: func(c cnet.Conn, m cnet.Message) {
 			resp, ok := m.(*server.RespMsg)
@@ -347,6 +360,7 @@ func (f *Frontend) probeBackend(n cnet.NodeID) {
 			return
 		}
 		conn = c
+		cnet.RetainConn(c) // held across events until the deadline fires
 		f.probeSeq++
 		c.TrySend(&server.ReqMsg{ID: f.probeSeq, Probe: true}, 64)
 	})

@@ -432,13 +432,19 @@ func buildWorld(v Version, o Options, cold bool) *Cluster {
 	}
 	s := sim.New(o.Seed)
 	log := &metrics.Log{}
-	net := simnet.New(s, simnet.DefaultConfig(), log)
+	scalable := o.Protocol == Scalable
+	netCfg := simnet.DefaultConfig()
+	// Gossip fan-outs dominate the kernel event count at wide N; coalescing
+	// them keeps the schedule (and EventsFired) identical while popping one
+	// event per multicast instead of one per recipient. Faithful runs keep
+	// the unbatched path so their golden dumps stay byte-identical.
+	netCfg.BatchDelivery = scalable
+	net := simnet.New(s, netCfg, log)
 	cat := o.catalog()
 
 	topo := NewTopology(v, o)
 	n := topo.Nodes
 	ids := topo.ServerIDs()
-	scalable := o.Protocol == Scalable
 
 	c := &Cluster{
 		Version: v, Opts: o, Traits: t,

@@ -1,0 +1,52 @@
+// Timer-wheel shapes for the bucket-iteration-order contract. The
+// kernel's wheel keeps its near tiers as dense arrays indexed by a time
+// cursor — deterministic by construction — but a wheel whose overflow
+// tier is a map must never drain it in map-range order: the pop
+// sequence would differ run to run under the same seed.
+
+package sim
+
+import "sort"
+
+type wheelEnt struct {
+	at  int64
+	seq uint64
+}
+
+type mapWheel struct {
+	overflow map[uint64]wheelEnt
+	drained  []wheelEnt
+}
+
+// drainOverflowUnsorted pops the overflow tier in map-range order.
+func (w *mapWheel) drainOverflowUnsorted() {
+	for _, e := range w.overflow { // want `appends to drained in iteration order`
+		w.drained = append(w.drained, e)
+	}
+}
+
+// drainOverflowSorted collects, then sorts by (at, seq): the canonical
+// deterministic drain for a map-backed tier.
+func (w *mapWheel) drainOverflowSorted() []wheelEnt {
+	ents := make([]wheelEnt, 0, len(w.overflow))
+	for _, e := range w.overflow {
+		ents = append(ents, e)
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].at != ents[j].at {
+			return ents[i].at < ents[j].at
+		}
+		return ents[i].seq < ents[j].seq
+	})
+	return ents
+}
+
+// cascade walks dense buckets by index from the cursor: no map is
+// ranged, so bucket order is the array order and nothing is flagged.
+func cascade(buckets [][]wheelEnt, cursor int) []wheelEnt {
+	var due []wheelEnt
+	for i := 0; i < len(buckets); i++ {
+		due = append(due, buckets[(cursor+i)%len(buckets)]...)
+	}
+	return due
+}

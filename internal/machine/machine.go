@@ -392,6 +392,14 @@ func (p *Proc) kill(abortConns bool) {
 	}
 	p.alive = false
 	p.incarnation++
+	// Discarded mailbox entries drop their conn pins (taken in postCall)
+	// before the aborts below — an aborted pair with no surviving pins can
+	// go straight back to the network's pool.
+	for i := p.head; i < len(p.mailbox); i++ {
+		if sc, ok := p.mailbox[i].c.(simnet.StreamConn); ok {
+			sc.Release()
+		}
+	}
 	p.mailbox = nil
 	p.head = 0
 	if p.env != nil {
@@ -424,6 +432,12 @@ func (p *Proc) post(fn func()) {
 func (p *Proc) postCall(c call) {
 	if !p.alive {
 		return
+	}
+	// A queued entry stashes its conn pointer across events: pin the
+	// conn's backing allocation until the entry is dispatched (pump) or
+	// discarded (kill).
+	if sc, ok := c.c.(simnet.StreamConn); ok {
+		sc.Retain()
 	}
 	if p.head > 0 {
 		if p.head == len(p.mailbox) {
@@ -458,6 +472,9 @@ func (p *Proc) pump() {
 		inc := p.incarnation
 		p.curCharge = 0
 		c.dispatch()
+		if sc, ok := c.c.(simnet.StreamConn); ok {
+			sc.Release() // pin taken by postCall
+		}
 		if p.incarnation != inc {
 			return // died inside the handler
 		}
@@ -887,17 +904,130 @@ func (pc procClock) AfterFunc(d time.Duration, fn func()) clock.Timer {
 	return procTimer{t: e.p.m.sim.AfterArg(d, procTimerFire, r), serial: r.serial}
 }
 
-// Every delivers a periodic callback through the process mailbox. The
-// generic rearm-at-end ticker is built on this clock's own AfterFunc, so
-// each rearm happens inside the mailbox dispatch of the previous tick
-// and dies with the process/incarnation exactly as a hand-rolled
-// rearm chain would: once live() fails, AfterFunc stops scheduling.
+// Every delivers a periodic callback through the process mailbox with
+// rearm-at-end semantics, so each rearm happens inside the mailbox
+// dispatch of the previous tick and dies with the process/incarnation
+// exactly as a hand-rolled rearm chain would: once live() fails, arm
+// stops scheduling. The simulated clock uses a machine-native ticker
+// rather than the generic clock.FuncTicker: the rearm path reuses the
+// same pooled timerRec and kernel events (identical schedules, serials,
+// and event counts), but never constructs a clock.Timer interface value
+// — that per-period box is the entire steady-state heap allocation of
+// an otherwise idle cluster.
 func (pc procClock) Every(d time.Duration, fn func()) clock.Ticker {
 	if !pc.e.live() {
 		return deadTicker{}
 	}
-	return clock.NewFuncTicker(pc, d, fn)
+	if fn == nil {
+		panic("clock: nil ticker function")
+	}
+	if d <= 0 {
+		panic("clock: ticker period must be positive")
+	}
+	t := &procTicker{e: pc.e, period: d, fn: fn}
+	t.fireFn = t.fire
+	t.arm(d)
+	return t
 }
+
+// procTicker is the simulated clock's Ticker. Semantics mirror
+// clock.FuncTicker exactly (fire, run fn, rearm after fn returns; Stop
+// inside the callback suppresses the rearm; Reschedule replaces it), and
+// the pending one-shot is an ordinary proc timer — same pooled record,
+// same serial sequence, same kernel callback — so the snapshot claim
+// machinery needs no new cases.
+type procTicker struct {
+	e       *Env
+	period  time.Duration
+	fn      func()    //availlint:skipfield fn tick callback, re-supplied by the component on restore (Env.RestoreTicker)
+	fireFn  func()    //availlint:skipfield fireFn once-bound dispatch closure, rebuilt with the ticker
+	t       sim.Timer //availlint:skipfield t pending kernel handle, re-armed by serial claim on restore
+	serial  uint64
+	firing  bool
+	rearmed bool
+	stopped bool
+}
+
+// arm schedules the next fire as a plain proc timer, keeping the handle
+// unboxed.
+func (t *procTicker) arm(d time.Duration) {
+	e := t.e
+	if !e.live() {
+		return
+	}
+	r := e.p.m.getTimer()
+	e.p.timerSeq++
+	r.e, r.fn, r.serial = e, t.fireFn, e.p.timerSeq
+	t.t = e.p.m.sim.AfterArg(d, procTimerFire, r)
+	t.serial = r.serial
+}
+
+func (t *procTicker) fire() {
+	if t.stopped {
+		return
+	}
+	t.firing, t.rearmed = true, false
+	t.fn()
+	t.firing = false
+	if !t.stopped && !t.rearmed {
+		t.arm(t.period)
+	}
+}
+
+// Stop ends the loop; see the clock.Ticker contract.
+func (t *procTicker) Stop() bool {
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	active := t.firing
+	if t.t.Stop() {
+		active = true
+	}
+	t.t, t.serial = sim.Timer{}, 0
+	return active
+}
+
+// Reschedule retimes (or revives) the loop; see the clock.Ticker contract.
+func (t *procTicker) Reschedule(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.stopped = false
+	if t.firing {
+		t.rearmed = true
+	}
+	t.t.Stop()
+	t.arm(d)
+}
+
+// PendingTimer returns the pending (or fire-in-mailbox) timer handle for
+// snapshot code, nil when stopped or never armed. Mirrors
+// clock.FuncTicker.PendingTimer.
+func (t *procTicker) PendingTimer() clock.Timer {
+	if t.serial == 0 {
+		return nil
+	}
+	return procTimer{t: t.t, serial: t.serial}
+}
+
+// Stopped reports whether Stop ended the loop (snapshot surface).
+func (t *procTicker) Stopped() bool { return t.stopped }
+
+// FireFunc returns the bound dispatch closure a restored pending timer
+// must invoke (snapshot surface).
+func (t *procTicker) FireFunc() func() { return t.fireFn }
+
+// AdoptTimer attaches a restored pending timer handle (snapshot surface).
+func (t *procTicker) AdoptTimer(h clock.Timer) {
+	pt, ok := h.(procTimer)
+	if !ok {
+		panic(fmt.Sprintf("machine: procTicker cannot adopt timer %T", h))
+	}
+	t.t, t.serial = pt.t, pt.serial
+}
+
+var _ clock.Ticker = (*procTicker)(nil)
 
 // procTimer is the handle AfterFunc returns: the kernel timer plus the
 // proc-scoped serial snapshots use to re-identify pending timers. It

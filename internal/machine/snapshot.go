@@ -379,6 +379,19 @@ func (e *Env) RestoreTimer(serial uint64, fn func()) clock.Timer {
 	return procTimer{serial: serial}
 }
 
+// RestoreTicker rebuilds an unarmed native ticker from snapshot state.
+// The caller re-claims the ticker's pending fire (if one was saved)
+// through RestoreTimer with the ticker's FireFunc and hands the handle
+// to AdoptTimer — the same protocol clock.RestoreFuncTicker uses.
+func (e *Env) RestoreTicker(period time.Duration, fn func(), stopped bool) clock.Ticker {
+	if fn == nil {
+		panic("clock: nil ticker function")
+	}
+	t := &procTicker{e: e, period: period, fn: fn, stopped: stopped}
+	t.fireFn = t.fire
+	return t
+}
+
 // RestoreConnList returns every connection the restoring process
 // references in the snapshot: its adopted connections in owner-slot
 // order, then connections appearing only in mailbox entries (closed

@@ -11,14 +11,17 @@ import (
 // send connection and receives on the one the peer dialed. The send queue
 // in front of the connection is the structure queue monitoring watches.
 type peer struct {
+	// Hot fields first: every forward touches conn, the send queue and
+	// load, so they share the record's leading cache line; dial/retry
+	// state is only walked during fault episodes and sits behind them.
 	id       cnet.NodeID
 	conn     cnet.Conn // outbound (send) connection; nil until established
-	dialing  bool
-	retry    timerHandle
 	sendQ    []outMsg
 	sendHead int // consumed prefix of sendQ (popped without re-slicing)
 	reqInQ   int // FwdMsgs among the queued messages
 	load     int // piggybacked open-request count
+	dialing  bool
+	retry    timerHandle
 
 	// Dial and connection callbacks, built once per peer: redialing is hot
 	// during fault episodes and must not allocate per attempt.
@@ -62,6 +65,7 @@ func (s *Server) peer(n cnet.NodeID) *peer {
 			OnClose: func(c cnet.Conn, err error) {
 				if p.conn == c {
 					p.conn = nil
+					cnet.ReleaseConn(c) // pin taken when onDial stored it
 					s.peerConnLost(p.id, err)
 				}
 			},
@@ -83,6 +87,7 @@ func (s *Server) peer(n cnet.NodeID) *peer {
 				return
 			}
 			p.conn = c
+			cnet.RetainConn(c) // the record holds the conn across events
 			hello := HelloMsg{From: s.cfg.Self, CacheDocs: s.cache.Docs()}
 			c.TrySend(hello, sizeHello+4*len(hello.CacheDocs))
 			s.drain(p.id)
@@ -168,6 +173,7 @@ func (p *peer) teardown() {
 	}
 	if p.conn != nil {
 		p.conn.Close()
+		cnet.ReleaseConn(p.conn) // pin taken when onDial stored it
 		p.conn = nil
 	}
 	p.dialing = false

@@ -36,6 +36,7 @@ func (s *Server) onClientClose(c cnet.Conn, err error) {
 	if id, ok := s.clientOf[c]; ok {
 		delete(s.clientOf, c)
 		if st := s.inflight[id]; st != nil {
+			cnet.ReleaseConn(c) // pin taken when admit stored it
 			st.client = nil
 			s.finish(st, false)
 		}
@@ -84,6 +85,13 @@ func (s *Server) admit(c cnet.Conn, req *ReqMsg) {
 	s.nextID++
 	st := s.getReq()
 	st.id, st.doc, st.client = s.nextID, req.Doc, c
+	// The request record holds the conn until finish. The pin matters even
+	// though clientOf normally clears st.client on close: a deferred
+	// admission can store a conn whose close already dispatched (it was
+	// popped from the accept queue before the close arrived), and then
+	// nothing ever clears st.client — without the pin the pair would
+	// recycle under the record and respond would send into a reused conn.
+	cnet.RetainConn(c)
 	req.Release()
 	s.inflight[st.id] = st
 	s.clientOf[c] = st.id
@@ -432,6 +440,7 @@ func (s *Server) finish(st *reqState, responded bool) {
 	delete(s.inflight, st.id)
 	if st.client != nil {
 		delete(s.clientOf, st.client)
+		cnet.ReleaseConn(st.client) // pin taken when admit stored it
 	}
 	s.putReq(st)
 	s.active--
@@ -449,6 +458,7 @@ func (s *Server) finish(st *reqState, responded bool) {
 		// close can still remove a waiter in between.
 		op := s.getAdmitOp()
 		op.conn, op.msg = next.conn, next.msg
+		cnet.RetainConn(op.conn)
 		op.runT = s.env.Clock().AfterFunc(0, op.run)
 	}
 }
@@ -479,6 +489,7 @@ func (s *Server) getAdmitOp() *admitOp {
 			s.putAdmitOp(op)
 			s.env.Charge(s.cfg.Cost.Accept)
 			s.admit(conn, msg)
+			cnet.ReleaseConn(conn) // pin taken when the op captured the conn
 		}
 	}
 	op.slot = len(s.admitOps)
@@ -493,6 +504,9 @@ func (s *Server) putAdmitOp(op *admitOp) {
 	moved.slot = op.slot
 	s.admitOps[last] = nil
 	s.admitOps = s.admitOps[:last]
+	// The pin on op.conn is dropped by op.run after admit, not here: run
+	// is the only caller, and it still uses the conn after recycling the
+	// record.
 	op.conn, op.msg, op.runT = nil, nil, nil
 	s.admitFree = append(s.admitFree, op)
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"sort"
+	"time"
 
 	"press/internal/clock"
 	"press/internal/cnet"
@@ -344,7 +345,10 @@ func (s *Server) SaveState(ctx *snapio.Ctx) {
 	e.I64(int64(r.succ))
 	e.Dur(r.lastHB)
 	if r.enabled {
-		hb, ok := r.hb.(*clock.FuncTicker)
+		hb, ok := r.hb.(interface {
+			Stopped() bool
+			PendingTimer() clock.Timer
+		})
 		if !ok {
 			snapio.Failf("server %d: ring ticker %T is not restorable", s.cfg.Self, r.hb)
 		}
@@ -410,6 +414,7 @@ func RestoreHusk(ctx *snapio.Ctx) *Server {
 type RestoreEnv interface {
 	cnet.Env
 	RestoreTimer(serial uint64, fn func()) clock.Timer
+	RestoreTicker(period time.Duration, fn func(), stopped bool) clock.Ticker
 	RestoreDialer(to cnet.NodeID, port string, h cnet.StreamHandlers, result func(cnet.Conn, error))
 	RestoreConn(c cnet.Conn, h cnet.StreamHandlers)
 	RestoreConnList() []cnet.Conn
@@ -487,6 +492,7 @@ func Restore(cfg Config, env RestoreEnv, disk DiskArray, memb MembershipView, ct
 	for k := d.Count(1 << 16); k > 0; k-- {
 		p := s.peer(cnet.NodeID(d.I64()))
 		p.conn = decConn(ctx)
+		cnet.RetainConn(p.conn) // no-op on snapshot-built conns; keeps the pin balanced
 		p.dialing = d.Bool()
 		p.retry = decTimer(d, env, p.redial)
 		p.load = d.Int()
@@ -522,6 +528,7 @@ func Restore(cfg Config, env RestoreEnv, disk DiskArray, memb MembershipView, ct
 		s.inflight[rs.id] = rs
 		if rs.client != nil {
 			s.clientOf[rs.client] = rs.id
+			cnet.RetainConn(rs.client) // no-op on snapshot-built conns; keeps the pin balanced with admit
 		}
 	}
 
@@ -566,6 +573,7 @@ func Restore(cfg Config, env RestoreEnv, disk DiskArray, memb MembershipView, ct
 	for k := d.Count(1 << 20); k > 0; k-- {
 		op := s.getAdmitOp()
 		op.conn = decConn(ctx)
+		cnet.RetainConn(op.conn) // no-op on snapshot-built conns; keeps the pin balanced with putAdmitOp
 		op.msg, _ = ctx.Msgs.Decode(d).(*ReqMsg)
 		op.runT = decTimer(d, env, op.run)
 	}
@@ -578,9 +586,16 @@ func Restore(cfg Config, env RestoreEnv, disk DiskArray, memb MembershipView, ct
 	r.lastHB = d.Dur()
 	if r.enabled {
 		stopped := d.Bool()
-		hb := clock.RestoreFuncTicker(env.Clock(), s.cfg.HeartbeatPeriod, r.tick, stopped)
-		if t := decTimer(d, env, hb.FireFunc()); t != nil {
-			hb.AdoptTimer(t)
+		hb := env.RestoreTicker(s.cfg.HeartbeatPeriod, r.tick, stopped)
+		rt, ok := hb.(interface {
+			FireFunc() func()
+			AdoptTimer(clock.Timer)
+		})
+		if !ok {
+			snapio.Failf("server %d: restored ring ticker %T lacks a timer-adoption surface", s.cfg.Self, hb)
+		}
+		if t := decTimer(d, env, rt.FireFunc()); t != nil {
+			rt.AdoptTimer(t)
 		}
 		r.hb = hb
 	}

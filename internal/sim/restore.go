@@ -34,11 +34,18 @@ func (t Timer) Key() (at time.Duration, seq uint64, ok bool) {
 // event left unclaimed as a hard save error — the completeness check
 // that keeps "what the snapshot captures" honest.
 func (s *Sim) VisitPending(visit func(at time.Duration, seq uint64, afn func(any), arg any, fn func())) {
-	ents := make([]heapEnt, len(s.heap))
-	copy(ents, s.heap)
+	ents := make([]heapEnt, 0, s.npend)
+	ents = append(ents, s.cur...)
+	for i := range s.l0 {
+		ents = append(ents, s.l0[i]...)
+	}
+	for i := range s.l1 {
+		ents = append(ents, s.l1[i]...)
+	}
+	ents = append(ents, s.overflow...)
 	sort.Slice(ents, func(i, j int) bool { return entLess(ents[i], ents[j]) })
 	for _, ent := range ents {
-		e := s.slots[ent.slot]
+		e := s.arena[ent.slot].ev
 		visit(e.at, e.seq, e.afn, e.arg, e.fn)
 	}
 }
@@ -73,9 +80,6 @@ func (s *Sim) restoreEvent(at time.Duration, seq uint64) *event {
 	e.at = at
 	e.seq = seq
 	s.push(e)
-	if len(s.heap) > s.maxQ {
-		s.maxQ = len(s.heap)
-	}
 	return e
 }
 

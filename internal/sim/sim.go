@@ -6,11 +6,12 @@
 // fault-injection campaign runs in seconds and is exactly reproducible
 // from a seed.
 //
-// The kernel is intentionally tiny: a virtual clock, an indexed 4-ary
-// min-heap of cancellable events, and a facility for deriving
-// independent, named, deterministic random streams. Everything else
-// (network, disks, machines, processes) is layered on top in sibling
-// packages.
+// The kernel is intentionally tiny: a virtual clock, a hierarchical
+// timer wheel of cancellable events (near-future buckets backed by an
+// overflow heap, popping in a strict (deadline, seq) total order), and
+// a facility for deriving independent, named, deterministic random
+// streams. Everything else (network, disks, machines, processes) is
+// layered on top in sibling packages.
 //
 // The event loop is the hot path of every experiment — a campaign fires
 // tens of millions of events — so the kernel recycles event objects
@@ -26,6 +27,7 @@ package sim
 import (
 	"fmt"
 	"hash/fnv"
+	"math/bits"
 	"math/rand"
 	"time"
 
@@ -88,23 +90,46 @@ var _ clock.Timer = Timer{}
 // concurrent use: all model code runs single-threaded inside Run/Step.
 type Sim struct {
 	now      time.Duration
-	heap     []heapEnt
-	slots    []*event // arena: slot id -> queued event
-	pos      []int32  // arena: slot id -> current heap position
-	slotFree []int32  // recycled slot ids (LIFO, deterministic)
+	arena    []slotRec // slot id -> queued event + its (structure, index) home
+	slotFree []int32   // recycled slot ids (LIFO, deterministic)
 	free     []*event
 	seq      uint64
 	seed     int64
 	fired    uint64
 	maxQ     int
+	npend    int // total pending events across cur, wheels and overflow
 	live     int // events allocated and not on the free list
 	halted   bool
+
+	// Hierarchical timer wheel (see the commentary above heapEnt).
+	cur      []heapEnt // small indexed 4-ary heap: the front of the timeline
+	overflow []heapEnt // indexed 4-ary heap: events beyond the wheel horizon
+	l0       [l0Buckets][]heapEnt
+	l1       [l1Buckets][]heapEnt
+	l0occ    wheelOcc
+	l1occ    wheelOcc
+	l0Win    int64 // granule number (at >> g0Shift) covered by l0[0]
+	curIdx   int   // L0 bucket drained into cur; cur covers at < (l0Win+curIdx+1)<<g0Shift
+	l1Win    int64 // granule number (at >> g1Shift) covered by l1[0]
+	l1Idx    int   // L1 bucket currently expanded into the L0 window
 }
 
 // New returns an empty simulator whose clock reads zero. The seed is the
 // root of all derived random streams (see NewRand).
 func New(seed int64) *Sim {
-	return &Sim{seed: seed}
+	s := &Sim{seed: seed}
+	// Seed every wheel bucket with a small backing array up front. Buckets
+	// keep their capacity across drains, but lazily grown buckets ramp
+	// 1→2→4→8 as event phases drift across granule alignments — a slow
+	// trickle of allocations that lasts thousands of granule cycles. ~100KB
+	// once per kernel buys an allocation-free steady state immediately.
+	for i := range s.l0 {
+		s.l0[i] = make([]heapEnt, 0, 8)
+	}
+	for i := range s.l1 {
+		s.l1[i] = make([]heapEnt, 0, 8)
+	}
+	return s
 }
 
 // Now returns the current virtual time.
@@ -117,10 +142,17 @@ func (s *Sim) Seed() int64 { return s.seed }
 // benchmarking and for detecting runaway models in tests.
 func (s *Sim) EventsFired() uint64 { return s.fired }
 
-// Pending returns the number of events currently scheduled.
-func (s *Sim) Pending() int { return len(s.heap) }
+// CountExtraFired adds n to the fired-event counter without running
+// anything. Batched delivery (simnet) fires one kernel event standing in
+// for n+1 logically separate deliveries; counting the collapsed n keeps
+// EventsFired equal to the unbatched schedule, which the scale gates
+// assert.
+func (s *Sim) CountExtraFired(n uint64) { s.fired += n }
 
-// MaxQueued returns the high-water mark of the event heap.
+// Pending returns the number of events currently scheduled.
+func (s *Sim) Pending() int { return s.npend }
+
+// MaxQueued returns the high-water mark of the pending-event count.
 func (s *Sim) MaxQueued() int { return s.maxQ }
 
 // LiveEvents returns how many event objects exist outside the free list
@@ -165,9 +197,6 @@ func (s *Sim) schedule(t time.Duration) *event {
 	e.seq = s.seq
 	s.seq++
 	s.push(e)
-	if len(s.heap) > s.maxQ {
-		s.maxQ = len(s.heap)
-	}
 	return e
 }
 
@@ -281,9 +310,6 @@ func (t *Ticker) arm(d time.Duration) {
 	e.afn = tickerFire
 	e.arg = t
 	s.push(e)
-	if len(s.heap) > s.maxQ {
-		s.maxQ = len(s.heap)
-	}
 }
 
 // Stop ends the periodic loop and reports whether the ticker was still
@@ -326,13 +352,13 @@ func (s *Sim) Halt() { s.halted = true }
 // Step executes the single earliest pending event, advancing the clock
 // to its deadline. It reports whether an event was executed.
 //
-// Cancel-during-dispatch is explicit: the firing event leaves the heap
+// Cancel-during-dispatch is explicit: the firing event leaves the queue
 // (and its handles go stale) before its callback runs, so a Stop from
-// inside the callback — its own handle or any other — acts on the heap
+// inside the callback — its own handle or any other — acts on the queue
 // as it stands and never corrupts dispatch. The fired event returns to
 // the free list only after its callback finishes.
 func (s *Sim) Step() bool {
-	if len(s.heap) == 0 {
+	if s.npend == 0 {
 		return false
 	}
 	e := s.pop()
@@ -363,7 +389,11 @@ func (s *Sim) Run() {
 // to exactly t. Events scheduled beyond t remain pending.
 func (s *Sim) RunUntil(t time.Duration) {
 	s.halted = false
-	for !s.halted && len(s.heap) > 0 && s.heap[0].at <= t {
+	for !s.halted {
+		at, ok := s.peekMin()
+		if !ok || at > t {
+			break
+		}
 		s.Step()
 	}
 	if !s.halted && s.now < t {
@@ -387,21 +417,66 @@ func (s *Sim) NewRand(label string) *rand.Rand {
 
 var _ clock.Clock = (*Sim)(nil)
 
-// The heap is an indexed 4-ary min-heap ordered by (at, seq): shallower
-// than a binary heap (fewer cache-missing levels per sift) and inlined
-// rather than behind container/heap's interface dispatch. Heap entries
-// are pointer-free — ordering key plus an arena slot id — so sift moves
-// are plain word copies with no GC write barrier and the heap slice is
-// never scanned; the event pointers live in a side arena (slots) written
-// only on push/pop/remove, with a second side array (pos) mapping slot id
-// to current heap position for cancellation. seq is unique, so the order
-// is a strict total order and pop order is fully deterministic regardless
-// of internal layout.
+// The event queue is a two-level hierarchical timer wheel with a sorted
+// front and an overflow heap, replacing the single global 4-ary heap
+// whose O(log E) sifts dominated wide-cluster episodes (the pending-set
+// high water grows with cluster size; at N=256 it passes 60k entries and
+// every pop walks eight cache-missing levels).
+//
+// Layout, front to back:
+//
+//   - cur: a small indexed 4-ary min-heap holding the front of the
+//     timeline — every pending entry at or before the current wheel
+//     granule. Pops come only from here, so the strict (at, seq) total
+//     order is preserved exactly: entries reach cur no later than the
+//     granule they fire in, and a heap with unique keys pops the same
+//     sequence regardless of insertion order.
+//   - l0: 256 unsorted buckets of 2^16 ns (≈65.5µs) each — appends and
+//     swap-removes are O(1) on pointer-free entries.
+//   - l1: 256 unsorted buckets of 2^24 ns (≈16.8ms) each; the bucket at
+//     l1Idx is expanded across the l0 window. Horizon ≈4.3s covers
+//     propagation delays, process charges, tickers and SYN timeouts.
+//   - overflow: an indexed 4-ary heap for the far future (beyond the l1
+//     horizon). It stays small and cold: only long timeouts land here.
+//
+// Occupancy bitmaps (one bit per bucket) make skipping empty granules a
+// few TrailingZeros64 scans. When both wheels drain, the windows re-base
+// at the overflow minimum, so idle stretches cost nothing. Entries are
+// pointer-free — ordering key plus an arena slot id — so moves are plain
+// word copies with no GC write barrier and none of the queue slices are
+// scanned; the event pointers live in a side arena of slotRec records,
+// each carrying its (structure, index) home for cancellation.
+// seq is unique, so pop order is fully deterministic regardless of
+// internal layout, and identical to the single-heap kernel's.
+
+const (
+	g0Shift   = 16          // L0 granule: 2^16 ns
+	g1Shift   = g0Shift + 8 // L1 granule: 2^24 ns
+	l0Buckets = 1 << (g1Shift - g0Shift)
+	l1Buckets = 256
+
+	locCur  = -1 // entry lives in the cur heap
+	locOver = -2 // entry lives in the overflow heap
+)
+
+// wheelOcc is an occupancy bitmap: bit i set iff bucket i is non-empty.
+type wheelOcc [l1Buckets / 64]uint64
 
 type heapEnt struct {
 	at   time.Duration
 	seq  uint64
 	slot int32
+}
+
+// slotRec is one arena entry: the queued event plus its current home —
+// which structure holds its heapEnt (loc) and at what index (pos). The
+// three fields were once parallel arrays; every queue operation reads
+// and writes them together, so one record costs one cache line where
+// the split layout cost three.
+type slotRec struct {
+	ev  *event
+	pos int32
+	loc int32 // locCur / locOver / bucket code
 }
 
 func entLess(a, b heapEnt) bool {
@@ -411,34 +486,173 @@ func entLess(a, b heapEnt) bool {
 	return a.seq < b.seq
 }
 
-// push assigns e an arena slot, appends its entry, and sifts it up.
+// push assigns e an arena slot and inserts its entry into the queue.
 func (s *Sim) push(e *event) {
 	var slot int32
 	if n := len(s.slotFree); n > 0 {
 		slot = s.slotFree[n-1]
 		s.slotFree = s.slotFree[:n-1]
 	} else {
-		slot = int32(len(s.slots))
-		s.slots = append(s.slots, nil)
-		s.pos = append(s.pos, 0)
+		slot = int32(len(s.arena))
+		s.arena = append(s.arena, slotRec{})
 	}
-	s.slots[slot] = e
+	s.arena[slot].ev = e
 	e.slot = slot
-	s.heap = append(s.heap, heapEnt{at: e.at, seq: e.seq, slot: slot})
-	i := len(s.heap) - 1
-	s.pos[slot] = int32(i)
-	s.up(i)
+	s.insertEnt(heapEnt{at: e.at, seq: e.seq, slot: slot})
+	s.npend++
+	if s.npend > s.maxQ {
+		s.maxQ = s.npend
+	}
+}
+
+// insertEnt routes an entry to cur, an L0/L1 bucket, or overflow by
+// deadline. Anything at or before the granule cur is draining goes to
+// cur so the front stays complete.
+func (s *Sim) insertEnt(ent heapEnt) {
+	g0 := int64(ent.at) >> g0Shift
+	if g0 <= s.l0Win+int64(s.curIdx) {
+		s.heapPush(&s.cur, locCur, ent)
+		return
+	}
+	if d := g0 - s.l0Win; d < l0Buckets {
+		s.bucketPut(&s.l0[d], int32(d), &s.l0occ, int(d), ent)
+		return
+	}
+	if d := (int64(ent.at) >> g1Shift) - s.l1Win; d < l1Buckets {
+		s.bucketPut(&s.l1[d], int32(l0Buckets+d), &s.l1occ, int(d), ent)
+		return
+	}
+	s.heapPush(&s.overflow, locOver, ent)
+}
+
+// bucketPut appends ent to a wheel bucket and marks it occupied.
+func (s *Sim) bucketPut(b *[]heapEnt, code int32, occ *wheelOcc, idx int, ent heapEnt) {
+	r := &s.arena[ent.slot]
+	r.pos = int32(len(*b))
+	r.loc = code
+	*b = append(*b, ent)
+	occ[idx>>6] |= 1 << (uint(idx) & 63)
+}
+
+// nextOcc returns the first occupied bucket index >= from, or the bucket
+// count when none is.
+func nextOcc(occ *wheelOcc, from int) int {
+	if from >= l1Buckets {
+		return l1Buckets
+	}
+	w := from >> 6
+	m := occ[w] &^ (1<<(uint(from)&63) - 1)
+	for {
+		if m != 0 {
+			return w<<6 + bits.TrailingZeros64(m)
+		}
+		w++
+		if w >= len(occ) {
+			return l1Buckets
+		}
+		m = occ[w]
+	}
+}
+
+// ensureFront makes cur hold the globally earliest pending entry,
+// advancing the wheel cursor across empty granules, expanding the next
+// L1 bucket, or re-basing both windows at the overflow minimum as
+// needed. Advancing the cursor is independent of the clock and never
+// reorders pops: cur always receives every entry of a granule before
+// any of them is popped. Callers must ensure at least one event is
+// pending.
+func (s *Sim) ensureFront() {
+	for len(s.cur) == 0 {
+		if i := nextOcc(&s.l0occ, s.curIdx+1); i < l0Buckets {
+			s.curIdx = i
+			s.drainL0(i)
+			continue
+		}
+		if j := nextOcc(&s.l1occ, s.l1Idx+1); j < l1Buckets {
+			s.expandL1(j)
+			continue
+		}
+		// Both wheels empty: jump the windows to the far future.
+		s.l1Win = int64(s.overflow[0].at) >> g1Shift
+		s.l1Idx = -1
+		s.drainOverflow()
+	}
+}
+
+// drainL0 dumps bucket l0[i] into the (empty) cur heap and heapifies.
+func (s *Sim) drainL0(i int) {
+	b := s.l0[i]
+	s.l0[i] = b[:0]
+	s.l0occ[i>>6] &^= 1 << (uint(i) & 63)
+	h := append(s.cur, b...)
+	s.cur = h
+	for k := range h {
+		r := &s.arena[h[k].slot]
+		r.loc = locCur
+		r.pos = int32(k)
+	}
+	for k := (len(h) - 2) >> 2; k >= 0; k-- {
+		s.heapDown(h, k)
+	}
+}
+
+// expandL1 scatters bucket l1[j] across a fresh L0 window.
+func (s *Sim) expandL1(j int) {
+	s.l1Idx = j
+	s.l0Win = (s.l1Win + int64(j)) << (g1Shift - g0Shift)
+	s.curIdx = -1
+	b := s.l1[j]
+	s.l1[j] = b[:0]
+	s.l1occ[j>>6] &^= 1 << (uint(j) & 63)
+	for _, ent := range b {
+		d := (int64(ent.at) >> g0Shift) - s.l0Win
+		s.bucketPut(&s.l0[d], int32(d), &s.l0occ, int(d), ent)
+	}
+}
+
+// drainOverflow migrates every overflow entry inside the (re-based) L1
+// horizon into its L1 bucket. Overflow entries are always at or beyond
+// the horizon when inserted and the windows only move forward, so each
+// entry migrates at most once.
+func (s *Sim) drainOverflow() {
+	horizon := time.Duration((s.l1Win + l1Buckets) << g1Shift)
+	for len(s.overflow) > 0 && s.overflow[0].at < horizon {
+		ent := s.heapPopEnt(&s.overflow)
+		d := (int64(ent.at) >> g1Shift) - s.l1Win
+		s.bucketPut(&s.l1[d], int32(l0Buckets+d), &s.l1occ, int(d), ent)
+	}
+}
+
+// peekMin returns the earliest pending deadline without popping. It may
+// advance the wheel cursor eagerly, which never changes pop order.
+func (s *Sim) peekMin() (time.Duration, bool) {
+	if s.npend == 0 {
+		return 0, false
+	}
+	s.ensureFront()
+	return s.cur[0].at, true
 }
 
 // freeSlot returns a slot id to the arena free list.
 func (s *Sim) freeSlot(slot int32) {
-	s.slots[slot] = nil
+	s.arena[slot].ev = nil
 	s.slotFree = append(s.slotFree, slot)
 }
 
-// up moves heap[i] towards the root until its parent is not greater.
-func (s *Sim) up(i int) {
-	h, pos := s.heap, s.pos
+// heapPush appends ent to an indexed 4-ary heap and sifts it up.
+func (s *Sim) heapPush(hp *[]heapEnt, code int32, ent heapEnt) {
+	h := append(*hp, ent)
+	*hp = h
+	i := len(h) - 1
+	r := &s.arena[ent.slot]
+	r.loc = code
+	r.pos = int32(i)
+	s.heapUp(h, i)
+}
+
+// heapUp moves h[i] towards the root until its parent is not greater.
+func (s *Sim) heapUp(h []heapEnt, i int) {
+	ar := s.arena
 	ent := h[i]
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -446,17 +660,17 @@ func (s *Sim) up(i int) {
 			break
 		}
 		h[i] = h[p]
-		pos[h[i].slot] = int32(i)
+		ar[h[i].slot].pos = int32(i)
 		i = p
 	}
 	h[i] = ent
-	pos[ent.slot] = int32(i)
+	ar[ent.slot].pos = int32(i)
 }
 
-// down moves heap[i] towards the leaves while a child is smaller,
+// heapDown moves h[i] towards the leaves while a child is smaller,
 // reporting whether it moved.
-func (s *Sim) down(i int) bool {
-	h, pos := s.heap, s.pos
+func (s *Sim) heapDown(h []heapEnt, i int) bool {
+	ar := s.arena
 	n := len(h)
 	ent := h[i]
 	start := i
@@ -479,46 +693,93 @@ func (s *Sim) down(i int) bool {
 			break
 		}
 		h[i] = h[best]
-		pos[h[i].slot] = int32(i)
+		ar[h[i].slot].pos = int32(i)
 		i = best
 	}
 	h[i] = ent
-	pos[ent.slot] = int32(i)
+	ar[ent.slot].pos = int32(i)
 	return i != start
 }
 
-// pop removes and returns the minimum event, leaving slot == -1.
-func (s *Sim) pop() *event {
-	h := s.heap
+// heapPopEnt removes and returns the minimum entry of an indexed heap
+// without touching the slot arena; callers re-home or free the slot.
+func (s *Sim) heapPopEnt(hp *[]heapEnt) heapEnt {
+	h := *hp
 	top := h[0]
-	e := s.slots[top.slot]
-	s.freeSlot(top.slot)
-	e.slot = -1
 	n := len(h) - 1
 	last := h[n]
-	s.heap = h[:n]
+	*hp = h[:n]
 	if n > 0 {
-		s.heap[0] = last
-		s.pos[last.slot] = 0
-		s.down(0)
+		h = h[:n]
+		h[0] = last
+		s.arena[last.slot].pos = 0
+		s.heapDown(h, 0)
 	}
+	return top
+}
+
+// heapRemove deletes position i from an indexed heap.
+func (s *Sim) heapRemove(hp *[]heapEnt, i int) {
+	h := *hp
+	n := len(h) - 1
+	last := h[n]
+	*hp = h[:n]
+	if i < n {
+		h = h[:n]
+		h[i] = last
+		s.arena[last.slot].pos = int32(i)
+		if !s.heapDown(h, i) {
+			s.heapUp(h, i)
+		}
+	}
+}
+
+// pop removes and returns the earliest pending event, leaving slot == -1.
+func (s *Sim) pop() *event {
+	s.ensureFront()
+	top := s.heapPopEnt(&s.cur)
+	e := s.arena[top.slot].ev
+	s.freeSlot(top.slot)
+	e.slot = -1
+	s.npend--
 	return e
 }
 
-// remove deletes e from an arbitrary heap position.
+// remove deletes e from whichever structure holds it: a heap remove for
+// cur/overflow, an O(1) swap-remove for a wheel bucket.
 func (s *Sim) remove(e *event) {
-	i := int(s.pos[e.slot])
-	s.freeSlot(e.slot)
+	slot := e.slot
+	i := int(s.arena[slot].pos)
+	code := s.arena[slot].loc
+	s.freeSlot(slot)
 	e.slot = -1
-	h := s.heap
-	n := len(h) - 1
-	last := h[n]
-	s.heap = h[:n]
-	if i < n {
-		h[i] = last
-		s.pos[last.slot] = int32(i)
-		if !s.down(i) {
-			s.up(i)
+	s.npend--
+	switch {
+	case code == locCur:
+		s.heapRemove(&s.cur, i)
+	case code == locOver:
+		s.heapRemove(&s.overflow, i)
+	default:
+		var b *[]heapEnt
+		if code < l0Buckets {
+			b = &s.l0[code]
+		} else {
+			b = &s.l1[code-l0Buckets]
+		}
+		h := *b
+		n := len(h) - 1
+		if i < n {
+			h[i] = h[n]
+			s.arena[h[i].slot].pos = int32(i)
+		}
+		*b = h[:n]
+		if n == 0 {
+			if code < l0Buckets {
+				s.l0occ[code>>6] &^= 1 << (uint(code) & 63)
+			} else {
+				c := code - l0Buckets
+				s.l1occ[c>>6] &^= 1 << (uint(c) & 63)
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"press/internal/cnet"
+	"press/internal/sim"
 )
 
 // A stream round-trip (request in, reply out, both delivered) is the
@@ -42,5 +43,42 @@ func TestStreamRoundTripAllocsPerRun(t *testing.T) {
 	}
 	if replies < 264 {
 		t.Fatalf("only %d replies delivered", replies)
+	}
+}
+
+// A batched wide multicast — one kernel event standing in for the whole
+// recipient list — is the scalable suite's hottest path at N=256. After
+// the batchPkt free list and the dsts slice capacity are warm, a full
+// fan-out (send plus delivery to every recipient) must not allocate.
+func TestBatchedMulticastAllocsPerRun(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.BatchDelivery = true
+	n := New(s, cfg, nil)
+
+	const members = 32
+	got := 0
+	for id := 0; id < members; id++ {
+		i := n.AddIface(cnet.NodeID(id))
+		i.JoinGroup("gossip")
+		i.BindDatagram("hb", func(from cnet.NodeID, m cnet.Message) { got++ })
+	}
+	src := n.Iface(0)
+
+	var msg cnet.Message = "beat" // pre-boxed; the loop measures only the transport
+	fanOut := func() {
+		src.Multicast("gossip", "hb", msg, 64)
+		s.Run()
+	}
+	for i := 0; i < 16; i++ {
+		fanOut() // warm the batch free list and the dsts backing array
+	}
+	got = 0
+	per := testing.AllocsPerRun(100, fanOut)
+	if per > 0.05 {
+		t.Errorf("batched multicast allocates %.3f objects; want 0 after pool warmup", per)
+	}
+	if got < 100*(members-1) {
+		t.Fatalf("only %d deliveries; batching dropped recipients", got)
 	}
 }

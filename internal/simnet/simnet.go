@@ -52,6 +52,15 @@ type Config struct {
 	SynTimeout time.Duration // connect attempts give up after this
 	RecvWindow int           // stream messages buffered at a non-reading receiver before senders stall
 	DgramSize  int           // default wire size when a send passes size<=0
+
+	// BatchDelivery coalesces a multicast fan-out — same departure
+	// instant, same sending link — into one kernel event that drains the
+	// whole recipient list, instead of one event per recipient. Handler
+	// execution order and the fired-event count are identical to the
+	// unbatched schedule (see deliverBatch); only kernel bookkeeping is
+	// saved. Off by default so pre-existing campaign captures replay
+	// byte-identically; the wide-cluster (scalable) harness enables it.
+	BatchDelivery bool
 }
 
 // DefaultConfig mirrors the paper's 1 Gb/s cLAN in spirit: latency is tens
@@ -74,6 +83,7 @@ type Network struct {
 	log      *metrics.Log //availlint:skipfield log event-log backlink, wired at construction
 	switchUp bool
 	ifaces   map[cnet.NodeID]*Iface
+	byID     []*Iface            //availlint:skipfield byID dense resolve index derived from ifaces, rebuilt as interfaces attach
 	groups   map[string][]*Iface // kept sorted by NodeID for determinism
 	aliases  map[cnet.NodeID]cnet.NodeID
 
@@ -91,6 +101,15 @@ type Network struct {
 	dgramFree  []*dgramPkt  //availlint:skipfield dgramFree free list; an empty list after restore is behaviorally identical
 	streamFree []*streamPkt //availlint:skipfield streamFree free list; an empty list after restore is behaviorally identical
 	dialFree   []*dialOp    //availlint:skipfield dialFree free list; an empty list after restore is behaviorally identical
+	batchFree  []*batchPkt  //availlint:skipfield batchFree free list; an empty list after restore is behaviorally identical
+
+	// pairFree recycles connection-pair allocations. A pair returns here
+	// once both halves are closed and no scheduled event or mailbox entry
+	// references either half (each half's refs pin count) — at dial rate,
+	// the connPair was the dominant allocation of a campaign. Halves
+	// rebuilt from a snapshot are born without a pair backlink and are
+	// simply never recycled.
+	pairFree []*connPair //availlint:skipfield pairFree free list; an empty list after restore is behaviorally identical
 
 	// nextDialOwner tags the next Dial's handshake record with the
 	// caller-side object that owns its callbacks, so snapshots can
@@ -147,10 +166,21 @@ func (n *Network) SetAlias(vip, target cnet.NodeID) {
 	n.aliases[vip] = target
 }
 
+// denseIDCap bounds the dense resolve index: node ids below it resolve
+// through a slice lookup instead of a map probe. The harness id layout
+// (servers from 0, front-ends from 10000, client at 1000) sits entirely
+// under it; an exotic id beyond the cap still resolves via the map.
+const denseIDCap = 1 << 14
+
 // resolve maps a possibly-virtual address to the real interface.
 func (n *Network) resolve(id cnet.NodeID) *Iface {
-	if t, ok := n.aliases[id]; ok {
-		id = t
+	if len(n.aliases) != 0 {
+		if t, ok := n.aliases[id]; ok {
+			id = t
+		}
+	}
+	if uint64(id) < uint64(len(n.byID)) {
+		return n.byID[id]
 	}
 	return n.ifaces[id]
 }
@@ -183,6 +213,14 @@ func (n *Network) AddIface(id cnet.NodeID) *Iface {
 		listeners: make(map[string]func(cnet.Conn) cnet.StreamHandlers),
 	}
 	n.ifaces[id] = ifc
+	if id >= 0 && id < denseIDCap {
+		if int(id) >= len(n.byID) {
+			grown := make([]*Iface, id+1)
+			copy(grown, n.byID)
+			n.byID = grown
+		}
+		n.byID[id] = ifc
+	}
 	return ifc
 }
 
@@ -365,12 +403,91 @@ func (i *Iface) Multicast(group, port string, m cnet.Message, size int) {
 	}
 	arrive := i.serialize(size) + i.net.cfg.PropDelay
 	members := i.net.groups[group]
+	if i.net.cfg.BatchDelivery && len(members) > 2 {
+		i.net.sendBatch(arrive, i, port, m, members)
+		return
+	}
 	for _, dst := range members {
 		if dst == i {
 			continue
 		}
 		i.net.sendDgram(arrive, i, dst, cnet.ClassIntra, port, m)
 	}
+}
+
+// batchPkt is a coalesced multicast fan-out in flight: one kernel event
+// standing in for len(dsts) per-recipient datagram deliveries. Recycled
+// through Network.batchFree.
+type batchPkt struct {
+	src  *Iface
+	port string
+	m    cnet.Message
+	dsts []*Iface
+}
+
+// sendBatch schedules the whole recipient list of a multicast as one
+// delivery event. Per-recipient loss decisions are made here, at send
+// time — the same point the unbatched path draws them — so the loss-rng
+// stream is consumed in the identical order, and a recipient dropped on
+// its degraded link never enters the batch (the unbatched path schedules
+// no event for it either). The single event carries the earliest
+// (loss-undelayed) arrival; per-recipient lossLat skew collapses to the
+// batch instant only for gray-degraded recipients, which the scalable
+// campaigns this path serves do not combine with batching-sensitive
+// assertions — and Faithful runs never take this path at all.
+func (n *Network) sendBatch(arrive time.Duration, src *Iface, port string, m cnet.Message, members []*Iface) {
+	var bp *batchPkt
+	if k := len(n.batchFree); k > 0 {
+		bp = n.batchFree[k-1]
+		n.batchFree = n.batchFree[:k-1]
+	} else {
+		bp = new(batchPkt)
+	}
+	for _, dst := range members {
+		if dst == src {
+			continue
+		}
+		if src.lossDrop > 0 || dst.lossDrop > 0 {
+			drop := 1 - (1-src.lossDrop)*(1-dst.lossDrop)
+			if n.lossRng.Float64() < drop {
+				continue
+			}
+		}
+		bp.dsts = append(bp.dsts, dst)
+	}
+	if len(bp.dsts) == 0 {
+		n.batchFree = append(n.batchFree, bp)
+		return
+	}
+	bp.src, bp.port, bp.m = src, port, m
+	n.sim.AtArg(arrive, deliverBatch, bp)
+}
+
+// deliverBatch drains a coalesced multicast. Recipients run in ascending
+// NodeID order — exactly the order the unbatched path's per-recipient
+// events would pop, since those are scheduled back-to-back at one
+// instant with consecutive sequence numbers and nothing can interleave
+// between them. The collapsed events are added back to the fired counter
+// so EventsFired matches the unbatched schedule, which the scale gates
+// assert.
+func deliverBatch(arg any) {
+	bp := arg.(*batchPkt)
+	src, port, m := bp.src, bp.port, bp.m
+	n := src.net
+	n.sim.CountExtraFired(uint64(len(bp.dsts) - 1))
+	for k := 0; k < len(bp.dsts); k++ {
+		dst := bp.dsts[k]
+		bp.dsts[k] = nil
+		if !n.pathUp(src, dst, cnet.ClassIntra) || dst.state != NodeUp {
+			continue
+		}
+		if h := dst.dgram[port]; h != nil {
+			h(src.id, m)
+		}
+	}
+	bp.src, bp.m = nil, nil
+	bp.dsts = bp.dsts[:0]
+	n.batchFree = append(n.batchFree, bp)
 }
 
 // dgramPkt is one datagram in flight; recycled through Network.dgramFree.
@@ -501,9 +618,9 @@ func dialSyn(arg any) {
 		return
 	}
 	// Both halves live in one allocation: a connection's endpoints share
-	// a lifetime (the pair is garbage only once both halves are closed
-	// and forgotten), so separate allocations buy nothing.
-	pair := &connPair{}
+	// a lifetime (the pair is recyclable only once both halves are closed
+	// and unpinned), so separate allocations buy nothing.
+	pair := n.newPair()
 	local, remote := &pair.dialer, &pair.acceptor
 	local.iface, local.class = i, op.class
 	remote.iface, remote.class = dst, op.class
@@ -514,6 +631,7 @@ func dialSyn(arg any) {
 	dst.conns = append(dst.conns, remote)
 	remote.h = acceptNow(remote)
 	op.local = local
+	local.Retain() // pinned by the dialDone event
 	n.sim.AfterArg(n.cfg.PropDelay, dialDone, op)
 }
 
@@ -524,6 +642,7 @@ func dialDone(arg any) {
 	n.freeDialOp(op)
 	local.h = h
 	result(local, nil)
+	local.Release()
 }
 
 // StreamConn is the control surface the machine layer needs on simulated
@@ -546,32 +665,96 @@ type StreamConn interface {
 	// scan. The value is opaque to simnet.
 	SetOwnerSlot(int)
 	OwnerSlot() int
+	// Retain/Release pin the connection's backing allocation against
+	// pool recycling while a caller-side record (a mailbox entry, a
+	// deferred operation) stashes the conn pointer across events. Both
+	// are no-ops on connections that are not pool-managed.
+	Retain()
+	Release()
 }
 
 // half is one direction-endpoint of a stream connection; cnet.Conn is
 // implemented by *half.
 type half struct {
-	iface      *Iface
-	peer       *half
-	class      cnet.Class
-	h          cnet.StreamHandlers //availlint:skipfield h per-conn handlers, re-attached by the owning process via RestoreConn
+	// Field order is deliberate: the flags, counters and pointers every
+	// TrySend/deliverStream touches sit in the struct's first cache line;
+	// the close/teardown fields live behind them. At N=256 the live-conn
+	// mesh far exceeds cache, so lines touched per packet are the cost.
 	closed     bool
 	zombie     bool // machine died; silent until reboot RST
 	paused     bool // receiver not reading (freeze/hang/stall)
 	procPaused bool // pause requested by the proc layer (vs machine freeze)
-	buf        []cnet.Message
-	inTransit  int
 	wantWrite  bool
+	inTransit  int32
+	connIdx    int32 //availlint:skipfield connIdx position in the owning iface's conns list, recomputed as restore re-appends
+	refs       int32 //availlint:skipfield refs pin count of scheduled events and mailbox entries; the restored world re-creates its own pins
+	iface      *Iface
+	peer       *half
+	pair       *connPair           //availlint:skipfield pair pool backlink; snapshot-built halves have none and are never recycled
+	h          cnet.StreamHandlers //availlint:skipfield h per-conn handlers, re-attached by the owning process via RestoreConn
+	buf        []cnet.Message
+	class      cnet.Class
 	closeHook  func() //availlint:skipfield closeHook close callback, re-attached by the owning process via RestoreConn
 	closeErr   error  // pending verdict carried to deliverCloseArg
 	ownerSlot  int    // owning process's index for O(1) drop (opaque)
-	connIdx    int32  //availlint:skipfield connIdx position in the owning iface's conns list, recomputed as restore re-appends
 }
 
 // connPair is the single allocation backing both halves of a connection.
 type connPair struct {
 	dialer   half
 	acceptor half
+}
+
+// newPair takes a connection pair off the free list, or mints one with
+// the half→pair backlinks wired (the backlink is what marks a half as
+// pool-managed; snapshot-restored halves lack it).
+func (n *Network) newPair() *connPair {
+	if k := len(n.pairFree); k > 0 {
+		p := n.pairFree[k-1]
+		n.pairFree = n.pairFree[:k-1]
+		return p
+	}
+	p := new(connPair)
+	p.dialer.pair = p
+	p.acceptor.pair = p
+	return p
+}
+
+// Retain pins this half against recycling: every scheduled kernel event
+// and every mailbox entry that stashes a conn pointer takes a pin and
+// drops it when the reference dies. A no-op on unpooled halves.
+func (hc *half) Retain() {
+	if hc.pair != nil {
+		hc.refs++
+	}
+}
+
+// Release drops a Retain pin and recycles the pair if this was the last
+// thing keeping it alive.
+func (hc *half) Release() {
+	if hc.pair == nil {
+		return
+	}
+	hc.refs--
+	hc.maybeRecycle()
+}
+
+// maybeRecycle returns the pair to the free list once both halves are
+// closed and unpinned. Resetting clears both closed flags, so a second
+// call on a recycled pair is inert until the pair is reused.
+func (hc *half) maybeRecycle() {
+	p := hc.pair
+	if p == nil {
+		return
+	}
+	if !p.dialer.closed || !p.acceptor.closed || p.dialer.refs != 0 || p.acceptor.refs != 0 {
+		return
+	}
+	net := hc.iface.net
+	*p = connPair{}
+	p.dialer.pair = p
+	p.acceptor.pair = p
+	net.pairFree = append(net.pairFree, p)
 }
 
 var _ cnet.Conn = (*half)(nil)
@@ -593,7 +776,7 @@ func (hc *half) TrySend(m cnet.Message, size int) bool {
 	if p.closed {
 		return true
 	}
-	if p.paused && len(p.buf)+p.inTransit >= hc.iface.net.cfg.RecvWindow {
+	if p.paused && len(p.buf)+int(p.inTransit) >= hc.iface.net.cfg.RecvWindow {
 		hc.wantWrite = true
 		return false
 	}
@@ -616,6 +799,8 @@ func (hc *half) TrySend(m cnet.Message, size int) bool {
 		pkt = new(streamPkt)
 	}
 	pkt.from, pkt.to, pkt.m = hc, p, m
+	hc.Retain() // both halves pinned by the in-flight message
+	p.Retain()
 	net.sim.AtArg(arrive, deliverStream, pkt)
 	return true
 }
@@ -636,22 +821,29 @@ func deliverStream(arg any) {
 	pkt.from, pkt.to, pkt.m = nil, nil, nil
 	net.streamFree = append(net.streamFree, pkt)
 	p.inTransit--
-	if p.closed || p.zombie || hc.closed {
+	// Drop the in-flight pins before touching handler state. When either
+	// half is still open the releases cannot recycle (recycle needs both
+	// halves closed), so the reads below stay valid; when both are closed
+	// we return without reading anything further.
+	dead := p.closed || p.zombie || hc.closed
+	hc.Release()
+	p.Release()
+	if dead {
 		return
 	}
-	if !net.pathUp(hc.iface, p.iface, hc.class) {
+	if !net.pathUp(hc.iface, p.iface, hc.class) { //availlint:allow poolsafety open half pins the pair: recycle needs both halves closed, dead-check above covers that
 		// Path broke while in flight; TCP would retransmit until the
 		// path heals or the connection errors. We drop: every
 		// protocol in this repo treats streams as unreliable across
 		// fault boundaries and resynchronizes on reconnect.
 		return
 	}
-	if p.paused {
-		p.buf = append(p.buf, m)
+	if p.paused { //availlint:allow poolsafety open half pins the pair past the Release above
+		p.buf = append(p.buf, m) //availlint:allow poolsafety open half pins the pair past the Release above
 		return
 	}
-	if p.h.OnMessage != nil {
-		p.h.OnMessage(p, m)
+	if p.h.OnMessage != nil { //availlint:allow poolsafety open half pins the pair past the Release above
+		p.h.OnMessage(p, m) //availlint:allow poolsafety open half pins the pair past the Release above
 	}
 }
 
@@ -689,9 +881,11 @@ func (hc *half) shutdown(peerErr error) {
 	hc.iface.dropConn(hc)
 	p := hc.peer
 	if p == nil || p.closed || p.zombie {
+		hc.maybeRecycle()
 		return
 	}
 	p.closeErr = peerErr
+	p.Retain() // pinned by the close notification in flight
 	net := hc.iface.net
 	net.sim.AfterArg(net.cfg.PropDelay, deliverCloseArg, p)
 }
@@ -703,9 +897,11 @@ func (hc *half) abortPeer(err error) {
 	hc.ranCloseHook()
 	p := hc.peer
 	if p == nil || p.closed || p.zombie {
+		hc.maybeRecycle()
 		return
 	}
 	p.closeErr = err
+	p.Retain() // pinned by the close notification in flight
 	net := hc.iface.net
 	net.sim.AfterArg(net.cfg.PropDelay, deliverCloseArg, p)
 }
@@ -716,6 +912,7 @@ func (hc *half) abortPeer(err error) {
 func deliverCloseArg(arg any) {
 	p := arg.(*half)
 	p.deliverClose(p.closeErr)
+	p.Release() // pin taken when the notification was scheduled
 }
 
 func (hc *half) deliverClose(err error) {
@@ -773,6 +970,7 @@ func (hc *half) notifyWritable() {
 		return
 	}
 	p.wantWrite = false
+	p.Retain() // pinned by the writable notification in flight
 	net := hc.iface.net
 	net.sim.AfterArg(net.cfg.PropDelay, deliverWritable, p)
 }
@@ -783,6 +981,7 @@ func deliverWritable(arg any) {
 	if !p.closed && p.h.OnWritable != nil {
 		p.h.OnWritable(p)
 	}
+	p.Release() // pin taken when the notification was scheduled
 }
 
 // Buffered returns how many stream messages wait unread at this half.

@@ -189,6 +189,21 @@ func (n *Network) SavePending(ctx *snapio.Ctx) {
 		ctx.Msgs.Encode(e, p.m)
 	}
 
+	batches := ctx.ClaimArg(deliverBatch)
+	e.Int(len(batches))
+	for _, ev := range batches {
+		p := ev.Arg.(*batchPkt)
+		e.Dur(ev.At)
+		e.U64(ev.Seq)
+		e.I64(int64(p.src.id))
+		e.Str(p.port)
+		ctx.Msgs.Encode(e, p.m)
+		e.Int(len(p.dsts))
+		for _, dst := range p.dsts {
+			e.I64(int64(dst.id))
+		}
+	}
+
 	streams := ctx.ClaimArg(deliverStream)
 	e.Int(len(streams))
 	for _, ev := range streams {
@@ -268,6 +283,22 @@ func (n *Network) LoadPending(ctx *snapio.Ctx) {
 		}
 		p.m = ctx.Msgs.Decode(d)
 		n.sim.RestoreAtArg(at, seq, deliverDgram, p)
+	}
+
+	for k := d.Count(1 << 24); k > 0; k-- {
+		at := d.Dur()
+		seq := d.U64()
+		p := &batchPkt{
+			src:  n.mustIface(cnet.NodeID(d.I64())),
+			port: d.Str(),
+		}
+		p.m = ctx.Msgs.Decode(d)
+		nd := d.Count(1 << 20)
+		p.dsts = make([]*Iface, 0, nd)
+		for ; nd > 0; nd-- {
+			p.dsts = append(p.dsts, n.mustIface(cnet.NodeID(d.I64())))
+		}
+		n.sim.RestoreAtArg(at, seq, deliverBatch, p)
 	}
 
 	for k := d.Count(1 << 24); k > 0; k-- {
@@ -355,7 +386,7 @@ func (n *Network) SaveConns(ctx *snapio.Ctx) {
 		for _, m := range hc.buf {
 			ctx.Msgs.Encode(e, m)
 		}
-		e.Int(hc.inTransit)
+		e.Int(int(hc.inTransit))
 		e.Bool(hc.wantWrite)
 		e.U64(cnet.ErrCode(hc.closeErr))
 		e.Int(hc.ownerSlot)
@@ -391,7 +422,7 @@ func (n *Network) LoadConns(ctx *snapio.Ctx) {
 				hc.buf = append(hc.buf, ctx.Msgs.Decode(d))
 			}
 		}
-		hc.inTransit = d.Int()
+		hc.inTransit = int32(d.Int())
 		hc.wantWrite = d.Bool()
 		hc.closeErr = cnet.ErrFromCode(d.U64())
 		hc.ownerSlot = d.Int()

@@ -159,6 +159,7 @@ func (g *Generator) LoadState(ctx *snapio.Ctx) {
 				snapio.Failf("workload: conn ref %d is not a conn", ref)
 			}
 			r.conn = c
+			cnet.RetainConn(c) // no-op on snapshot-built conns; keeps the pin balanced
 			hr, ok := c.(simnet.HandlerRestorer)
 			if !ok {
 				snapio.Failf("workload: conn %T cannot restore handlers", c)

@@ -241,7 +241,10 @@ func (r *request) unref() {
 		moved.slot = r.slot
 		g.reqLive[last] = nil
 		g.reqLive = g.reqLive[:last]
-		r.conn = nil
+		if r.conn != nil {
+			cnet.ReleaseConn(r.conn) // pin taken when dialResult stored it
+			r.conn = nil
+		}
 		r.connectDeadline = sim.Timer{}
 		g.reqFree = append(g.reqFree, r)
 	}
@@ -320,6 +323,7 @@ func (r *request) dialResult(c cnet.Conn, err error) {
 		return
 	}
 	r.conn = c
+	cnet.RetainConn(c) // the record holds the conn until it recycles
 	req := server.NewReqMsg(&r.g.reqPool)
 	req.ID, req.Doc = r.id, r.doc
 	c.TrySend(req, 256)
